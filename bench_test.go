@@ -1,0 +1,167 @@
+package sidq_test
+
+// One benchmark per reproduced table/figure (see DESIGN.md's experiment
+// index): each bench runs the corresponding experiment workload so the
+// cost of regenerating every artifact is tracked, plus micro-benchmarks
+// for the hot substrate paths the experiments lean on.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sidq/internal/exp"
+	"sidq/internal/geo"
+	"sidq/internal/index"
+	"sidq/internal/quality"
+	"sidq/internal/reduce"
+	"sidq/internal/refine"
+	"sidq/internal/roadnet"
+	"sidq/internal/simulate"
+	"sidq/internal/uncertain"
+	"sidq/internal/uquery"
+)
+
+func BenchmarkT1_CharacteristicMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = quality.CharacteristicMatrix(int64(i))
+	}
+}
+
+func benchExperiment(b *testing.B, run func(seed int64) exp.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb := run(int64(i) + 1)
+		if len(tb.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkE1_LocationRefinement(b *testing.B) {
+	b.Run("ensemble", func(b *testing.B) { benchExperiment(b, exp.E1Radio) })
+	b.Run("motion", func(b *testing.B) { benchExperiment(b, exp.E1Motion) })
+	b.Run("collaborative", func(b *testing.B) { benchExperiment(b, exp.E1Collab) })
+}
+
+func BenchmarkE2_TrajectoryUE(b *testing.B)      { benchExperiment(b, exp.E2) }
+func BenchmarkE3_STIDInterpolation(b *testing.B) { benchExperiment(b, exp.E3) }
+func BenchmarkE4_OutlierRemoval(b *testing.B)    { benchExperiment(b, exp.E4) }
+func BenchmarkE4b_RepairVsDrop(b *testing.B)     { benchExperiment(b, exp.E4b) }
+func BenchmarkE5_FaultCorrection(b *testing.B)   { benchExperiment(b, exp.E5) }
+func BenchmarkE6_Integration(b *testing.B)       { benchExperiment(b, exp.E6) }
+
+func BenchmarkE7_Reduction(b *testing.B) {
+	b.Run("trajectory", func(b *testing.B) { benchExperiment(b, exp.E7) })
+	b.Run("codecs", func(b *testing.B) { benchExperiment(b, exp.E7b) })
+}
+
+func BenchmarkE8_UncertainQueries(b *testing.B)  { benchExperiment(b, exp.E8) }
+func BenchmarkE9_DynamicsQueries(b *testing.B)   { benchExperiment(b, exp.E9) }
+func BenchmarkE9b_SkewPartitioning(b *testing.B) { benchExperiment(b, exp.E9b) }
+func BenchmarkE10_Analysis(b *testing.B)         { benchExperiment(b, exp.E10) }
+func BenchmarkE11_DecisionMaking(b *testing.B)   { benchExperiment(b, exp.E11) }
+func BenchmarkE12_PipelineAblation(b *testing.B) { benchExperiment(b, exp.E12) }
+func BenchmarkE13_PrivateQueries(b *testing.B)   { benchExperiment(b, exp.E13) }
+func BenchmarkE14_Federated(b *testing.B)        { benchExperiment(b, exp.E14) }
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkGridKNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := index.NewGrid(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}, 25)
+	for i := 0; i < 10000; i++ {
+		g.Insert(index.PointEntry{ID: fmt.Sprintf("p%d", i), Pos: geo.Pt(rng.Float64()*1000, rng.Float64()*1000)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KNN(geo.Pt(rng.Float64()*1000, rng.Float64()*1000), 10)
+	}
+}
+
+func BenchmarkRTreeRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rt := index.NewRTree()
+	for i := 0; i < 10000; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		rt.Insert(index.RectEntry{ID: fmt.Sprintf("r%d", i), Rect: geo.RectFromCenter(p, 2, 2)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Search(geo.RectFromCenter(geo.Pt(rng.Float64()*1000, rng.Float64()*1000), 50, 50))
+	}
+}
+
+func BenchmarkShortestPath(b *testing.B) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 20, NY: 20, Spacing: 100, RemoveFrac: 0.2, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		c := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		_, _ = g.AStar(a, c)
+	}
+}
+
+func BenchmarkKalmanSmooth(b *testing.B) {
+	truth := simulate.RandomWalk("w", geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}, 1000, 2, 1, 5)
+	noisy := simulate.AddGaussianNoise(truth, 8, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refine.KalmanSmoothTrajectory(noisy, 1, 8)
+	}
+}
+
+func BenchmarkDouglasPeucker(b *testing.B) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 12, NY: 12, Spacing: 120, Seed: 7})
+	trip := simulate.Trips(g, simulate.TripOptions{NumObjects: 1, MinHops: 20, Speed: 12, SampleInterval: 0.5, Seed: 7})[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reduce.DouglasPeuckerSED(trip, 10)
+	}
+}
+
+func BenchmarkProbRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	objs := make([]uquery.UncertainObject, 2000)
+	for i := range objs {
+		objs[i] = uquery.GaussianObject{
+			ID:    fmt.Sprintf("o%d", i),
+			Mean:  geo.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			Sigma: 10,
+		}
+	}
+	rect := geo.RectFromCenter(geo.Pt(500, 500), 100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uquery.ProbRange(objs, rect, 0.5)
+	}
+}
+
+func BenchmarkBulkLoadRTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	rects := make([]index.RectEntry, 10000)
+	for i := range rects {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		rects[i] = index.RectEntry{ID: fmt.Sprintf("r%d", i), Rect: geo.RectFromCenter(p, 2, 2)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.BulkLoadRTree(rects)
+	}
+}
+
+func BenchmarkOnlineMapMatch(b *testing.B) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 10, NY: 10, Spacing: 120, Seed: 10})
+	snapper := roadnet.NewSnapper(g, 100)
+	trip := simulate.Trips(g, simulate.TripOptions{NumObjects: 1, MinHops: 15, Speed: 12, SampleInterval: 1, Seed: 10})[0]
+	noisy := simulate.AddGaussianNoise(trip, 10, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := uncertain.NewOnlineMatcher(g, snapper, uncertain.MatchOptions{EmissionSigma: 12}, 5)
+		for _, p := range noisy.Points {
+			m.Push(p)
+		}
+		m.Flush()
+	}
+}

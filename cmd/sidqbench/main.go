@@ -1,0 +1,58 @@
+// Command sidqbench regenerates the experiment tables documented in
+// DESIGN.md and EXPERIMENTS.md: the empirical Table 1 (T1), the
+// Figure-2 taxonomy coverage matrix (F2), and the taxonomy experiments
+// E1-E12.
+//
+// Usage:
+//
+//	sidqbench                 # run everything
+//	sidqbench -exp E4,E7      # run selected experiments
+//	sidqbench -seed 7         # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sidq/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "comma-separated experiment ids (T1, F2, E1a..E12) or 'all'")
+		seed  = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	all := *which == "all"
+	if !all {
+		for _, id := range strings.Split(*which, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	ran := 0
+	if all || want["T1"] {
+		fmt.Println("=== T1: Table 1 — SID characteristics and measured quality issues ===")
+		fmt.Println(exp.T1(*seed))
+		ran++
+	}
+	if all || want["F2"] {
+		fmt.Println("=== F2: Figure 2 — DQ technology taxonomy coverage ===")
+		fmt.Println(exp.F2())
+		ran++
+	}
+	for _, e := range exp.All() {
+		if all || want[strings.ToUpper(e.ID)] {
+			tb := e.Run(*seed)
+			fmt.Println(tb.Render())
+			ran++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "sidqbench: no experiment matched %q\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,138 @@
+// Command sidqclean runs the quality-aware cleaning pipeline over a
+// trajectory CSV (as produced by sidqsim): it assesses the data, plans
+// the stages needed to meet the default quality targets, executes them,
+// and writes the cleaned CSV plus a quality report to stderr.
+//
+// Usage:
+//
+//	sidqsim -out dirty.csv
+//	sidqclean -in dirty.csv -out clean.csv -maxspeed 20
+//	sidqclean -readings -in sensors.csv -out clean.csv
+//
+// With -readings the input is a sensor-reading CSV
+// ("sensor,t,x,y,value"); the pipeline then runs reading-side stages
+// (deduplication + thematic repair) instead of trajectory stages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"sidq/internal/core"
+	"sidq/internal/quality"
+	"sidq/internal/stid"
+	"sidq/internal/trajectory"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "input CSV ('-' = stdin)")
+		out      = flag.String("out", "-", "output CSV ('-' = stdout)")
+		maxSpeed = flag.Float64("maxspeed", 20, "physical speed bound (m/s) for consistency checks")
+		interval = flag.Float64("interval", 1, "nominal sampling interval (s)")
+		readings = flag.Bool("readings", false, "input is a sensor-reading CSV (sensor,t,x,y,value)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("sidqclean: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	if *readings {
+		cleanReadings(r, *out)
+		return
+	}
+	trs, err := trajectory.ReadCSV(r)
+	if err != nil {
+		log.Fatalf("sidqclean: %v", err)
+	}
+	ds := &core.Dataset{
+		Trajectories:     trs,
+		ExpectedInterval: *interval,
+		MaxSpeed:         *maxSpeed,
+	}
+	before := ds.Assess()
+	cleaned, stages, reports := core.PlanAndRunIterative(ds, core.DefaultTargets(), 3)
+	fmt.Fprintf(os.Stderr, "sidqclean: %d trajectories, planned %d stages\n", len(trs), len(stages))
+	for _, s := range stages {
+		fmt.Fprintf(os.Stderr, "  - %s (%s)\n", s.Name(), s.Task())
+	}
+	fmt.Fprintln(os.Stderr, "quality movement (+ improved / - regressed / = unchanged):")
+	fmt.Fprint(os.Stderr, indent(quality.Diff(before, cleaned.Assess())))
+	_ = reports
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("sidqclean: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trajectory.WriteCSV(w, cleaned.Trajectories); err != nil {
+		log.Fatalf("sidqclean: %v", err)
+	}
+}
+
+func cleanReadings(r io.Reader, outPath string) {
+	rs, err := stid.ReadCSV(r)
+	if err != nil {
+		log.Fatalf("sidqclean: %v", err)
+	}
+	ds := &core.Dataset{Readings: rs}
+	p := core.NewPipeline(core.DeduplicateStage{CellSize: 1, TimeBucket: 1}, core.ThematicRepairStage{})
+	cleaned, _ := p.Run(ds)
+	_, before := ds.AssessParts()
+	_, after := cleaned.AssessParts()
+	fmt.Fprintf(os.Stderr, "sidqclean: %d readings -> %d after dedup + thematic repair\n", len(rs), len(cleaned.Readings))
+	fmt.Fprintln(os.Stderr, "quality movement (+ improved / - regressed / = unchanged):")
+	fmt.Fprint(os.Stderr, indent(quality.Diff(before, after)))
+	var w io.Writer = os.Stdout
+	if outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Fatalf("sidqclean: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := stid.WriteCSV(w, cleaned.Readings); err != nil {
+		log.Fatalf("sidqclean: %v", err)
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		if line != "" {
+			out += "  " + line + "\n"
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+// Command sidqserve runs the sidq quality-management middleware as an
+// HTTP service (see internal/server for the endpoint contract):
+//
+//	sidqserve -addr :8080
+//	curl -s localhost:8080/v1/taxonomy
+//	sidqsim -n 5 | curl -s --data-binary @- localhost:8080/v1/assess
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"sidq/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("sidqserve: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("sidqserve: %v", err)
+	}
+}

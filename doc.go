@@ -1,0 +1,22 @@
+// Package sidq is a spatial IoT data quality library: a Go
+// reproduction of "Spatial Data Quality in the IoT Era: Management and
+// Exploitation" (SIGMOD 2022).
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory):
+//
+//   - quality management (§2.2): refine, uncertain, outlier, faults,
+//     integrate, reduce;
+//   - exploitation of low-quality data (§2.3): uquery, analysis,
+//     decide;
+//   - the quality framework and middleware (§2.1, open issues): quality
+//     and core;
+//   - substrates: geo, stats, trajectory, index, roadnet, stream,
+//     distrib, stid, and the synthetic workload generators in simulate;
+//   - the experiment harness exp, driven by cmd/sidqbench and the
+//     benchmarks in bench_test.go.
+//
+// Runnable entry points: cmd/sidqbench (experiment tables), cmd/sidqsim
+// (dataset generator), cmd/sidqclean (CSV cleaning pipeline), and the
+// five programs under examples/.
+package sidq

@@ -1,0 +1,3 @@
+module sidq
+
+go 1.22

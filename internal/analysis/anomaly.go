@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"math"
+
+	"sidq/internal/stats"
+	"sidq/internal/stream"
+	"sidq/internal/trajectory"
+)
+
+// StreamAnomalyDetector flags anomalous movement behaviour online: it
+// keeps a trailing window of per-segment speeds and headings and raises
+// an anomaly when the incoming segment's speed deviates from the
+// window's robust profile by more than Threshold sigmas or the heading
+// change is kinematically implausible at speed. It processes points
+// one at a time, suiting the trajectory-stream setting.
+type StreamAnomalyDetector struct {
+	window     *stream.SlidingAggregate
+	speeds     []float64
+	maxKeep    int
+	threshold  float64
+	last       trajectory.Point
+	havePoint  bool
+	minSamples int
+}
+
+// NewStreamAnomalyDetector returns a detector with the given trailing
+// window (seconds) and robust-z threshold.
+func NewStreamAnomalyDetector(windowSeconds, threshold float64) *StreamAnomalyDetector {
+	if windowSeconds <= 0 {
+		windowSeconds = 60
+	}
+	if threshold <= 0 {
+		threshold = 4
+	}
+	return &StreamAnomalyDetector{
+		window:     stream.NewSlidingAggregate(windowSeconds),
+		maxKeep:    512,
+		threshold:  threshold,
+		minSamples: 8,
+	}
+}
+
+// Push feeds the next point and reports whether the segment ending at
+// it is anomalous.
+func (d *StreamAnomalyDetector) Push(p trajectory.Point) bool {
+	if !d.havePoint {
+		d.havePoint = true
+		d.last = p
+		return false
+	}
+	dt := p.T - d.last.T
+	if dt <= 0 {
+		d.last = p
+		return true // non-monotone time is itself anomalous
+	}
+	speed := d.last.Pos.Dist(p.Pos) / dt
+	anomalous := false
+	if len(d.speeds) >= d.minSamples {
+		med, _ := stats.Median(d.speeds)
+		mad, _ := stats.MAD(d.speeds)
+		if mad < 0.5 {
+			mad = 0.5 // floor: stationary profiles otherwise flag everything
+		}
+		if math.Abs(speed-med)/mad > d.threshold {
+			anomalous = true
+		}
+	}
+	// Anomalous segments do not contaminate the profile.
+	if !anomalous {
+		d.window.Push(p.T, speed)
+		d.speeds = append(d.speeds, speed)
+		if len(d.speeds) > d.maxKeep {
+			d.speeds = d.speeds[len(d.speeds)-d.maxKeep:]
+		}
+	}
+	d.last = p
+	return anomalous
+}
+
+// DetectTrajectory runs the detector over a whole trajectory and
+// returns per-point anomaly flags (the first point is never flagged).
+func DetectTrajectory(tr *trajectory.Trajectory, windowSeconds, threshold float64) []bool {
+	d := NewStreamAnomalyDetector(windowSeconds, threshold)
+	flags := make([]bool, tr.Len())
+	for i, p := range tr.Points {
+		flags[i] = d.Push(p)
+	}
+	return flags
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"sidq/internal/geo"
+)
+
+// BurstDetector finds bursty regions over a stream of spatial events
+// (the continuous bursty-region detection task the paper surveys under
+// stream computing): the space is gridded, events are counted in
+// tumbling windows, and a cell is bursty in a window when its count
+// exceeds its own historical mean by more than Threshold standard
+// deviations (with a minimum absolute count to suppress cold-cell
+// noise).
+type BurstDetector struct {
+	bounds    geo.Rect
+	nx, ny    int
+	window    float64
+	threshold float64
+	minCount  int
+
+	curWindow int64
+	cur       map[int]int
+	// Per-cell historical statistics over closed windows.
+	n       map[int]int
+	mean    map[int]float64
+	m2      map[int]float64
+	started bool
+}
+
+// Burst is one detected bursty cell-window.
+type Burst struct {
+	Cell        geo.Rect
+	WindowStart float64
+	Count       int
+	Expected    float64
+}
+
+// NewBurstDetector returns a detector over bounds with an nx x ny grid,
+// tumbling windows of the given width (seconds), a z-score threshold,
+// and a minimum count.
+func NewBurstDetector(bounds geo.Rect, nx, ny int, window, threshold float64, minCount int) *BurstDetector {
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	if window <= 0 {
+		window = 60
+	}
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+	return &BurstDetector{
+		bounds: bounds, nx: nx, ny: ny,
+		window: window, threshold: threshold, minCount: minCount,
+		cur:  map[int]int{},
+		n:    map[int]int{},
+		mean: map[int]float64{},
+		m2:   map[int]float64{},
+	}
+}
+
+func (b *BurstDetector) cellOf(p geo.Point) int {
+	cx := int(float64(b.nx) * (p.X - b.bounds.Min.X) / b.bounds.Width())
+	cy := int(float64(b.ny) * (p.Y - b.bounds.Min.Y) / b.bounds.Height())
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= b.nx {
+		cx = b.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= b.ny {
+		cy = b.ny - 1
+	}
+	return cy*b.nx + cx
+}
+
+func (b *BurstDetector) cellRect(i int) geo.Rect {
+	cx, cy := i%b.nx, i/b.nx
+	w := b.bounds.Width() / float64(b.nx)
+	h := b.bounds.Height() / float64(b.ny)
+	min := geo.Pt(b.bounds.Min.X+float64(cx)*w, b.bounds.Min.Y+float64(cy)*h)
+	return geo.Rect{Min: min, Max: min.Add(geo.Pt(w, h))}
+}
+
+// Push feeds an in-order event; it returns the bursts detected in any
+// windows the event closed.
+func (b *BurstDetector) Push(t float64, p geo.Point) []Burst {
+	w := int64(math.Floor(t / b.window))
+	var out []Burst
+	if !b.started {
+		b.started = true
+		b.curWindow = w
+	}
+	for w > b.curWindow {
+		out = append(out, b.closeWindow()...)
+		b.curWindow++
+	}
+	b.cur[b.cellOf(p)]++
+	return out
+}
+
+// Flush closes the active window and returns its bursts.
+func (b *BurstDetector) Flush() []Burst {
+	if !b.started {
+		return nil
+	}
+	return b.closeWindow()
+}
+
+func (b *BurstDetector) closeWindow() []Burst {
+	var out []Burst
+	// Evaluate bursts against history BEFORE folding the window in.
+	cells := make([]int, 0, len(b.cur))
+	for c := range b.cur {
+		cells = append(cells, c)
+	}
+	sort.Ints(cells)
+	for _, c := range cells {
+		count := b.cur[c]
+		if n := b.n[c]; n >= 3 && count >= b.minCount {
+			mean := b.mean[c]
+			sd := math.Sqrt(b.m2[c] / float64(n-1))
+			if sd < 1 {
+				sd = 1
+			}
+			if float64(count) > mean+b.threshold*sd {
+				out = append(out, Burst{
+					Cell:        b.cellRect(c),
+					WindowStart: float64(b.curWindow) * b.window,
+					Count:       count,
+					Expected:    mean,
+				})
+			}
+		}
+	}
+	// Fold every tracked cell's (possibly zero) count into its history.
+	seen := map[int]bool{}
+	for c := range b.cur {
+		seen[c] = true
+	}
+	for c := range b.n {
+		seen[c] = true
+	}
+	for c := range seen {
+		b.welford(c, float64(b.cur[c]))
+	}
+	b.cur = map[int]int{}
+	return out
+}
+
+func (b *BurstDetector) welford(cell int, x float64) {
+	b.n[cell]++
+	d := x - b.mean[cell]
+	b.mean[cell] += d / float64(b.n[cell])
+	b.m2[cell] += d * (x - b.mean[cell])
+}

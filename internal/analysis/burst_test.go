@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"sidq/internal/geo"
+	"sidq/internal/trajectory"
+)
+
+func TestBurstDetectorFindsInjectedBurst(t *testing.T) {
+	bounds := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	d := NewBurstDetector(bounds, 10, 10, 60, 3, 5)
+	rng := rand.New(rand.NewSource(1))
+	var bursts []Burst
+	// 30 windows of uniform background traffic (~50 events each), then a
+	// burst of 80 extra events in one cell during window 30.
+	for w := 0; w < 35; w++ {
+		base := float64(w) * 60
+		for i := 0; i < 50; i++ {
+			tm := base + rng.Float64()*60
+			p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			bursts = append(bursts, d.Push(tm, p)...)
+		}
+		if w == 30 {
+			for i := 0; i < 80; i++ {
+				tm := base + rng.Float64()*60
+				p := geo.Pt(550+rng.Float64()*50, 550+rng.Float64()*50) // one cell
+				bursts = append(bursts, d.Push(tm, p)...)
+			}
+		}
+	}
+	bursts = append(bursts, d.Flush()...)
+	found := false
+	for _, b := range bursts {
+		if b.Cell.Contains(geo.Pt(575, 575)) && b.WindowStart == 30*60 {
+			found = true
+			if b.Count < 50 {
+				t.Fatalf("burst count = %d", b.Count)
+			}
+			if float64(b.Count) <= b.Expected {
+				t.Fatal("burst not above expectation")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("injected burst not detected (found %d bursts: %+v)", len(bursts), bursts)
+	}
+	// Background-only windows should raise few alarms.
+	if len(bursts) > 5 {
+		t.Fatalf("too many bursts: %d", len(bursts))
+	}
+}
+
+func TestBurstDetectorQuietStream(t *testing.T) {
+	bounds := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)}
+	d := NewBurstDetector(bounds, 4, 4, 10, 3, 3)
+	rng := rand.New(rand.NewSource(2))
+	var bursts []Burst
+	for w := 0; w < 50; w++ {
+		for i := 0; i < 8; i++ {
+			bursts = append(bursts, d.Push(float64(w)*10+rng.Float64()*10,
+				geo.Pt(rng.Float64()*100, rng.Float64()*100))...)
+		}
+	}
+	bursts = append(bursts, d.Flush()...)
+	if len(bursts) > 3 {
+		t.Fatalf("quiet stream produced %d bursts", len(bursts))
+	}
+}
+
+func TestBurstDetectorEmptyFlush(t *testing.T) {
+	d := NewBurstDetector(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1, 1)}, 2, 2, 10, 3, 1)
+	if d.Flush() != nil {
+		t.Fatal("flush before any event")
+	}
+}
+
+func TestExpectedSyncDistanceInflation(t *testing.T) {
+	mk := func(id string, dy float64) *trajectory.Trajectory {
+		var pts []trajectory.Point
+		for i := 0; i < 50; i++ {
+			pts = append(pts, trajectory.Point{T: float64(i), Pos: geo.Pt(float64(i)*2, dy)})
+		}
+		return trajectory.New(id, pts)
+	}
+	a := UncertainTrajectory{Traj: mk("a", 0), Sigma: 0}
+	b := UncertainTrajectory{Traj: mk("b", 10), Sigma: 0}
+	// Certain case: expected distance equals geometric distance.
+	if got := ExpectedSyncDistance(a, b, 20); got < 9.99 || got > 10.01 {
+		t.Fatalf("certain distance = %v", got)
+	}
+	// Uncertainty inflates the expectation.
+	bu := UncertainTrajectory{Traj: b.Traj, Sigma: 10}
+	if got := ExpectedSyncDistance(a, bu, 20); got <= 10 {
+		t.Fatalf("uncertain distance = %v, want > 10", got)
+	}
+	// Disjoint spans are +Inf.
+	late := mk("c", 0)
+	for i := range late.Points {
+		late.Points[i].T += 1000
+	}
+	if got := ExpectedSyncDistance(a, UncertainTrajectory{Traj: trajectory.New("c", late.Points)}, 5); got < 1e300 {
+		t.Fatalf("disjoint = %v", got)
+	}
+}
+
+func TestTopKSimilarRanking(t *testing.T) {
+	mk := func(id string, dy float64) UncertainTrajectory {
+		var pts []trajectory.Point
+		for i := 0; i < 50; i++ {
+			pts = append(pts, trajectory.Point{T: float64(i), Pos: geo.Pt(float64(i)*2, dy)})
+		}
+		return UncertainTrajectory{Traj: trajectory.New(id, pts), Sigma: 2}
+	}
+	query := mk("q", 0)
+	cands := []UncertainTrajectory{mk("far", 100), mk("near", 5), mk("mid", 30)}
+	got := TopKSimilar(query, cands, 2, 20)
+	if len(got) != 2 || got[0].ID != "near" || got[1].ID != "mid" {
+		t.Fatalf("ranking = %+v", got)
+	}
+	if TopKSimilar(query, cands, 0, 20) != nil {
+		t.Fatal("k=0")
+	}
+	// A candidate with huge uncertainty ranks below a certain one at the
+	// same geometric distance.
+	a := mk("certain", 20)
+	b := mk("fuzzy", 20)
+	b.Sigma = 50
+	got = TopKSimilar(query, []UncertainTrajectory{a, b}, 2, 20)
+	if got[0].ID != "certain" {
+		t.Fatalf("uncertainty should penalize ranking: %+v", got)
+	}
+}

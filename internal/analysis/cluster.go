@@ -1,0 +1,122 @@
+// Package analysis implements the paper's §2.3.2: analytics over
+// low-quality SID. It provides uncertainty-aware clustering (DBSCAN
+// with expected distances over uncertain objects), online
+// trajectory-stream anomaly detection, probabilistic frequent-pattern
+// mining over uncertain symbol sequences, and popular-route discovery
+// from noisy route collections.
+package analysis
+
+import (
+	"sidq/internal/uquery"
+)
+
+// Noise is the cluster label for noise points.
+const Noise = -1
+
+// UncertainDBSCAN clusters uncertain objects with DBSCAN using expected
+// distance between objects as the metric (computed against each
+// object's expectation via the other's ExpectedDist, symmetrized). It
+// returns one label per input object; Noise (-1) marks outliers.
+func UncertainDBSCAN(objs []uquery.UncertainObject, eps float64, minPts int) []int {
+	n := len(objs)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if n == 0 || minPts <= 0 || eps <= 0 {
+		return labels
+	}
+	// Pairwise expected distances (symmetrized) with bound-based skips.
+	dist := func(i, j int) float64 {
+		// Use each object's expected distance to the other's bound
+		// center; averaging symmetrizes the asymmetric definition.
+		ci := objs[i].Bounds().Center()
+		cj := objs[j].Bounds().Center()
+		return (objs[i].ExpectedDist(cj) + objs[j].ExpectedDist(ci)) / 2
+	}
+	neighbors := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			// Prune with bound-box distance before the exact metric.
+			if objs[i].Bounds().DistToPoint(objs[j].Bounds().Center()) > 3*eps {
+				continue
+			}
+			if dist(i, j) <= eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	visited := make([]bool, n)
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		nb := neighbors(i)
+		if len(nb)+1 < minPts {
+			continue // stays noise unless adopted later
+		}
+		labels[i] = cluster
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = cluster // border point adoption
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = cluster
+			nb2 := neighbors(j)
+			if len(nb2)+1 >= minPts {
+				queue = append(queue, nb2...)
+			}
+		}
+		cluster++
+	}
+	return labels
+}
+
+// AdjustedRandIndex scores a clustering against ground-truth labels:
+// 1 for identical partitions, ~0 for random assignments.
+func AdjustedRandIndex(a, b []int) float64 {
+	n := len(a)
+	if n != len(b) || n == 0 {
+		return 0
+	}
+	// Contingency table.
+	type pair struct{ x, y int }
+	cont := map[pair]int{}
+	rowSum := map[int]int{}
+	colSum := map[int]int{}
+	for i := 0; i < n; i++ {
+		cont[pair{a[i], b[i]}]++
+		rowSum[a[i]]++
+		colSum[b[i]]++
+	}
+	choose2 := func(m int) float64 { return float64(m) * float64(m-1) / 2 }
+	var sumCont, sumRow, sumCol float64
+	for _, c := range cont {
+		sumCont += choose2(c)
+	}
+	for _, c := range rowSum {
+		sumRow += choose2(c)
+	}
+	for _, c := range colSum {
+		sumCol += choose2(c)
+	}
+	total := choose2(n)
+	expected := sumRow * sumCol / total
+	maxIdx := (sumRow + sumCol) / 2
+	if maxIdx == expected {
+		return 0
+	}
+	return (sumCont - expected) / (maxIdx - expected)
+}

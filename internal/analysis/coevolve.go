@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"sort"
+
+	"sidq/internal/stats"
+	"sidq/internal/stid"
+)
+
+// CoEvolvingPair is a spatially-close sensor pair whose thematic values
+// move together — the spatial co-evolving pattern the paper surveys for
+// massive geo-sensory data.
+type CoEvolvingPair struct {
+	A, B        string
+	Dist        float64
+	Correlation float64
+}
+
+// CoEvolving discovers co-evolving sensor pairs: pairs within radius
+// meters whose per-epoch value series (aligned by nearest timestamps)
+// correlate at least minCorr. Pairs are returned sorted by correlation
+// (descending), then ids.
+func CoEvolving(readings []stid.Reading, radius, minCorr float64, minOverlap int) []CoEvolvingPair {
+	if minOverlap < 3 {
+		minOverlap = 3
+	}
+	series := stid.NewSeries(readings)
+	var out []CoEvolvingPair
+	for i := 0; i < len(series); i++ {
+		for j := i + 1; j < len(series); j++ {
+			a, b := series[i], series[j]
+			d := a.Pos.Dist(b.Pos)
+			if d > radius {
+				continue
+			}
+			xs, ys := alignSeries(a, b)
+			if len(xs) < minOverlap {
+				continue
+			}
+			if c := stats.Correlation(xs, ys); c >= minCorr {
+				out = append(out, CoEvolvingPair{A: a.SensorID, B: b.SensorID, Dist: d, Correlation: c})
+			}
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].Correlation != out[y].Correlation {
+			return out[x].Correlation > out[y].Correlation
+		}
+		if out[x].A != out[y].A {
+			return out[x].A < out[y].A
+		}
+		return out[x].B < out[y].B
+	})
+	return out
+}
+
+// alignSeries pairs a's readings with b's nearest-in-time readings.
+func alignSeries(a, b stid.Series) (xs, ys []float64) {
+	for _, r := range a.Readings {
+		if m, ok := b.At(r.T); ok {
+			xs = append(xs, r.Value)
+			ys = append(ys, m.Value)
+		}
+	}
+	return xs, ys
+}

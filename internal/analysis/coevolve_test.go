@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sidq/internal/geo"
+	"sidq/internal/stid"
+)
+
+func TestCoEvolvingFindsCorrelatedNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var readings []stid.Reading
+	// Sensors a and b: 50 m apart, driven by the same signal.
+	// Sensor c: nearby but driven by an independent signal.
+	// Sensor d: correlated with a but 5 km away (fails the radius).
+	positions := map[string]geo.Point{
+		"a": geo.Pt(0, 0),
+		"b": geo.Pt(50, 0),
+		"c": geo.Pt(0, 60),
+		"d": geo.Pt(5000, 0),
+	}
+	for i := 0; i < 60; i++ {
+		tm := float64(i) * 60
+		shared := math.Sin(float64(i)/5) * 10
+		indep := math.Cos(float64(i)/3) * 10
+		readings = append(readings,
+			stid.Reading{SensorID: "a", Pos: positions["a"], T: tm, Value: shared + rng.NormFloat64()*0.5},
+			stid.Reading{SensorID: "b", Pos: positions["b"], T: tm, Value: shared + rng.NormFloat64()*0.5},
+			stid.Reading{SensorID: "c", Pos: positions["c"], T: tm, Value: indep + rng.NormFloat64()*0.5},
+			stid.Reading{SensorID: "d", Pos: positions["d"], T: tm, Value: shared + rng.NormFloat64()*0.5},
+		)
+	}
+	pairs := CoEvolving(readings, 200, 0.8, 10)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	if pairs[0].A != "a" || pairs[0].B != "b" {
+		t.Fatalf("wrong pair: %+v", pairs[0])
+	}
+	if pairs[0].Correlation < 0.9 {
+		t.Fatalf("correlation = %v", pairs[0].Correlation)
+	}
+	// Widening the radius admits the far pair too.
+	wide := CoEvolving(readings, 10000, 0.8, 10)
+	found := false
+	for _, p := range wide {
+		if (p.A == "a" && p.B == "d") || (p.A == "d" && p.B == "b") || (p.A == "b" && p.B == "d") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wide radius should admit the remote correlated pair: %+v", wide)
+	}
+}
+
+func TestCoEvolvingDegenerate(t *testing.T) {
+	if got := CoEvolving(nil, 100, 0.5, 3); len(got) != 0 {
+		t.Fatal("empty readings")
+	}
+	// Too little overlap is skipped.
+	rs := []stid.Reading{
+		{SensorID: "a", Pos: geo.Pt(0, 0), T: 0, Value: 1},
+		{SensorID: "b", Pos: geo.Pt(1, 0), T: 0, Value: 1},
+	}
+	if got := CoEvolving(rs, 100, 0, 3); len(got) != 0 {
+		t.Fatal("insufficient overlap should be skipped")
+	}
+}

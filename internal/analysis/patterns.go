@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"sort"
+
+	"sidq/internal/roadnet"
+)
+
+// ProbItem is one uncertain symbol occurrence: alternative labels with
+// probabilities (e.g. the candidate regions of an uncertain check-in).
+type ProbItem []ProbAlt
+
+// ProbAlt is one alternative of an uncertain item.
+type ProbAlt struct {
+	Label string
+	Prob  float64
+}
+
+// Pattern is a mined sequential pattern with its expected support.
+type Pattern struct {
+	Labels          []string
+	ExpectedSupport float64
+}
+
+// FrequentPairs mines probabilistic frequent length-2 contiguous
+// patterns from uncertain sequences: the expected support of (a, b) is
+// the sum over sequences and adjacent positions of P(a at i) * P(b at
+// i+1), the standard expected-support semantics for uncertain
+// sequential pattern mining. Patterns meeting minExpectedSupport are
+// returned sorted by support (descending, then lexicographic).
+func FrequentPairs(sequences [][]ProbItem, minExpectedSupport float64) []Pattern {
+	type key struct{ a, b string }
+	support := map[key]float64{}
+	for _, seq := range sequences {
+		for i := 1; i < len(seq); i++ {
+			for _, x := range seq[i-1] {
+				for _, y := range seq[i] {
+					support[key{x.Label, y.Label}] += x.Prob * y.Prob
+				}
+			}
+		}
+	}
+	var out []Pattern
+	for k, s := range support {
+		if s >= minExpectedSupport {
+			out = append(out, Pattern{Labels: []string{k.a, k.b}, ExpectedSupport: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExpectedSupport != out[j].ExpectedSupport {
+			return out[i].ExpectedSupport > out[j].ExpectedSupport
+		}
+		if out[i].Labels[0] != out[j].Labels[0] {
+			return out[i].Labels[0] < out[j].Labels[0]
+		}
+		return out[i].Labels[1] < out[j].Labels[1]
+	})
+	return out
+}
+
+// ExtendPatterns grows frequent pairs into length-3 patterns by
+// expected support, using the anti-monotonicity of expected support to
+// restrict candidates to extensions of surviving pairs.
+func ExtendPatterns(sequences [][]ProbItem, pairs []Pattern, minExpectedSupport float64) []Pattern {
+	frequentPair := map[[2]string]bool{}
+	for _, p := range pairs {
+		frequentPair[[2]string{p.Labels[0], p.Labels[1]}] = true
+	}
+	type key struct{ a, b, c string }
+	support := map[key]float64{}
+	for _, seq := range sequences {
+		for i := 2; i < len(seq); i++ {
+			for _, x := range seq[i-2] {
+				for _, y := range seq[i-1] {
+					if !frequentPair[[2]string{x.Label, y.Label}] {
+						continue
+					}
+					for _, z := range seq[i] {
+						if !frequentPair[[2]string{y.Label, z.Label}] {
+							continue
+						}
+						support[key{x.Label, y.Label, z.Label}] += x.Prob * y.Prob * z.Prob
+					}
+				}
+			}
+		}
+	}
+	var out []Pattern
+	for k, s := range support {
+		if s >= minExpectedSupport {
+			out = append(out, Pattern{Labels: []string{k.a, k.b, k.c}, ExpectedSupport: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExpectedSupport != out[j].ExpectedSupport {
+			return out[i].ExpectedSupport > out[j].ExpectedSupport
+		}
+		for x := 0; x < 3; x++ {
+			if out[i].Labels[x] != out[j].Labels[x] {
+				return out[i].Labels[x] < out[j].Labels[x]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// PopularRoute reconstructs the dominant route from a collection of
+// noisy edge routes (e.g. map-matched uncertain trajectories): it
+// builds an edge-transition graph weighted by traversal counts and
+// greedily follows the most popular successor from the most popular
+// start edge. maxLen bounds the walk.
+func PopularRoute(routes [][]roadnet.EdgeID, maxLen int) []roadnet.EdgeID {
+	if len(routes) == 0 || maxLen <= 0 {
+		return nil
+	}
+	startCount := map[roadnet.EdgeID]int{}
+	next := map[roadnet.EdgeID]map[roadnet.EdgeID]int{}
+	endCount := map[roadnet.EdgeID]int{}
+	for _, r := range routes {
+		if len(r) == 0 {
+			continue
+		}
+		startCount[r[0]]++
+		endCount[r[len(r)-1]]++
+		for i := 1; i < len(r); i++ {
+			m, ok := next[r[i-1]]
+			if !ok {
+				m = map[roadnet.EdgeID]int{}
+				next[r[i-1]] = m
+			}
+			m[r[i]]++
+		}
+	}
+	start, bestN := roadnet.EdgeID(-1), 0
+	for e, n := range startCount {
+		if n > bestN || (n == bestN && e < start) {
+			start, bestN = e, n
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	route := []roadnet.EdgeID{start}
+	seen := map[roadnet.EdgeID]bool{start: true}
+	cur := start
+	for len(route) < maxLen {
+		succ := next[cur]
+		var best roadnet.EdgeID = -1
+		bestN := 0
+		for e, n := range succ {
+			if seen[e] {
+				continue
+			}
+			if n > bestN || (n == bestN && e < best) {
+				best, bestN = e, n
+			}
+		}
+		if best < 0 {
+			break
+		}
+		// Stop preference: if ending here is more popular than continuing.
+		if endCount[cur] > bestN {
+			break
+		}
+		route = append(route, best)
+		seen[best] = true
+		cur = best
+	}
+	return route
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"sidq/internal/trajectory"
+)
+
+// UncertainTrajectory pairs a trajectory with its per-point isotropic
+// positional uncertainty (one sigma for the whole track, the common
+// case for a homogeneous positioning source).
+type UncertainTrajectory struct {
+	Traj  *trajectory.Trajectory
+	Sigma float64
+}
+
+// SimilarResult is one top-k similarity answer.
+type SimilarResult struct {
+	ID           string
+	ExpectedDist float64
+}
+
+// ExpectedSyncDistance returns the expected synchronized distance
+// between two uncertain trajectories evaluated at n evenly spaced
+// times over their overlapping span: at each time the expected
+// point-to-point distance is approximated by the root second moment
+// sqrt(d^2 + 2(sa^2 + sb^2)), which is order-preserving and within a
+// few percent of the true expectation for isotropic Gaussian error —
+// the ranking property top-k similarity queries over uncertain
+// trajectories rely on. It returns +Inf when the spans do not overlap.
+func ExpectedSyncDistance(a, b UncertainTrajectory, n int) float64 {
+	a0, a1, okA := a.Traj.TimeBounds()
+	b0, b1, okB := b.Traj.TimeBounds()
+	if !okA || !okB || n < 1 {
+		return math.Inf(1)
+	}
+	t0, t1 := math.Max(a0, b0), math.Min(a1, b1)
+	if t1 < t0 {
+		return math.Inf(1)
+	}
+	varTerm := 2 * (a.Sigma*a.Sigma + b.Sigma*b.Sigma)
+	var sum float64
+	for i := 0; i < n; i++ {
+		var t float64
+		if n == 1 {
+			t = (t0 + t1) / 2
+		} else {
+			t = t0 + (t1-t0)*float64(i)/float64(n-1)
+		}
+		pa, _ := a.Traj.LocationAt(t)
+		pb, _ := b.Traj.LocationAt(t)
+		d := pa.Dist(pb)
+		sum += math.Sqrt(d*d + varTerm)
+	}
+	return sum / float64(n)
+}
+
+// TopKSimilar returns the k candidates most similar to the query by
+// expected synchronized distance, ascending. Candidates with no
+// temporal overlap are skipped.
+func TopKSimilar(query UncertainTrajectory, cands []UncertainTrajectory, k, samples int) []SimilarResult {
+	if k <= 0 {
+		return nil
+	}
+	if samples <= 0 {
+		samples = 20
+	}
+	var all []SimilarResult
+	for _, c := range cands {
+		d := ExpectedSyncDistance(query, c, samples)
+		if math.IsInf(d, 1) {
+			continue
+		}
+		all = append(all, SimilarResult{ID: c.Traj.ID, ExpectedDist: d})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ExpectedDist != all[j].ExpectedDist {
+			return all[i].ExpectedDist < all[j].ExpectedDist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"math"
+
+	"sidq/internal/trajectory"
+)
+
+// TrajectoryClustering is the result of k-medoids trajectory
+// clustering: medoid indices into the input slice and a cluster label
+// per trajectory (-1 for trajectories with no temporal overlap with
+// any medoid).
+type TrajectoryClustering struct {
+	Medoids []int
+	Labels  []int
+	Cost    float64
+}
+
+// ClusterTrajectories groups trajectories into k clusters with
+// k-medoids (PAM-style alternation) under the synchronized-Euclidean
+// distance — the whole-trajectory clustering task of the large-scale
+// trajectory clustering literature. The seeding is deterministic
+// (farthest-first from index 0), so results are reproducible.
+func ClusterTrajectories(trs []*trajectory.Trajectory, k, samples, maxIter int) TrajectoryClustering {
+	n := len(trs)
+	out := TrajectoryClustering{Labels: make([]int, n)}
+	if n == 0 || k <= 0 {
+		return out
+	}
+	if k > n {
+		k = n
+	}
+	if samples <= 0 {
+		samples = 20
+	}
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	// Distance matrix (symmetric; +Inf for non-overlapping pairs).
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := trajectory.SyncDistance(trs[i], trs[j], samples)
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+	// Farthest-first seeding.
+	medoids := []int{0}
+	for len(medoids) < k {
+		far, farD := -1, -1.0
+		for i := 0; i < n; i++ {
+			best := math.Inf(1)
+			for _, m := range medoids {
+				if dist[i][m] < best {
+					best = dist[i][m]
+				}
+			}
+			if !math.IsInf(best, 1) && best > farD {
+				far, farD = i, best
+			}
+		}
+		if far < 0 {
+			break // everything else is unreachable
+		}
+		medoids = append(medoids, far)
+	}
+	assign := func() float64 {
+		var cost float64
+		for i := 0; i < n; i++ {
+			bestM, bestD := -1, math.Inf(1)
+			for mi, m := range medoids {
+				d := dist[i][m]
+				if i == m {
+					d = 0
+				}
+				if d < bestD {
+					bestM, bestD = mi, d
+				}
+			}
+			if math.IsInf(bestD, 1) {
+				out.Labels[i] = -1
+				continue
+			}
+			out.Labels[i] = bestM
+			cost += bestD
+		}
+		return cost
+	}
+	cost := assign()
+	for iter := 0; iter < maxIter; iter++ {
+		improved := false
+		// Try replacing each medoid with the member minimizing the
+		// within-cluster distance sum.
+		for mi := range medoids {
+			bestCand, bestSum := medoids[mi], math.Inf(1)
+			for i := 0; i < n; i++ {
+				if out.Labels[i] != mi {
+					continue
+				}
+				var sum float64
+				ok := true
+				for j := 0; j < n; j++ {
+					if out.Labels[j] != mi {
+						continue
+					}
+					d := dist[i][j]
+					if i == j {
+						d = 0
+					}
+					if math.IsInf(d, 1) {
+						ok = false
+						break
+					}
+					sum += d
+				}
+				if ok && sum < bestSum {
+					bestCand, bestSum = i, sum
+				}
+			}
+			if bestCand != medoids[mi] {
+				medoids[mi] = bestCand
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+		cost = assign()
+	}
+	out.Medoids = medoids
+	out.Cost = cost
+	return out
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sidq/internal/geo"
+	"sidq/internal/quality"
+	"sidq/internal/roadnet"
+	"sidq/internal/simulate"
+	"sidq/internal/trajectory"
+)
+
+// dirtyDataset builds a dataset with injected noise, outliers,
+// duplicates, and dropouts, plus ground truth.
+func dirtyDataset(seed int64) *Dataset {
+	region := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	ds := &Dataset{
+		Truth:            map[string]*trajectory.Trajectory{},
+		Region:           region,
+		ExpectedInterval: 1,
+		MaxSpeed:         10,
+		Now:              600,
+	}
+	for i := 0; i < 3; i++ {
+		truth := simulate.RandomWalk("v"+string(rune('0'+i)), region, 600, 2, 1, seed+int64(i))
+		ds.Truth[truth.ID] = truth
+		// Noise before duplication so duplicates stay exact copies.
+		dirty := simulate.AddGaussianNoise(truth, 6, seed+20+int64(i))
+		dirty, _ = simulate.InjectOutliers(dirty, 0.03, 120, seed+30+int64(i))
+		dirty = simulate.DropSamples(dirty, 0.2, seed+40+int64(i))
+		dirty = simulate.DuplicateSamples(dirty, 0.1, seed+10+int64(i))
+		ds.Trajectories = append(ds.Trajectories, dirty)
+	}
+	f := simulate.NewField(simulate.FieldOptions{Seed: seed + 100})
+	_, readings := simulate.SensorNetwork(f, simulate.SensorNetworkOptions{
+		NumSensors: 20, Interval: 60, Duration: 600, NoiseSigma: 1, Seed: seed + 101,
+	})
+	readings, _ = simulate.InjectValueOutliers(readings, 0.05, 60, seed+102)
+	ds.Readings = readings
+	ds.TruthField = f.Value
+	ds.ReadingInterval = 60
+	ds.NumSensors = 20
+	ds.Duration = 600
+	return ds
+}
+
+func TestDatasetAssess(t *testing.T) {
+	ds := dirtyDataset(1)
+	a := ds.Assess()
+	if a[quality.DataVolume] <= 0 {
+		t.Fatal("no volume")
+	}
+	if v, ok := a[quality.Accuracy]; !ok || v <= 0 || v >= 1 {
+		t.Fatalf("accuracy = %v (%v)", v, ok)
+	}
+	if v := a[quality.Consistency]; v >= 0.995 {
+		t.Fatalf("dirty data should violate consistency: %v", v)
+	}
+	if v := a[quality.Redundancy]; v <= 0 {
+		t.Fatalf("duplicates not measured: %v", v)
+	}
+	// Parts are separable.
+	trA, rdA := ds.AssessParts()
+	if trA[quality.DataVolume] <= 0 || rdA[quality.DataVolume] <= 0 {
+		t.Fatal("parts missing volume")
+	}
+}
+
+func TestPipelineImprovesQuality(t *testing.T) {
+	ds := dirtyDataset(2)
+	before := ds.Assess()
+	p := NewPipeline(
+		DeduplicateStage{},
+		OutlierRemovalStage{},
+		SmoothingStage{},
+		ImputeStage{},
+	)
+	cleaned, reports := p.Run(ds)
+	after := cleaned.Assess()
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if after[quality.Accuracy] <= before[quality.Accuracy] {
+		t.Fatalf("accuracy: %v -> %v", before[quality.Accuracy], after[quality.Accuracy])
+	}
+	if after[quality.PrecisionError] >= before[quality.PrecisionError] {
+		t.Fatalf("precision error: %v -> %v", before[quality.PrecisionError], after[quality.PrecisionError])
+	}
+	if after[quality.Redundancy] >= before[quality.Redundancy] {
+		t.Fatalf("redundancy: %v -> %v", before[quality.Redundancy], after[quality.Redundancy])
+	}
+	if after[quality.Consistency] <= before[quality.Consistency] {
+		t.Fatalf("consistency: %v -> %v", before[quality.Consistency], after[quality.Consistency])
+	}
+	// Original dataset untouched (pipeline clones).
+	again := ds.Assess()
+	for _, d := range quality.AllDimensions() {
+		if again[d] != before[d] {
+			t.Fatalf("pipeline mutated input: %v changed", d)
+		}
+	}
+	// Reports render.
+	if !strings.Contains(RenderReports(reports), "kalman-smoothing") {
+		t.Fatal("report rendering")
+	}
+}
+
+func TestStageOrderMatters(t *testing.T) {
+	// Ablation: smoothing before outlier removal drags estimates toward
+	// the outliers; the planner's order should beat the reversed order.
+	ds := dirtyDataset(3)
+	good := NewPipeline(OutlierRemovalStage{}, SmoothingStage{})
+	bad := NewPipeline(SmoothingStage{}, OutlierRemovalStage{})
+	cleanedGood, _ := good.Run(ds)
+	cleanedBad, _ := bad.Run(ds)
+	ag := cleanedGood.Assess()[quality.Accuracy]
+	ab := cleanedBad.Assess()[quality.Accuracy]
+	if ag <= ab {
+		t.Fatalf("outliers-first (%v) should beat smoothing-first (%v)", ag, ab)
+	}
+}
+
+func TestPlannerSelectsNeededStages(t *testing.T) {
+	ds := dirtyDataset(4)
+	stages := Plan(ds.Assess(), DefaultTargets())
+	names := map[string]bool{}
+	for _, s := range stages {
+		names[s.Name()] = true
+	}
+	// The dirty dataset violates redundancy, consistency, precision, and
+	// completeness, so all four families should be planned.
+	for _, want := range []string{"deduplicate", "outlier-removal", "kalman-smoothing", "interpolation-impute"} {
+		if !names[want] {
+			t.Fatalf("planner missed %q (got %v)", want, names)
+		}
+	}
+	// A clean dataset needs nothing.
+	clean := &Dataset{
+		Region:           ds.Region,
+		ExpectedInterval: 1,
+		MaxSpeed:         10,
+	}
+	for id, tr := range ds.Truth {
+		clean.Trajectories = append(clean.Trajectories, tr.Clone())
+		_ = id
+	}
+	if got := Plan(clean.Assess(), DefaultTargets()); len(got) != 0 {
+		var names []string
+		for _, s := range got {
+			names = append(names, s.Name())
+		}
+		t.Fatalf("clean data planned stages: %v", names)
+	}
+}
+
+func TestPlanAndRunEndToEnd(t *testing.T) {
+	ds := dirtyDataset(5)
+	cleaned, stages, reports := PlanAndRun(ds, DefaultTargets())
+	if len(stages) == 0 || len(reports) != len(stages) {
+		t.Fatalf("stages %d reports %d", len(stages), len(reports))
+	}
+	if cleaned.Assess()[quality.Accuracy] <= ds.Assess()[quality.Accuracy] {
+		t.Fatal("planned pipeline did not improve accuracy")
+	}
+}
+
+func TestPredictionRepairAndTimestampStages(t *testing.T) {
+	ds := dirtyDataset(6)
+	// Corrupt some timestamps.
+	ds.Trajectories[0].Points[10].T += 500
+	p := NewPipeline(
+		TimestampRepairStage{MinGap: 0, MaxGap: 10},
+		PredictionRepairStage{MeasNoise: 6, Threshold: 6},
+	)
+	cleaned, _ := p.Run(ds)
+	// Timestamps now satisfy the gap constraints.
+	for _, tr := range cleaned.Trajectories {
+		for i := 1; i < tr.Len(); i++ {
+			gap := tr.Points[i].T - tr.Points[i-1].T
+			if gap < -1e-9 || gap > 10+1e-9 {
+				t.Fatalf("gap %v outside [0, 10]", gap)
+			}
+		}
+	}
+	if cleaned.Assess()[quality.Accuracy] <= ds.Assess()[quality.Accuracy] {
+		t.Fatal("prediction repair did not improve accuracy")
+	}
+}
+
+func TestRouteRecoverStage(t *testing.T) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 8, NY: 8, Spacing: 120, Seed: 7})
+	trips := simulate.TripsWithRoutes(g, simulate.TripOptions{NumObjects: 2, MinHops: 8, Speed: 12, SampleInterval: 2, Seed: 8})
+	ds := &Dataset{
+		Truth:    map[string]*trajectory.Trajectory{},
+		Region:   g.Bounds(),
+		MaxSpeed: 20,
+	}
+	for _, trip := range trips {
+		ds.Truth[trip.Truth.ID] = trip.Truth
+		noisy := simulate.AddGaussianNoise(trip.Truth.Thin(5), 10, 9)
+		ds.Trajectories = append(ds.Trajectories, noisy)
+	}
+	st := RouteRecoverStage{Graph: g, Snapper: roadnet.NewSnapper(g, 100)}
+	before := ds.Assess()[quality.Accuracy]
+	p := NewPipeline(st)
+	cleaned, _ := p.Run(ds)
+	if after := cleaned.Assess()[quality.Accuracy]; after <= before {
+		t.Fatalf("route recovery: accuracy %v -> %v", before, after)
+	}
+	// Nil graph is a no-op.
+	NewPipeline(RouteRecoverStage{}).Run(ds)
+}
+
+func TestThematicRepairStage(t *testing.T) {
+	ds := dirtyDataset(7)
+	before, beforeRd := ds.AssessParts()
+	_ = before
+	p := NewPipeline(ThematicRepairStage{})
+	cleaned, _ := p.Run(ds)
+	_, afterRd := cleaned.AssessParts()
+	if afterRd[quality.Accuracy] <= beforeRd[quality.Accuracy] {
+		t.Fatalf("thematic repair: readings accuracy %v -> %v",
+			beforeRd[quality.Accuracy], afterRd[quality.Accuracy])
+	}
+	// Repair preserves volume (unlike removal).
+	if afterRd[quality.DataVolume] != beforeRd[quality.DataVolume] {
+		t.Fatal("repair should not change reading count")
+	}
+}
+
+func TestSmoothReadingsStage(t *testing.T) {
+	ds := dirtyDataset(8)
+	_, beforeRd := ds.AssessParts()
+	cleaned, _ := NewPipeline(SmoothReadingsStage{Window: 2}).Run(ds)
+	_, afterRd := cleaned.AssessParts()
+	if afterRd[quality.PrecisionError] >= beforeRd[quality.PrecisionError] {
+		t.Fatalf("readings smoothing: precision %v -> %v",
+			beforeRd[quality.PrecisionError], afterRd[quality.PrecisionError])
+	}
+}
+
+func TestTaxonomyCoverage(t *testing.T) {
+	entries := Taxonomy()
+	if len(entries) < 40 {
+		t.Fatalf("taxonomy entries = %d", len(entries))
+	}
+	// Every §2.2 task family appears.
+	for _, family := range []string{
+		"location refinement", "uncertainty elimination", "outlier removal",
+		"fault correction", "data integration", "data reduction",
+		"querying", "analysis", "decision-making",
+	} {
+		found := false
+		for _, e := range entries {
+			if strings.HasPrefix(e.Task, family) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("taxonomy missing family %q", family)
+		}
+	}
+	fig := RenderFigure2()
+	for _, layer := range []string{"[localization layer]", "[pre-processing layer]", "[business layer]", "[middleware layer]"} {
+		if !strings.Contains(fig, layer) {
+			t.Fatalf("figure missing %q", layer)
+		}
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	if OutlierRemoval.String() != "outlier removal" {
+		t.Fatal("task name")
+	}
+	if !strings.Contains(Task(99).String(), "task(") {
+		t.Fatal("unknown task")
+	}
+}
+
+func TestPlanAndRunIterativeClosesInducedDeficits(t *testing.T) {
+	// Dense outliers: removing them drops completeness below target,
+	// which only a second planning round can see and repair.
+	region := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	ds := &Dataset{
+		Truth:            map[string]*trajectory.Trajectory{},
+		Region:           region,
+		ExpectedInterval: 1,
+		MaxSpeed:         10,
+	}
+	truth := simulate.RandomWalk("v0", region, 600, 2, 1, 50)
+	ds.Truth[truth.ID] = truth
+	dirty := simulate.AddGaussianNoise(truth, 3, 51)
+	dirty, _ = simulate.InjectOutliers(dirty, 0.2, 150, 52)
+	ds.Trajectories = append(ds.Trajectories, dirty)
+
+	targets := DefaultTargets()
+	_, oneStages, _ := PlanAndRun(ds, targets)
+	iterDS, iterStages, _ := PlanAndRunIterative(ds, targets, 3)
+	if len(iterStages) < len(oneStages) {
+		t.Fatalf("iterative planned fewer stages: %d vs %d", len(iterStages), len(oneStages))
+	}
+	// The iterative run must end with completeness at or above the
+	// single-pass run (the induced deficit is repaired).
+	single, _, _ := PlanAndRun(ds, targets)
+	if iterDS.Assess()[quality.Completeness] < single.Assess()[quality.Completeness]-1e-9 {
+		t.Fatalf("iterative completeness %v < single-pass %v",
+			iterDS.Assess()[quality.Completeness], single.Assess()[quality.Completeness])
+	}
+	// Termination: stages are never repeated.
+	seen := map[string]int{}
+	for _, s := range iterStages {
+		seen[s.Name()]++
+		if seen[s.Name()] > 1 {
+			t.Fatalf("stage %q applied twice", s.Name())
+		}
+	}
+}
+
+func TestPlanAndRunIterativeCleanDataNoops(t *testing.T) {
+	region := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	truth := simulate.RandomWalk("v0", region, 400, 2, 1, 60)
+	ds := &Dataset{
+		Trajectories:     []*trajectory.Trajectory{truth},
+		Region:           region,
+		ExpectedInterval: 1,
+		MaxSpeed:         10,
+	}
+	_, stages, reports := PlanAndRunIterative(ds, DefaultTargets(), 3)
+	if len(stages) != 0 || len(reports) != 0 {
+		t.Fatalf("clean data planned %d stages", len(stages))
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sidq/internal/quality"
+	"sidq/internal/roadnet"
+	"sidq/internal/uncertain"
+)
+
+// RouteRecoverStage map-matches trajectories to a road network and
+// replaces them with the recovered network-constrained paths — the
+// inference-based completeness/accuracy repair for sparse urban GPS.
+type RouteRecoverStage struct {
+	Graph   *roadnet.Graph
+	Snapper *roadnet.Snapper
+	Options uncertain.MatchOptions
+}
+
+// Name implements Stage.
+func (s RouteRecoverStage) Name() string { return "route-recovery" }
+
+// Task implements Stage.
+func (s RouteRecoverStage) Task() Task { return UncertaintyElimination }
+
+// Apply implements Stage.
+func (s RouteRecoverStage) Apply(ds *Dataset) {
+	if s.Graph == nil || s.Snapper == nil {
+		return
+	}
+	for i, tr := range ds.Trajectories {
+		res, err := uncertain.MapMatch(s.Graph, s.Snapper, tr, s.Options)
+		if err != nil {
+			continue
+		}
+		ds.Trajectories[i] = res.Recovered
+	}
+}
+
+// StageReport records the quality movement caused by one stage.
+type StageReport struct {
+	Stage  string
+	Task   Task
+	Before quality.Assessment
+	After  quality.Assessment
+}
+
+// Pipeline is an ordered list of cleaning stages.
+type Pipeline struct {
+	Stages []Stage
+}
+
+// NewPipeline returns a pipeline over the given stages.
+func NewPipeline(stages ...Stage) *Pipeline { return &Pipeline{Stages: stages} }
+
+// Run clones the dataset, applies every stage in order, and returns the
+// cleaned dataset together with per-stage before/after assessments.
+func (p *Pipeline) Run(ds *Dataset) (*Dataset, []StageReport) {
+	cur := ds.Clone()
+	reports := make([]StageReport, 0, len(p.Stages))
+	before := cur.Assess()
+	for _, st := range p.Stages {
+		st.Apply(cur)
+		after := cur.Assess()
+		reports = append(reports, StageReport{
+			Stage:  st.Name(),
+			Task:   st.Task(),
+			Before: before,
+			After:  after,
+		})
+		before = after
+	}
+	return cur, reports
+}
+
+// RenderReports formats stage reports as an aligned table of the
+// dimensions that moved.
+func RenderReports(reports []StageReport) string {
+	var b strings.Builder
+	for _, r := range reports {
+		fmt.Fprintf(&b, "stage %-22s (%s)\n", r.Stage, r.Task)
+		for _, d := range quality.AllDimensions() {
+			bv, okB := r.Before[d]
+			av, okA := r.After[d]
+			if !okB && !okA {
+				continue
+			}
+			if okB && okA && bv == av {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-18s %12.4f -> %12.4f\n", d, bv, av)
+		}
+	}
+	return b.String()
+}

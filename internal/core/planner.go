@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sidq/internal/quality"
+)
+
+// Targets is a quality target profile for the planner: the thresholds
+// a dataset must meet. Zero-valued fields are ignored.
+type Targets struct {
+	MinConsistency    float64 // e.g. 0.95
+	MaxPrecisionError float64 // meters
+	MinCompleteness   float64 // [0, 1]
+	MaxRedundancy     float64 // [0, 1]
+	MaxTimestampGap   float64 // enables timestamp repair with [0, gap]
+}
+
+// DefaultTargets is a reasonable profile for consumer applications.
+func DefaultTargets() Targets {
+	return Targets{
+		MinConsistency:    0.95,
+		MaxPrecisionError: 5,
+		MinCompleteness:   0.9,
+		MaxRedundancy:     0.01,
+	}
+}
+
+// Plan inspects an assessment and returns the stages needed to reach
+// the targets, in a dependency-respecting order:
+//
+//  1. deduplication (redundancy) — before anything that would smear
+//     duplicates around;
+//  2. timestamp repair (ordering faults) — before motion models that
+//     assume monotone time;
+//  3. outlier removal (consistency) — before smoothing, which would
+//     otherwise drag estimates toward gross errors;
+//  4. smoothing (precision);
+//  5. interpolation imputation (completeness) — last, so it fills from
+//     already-clean data.
+//
+// This is the paper's "DQ-aware task planning" open issue realized for
+// the single-node case.
+func Plan(a quality.Assessment, t Targets) []Stage {
+	var stages []Stage
+	if v, ok := a[quality.Redundancy]; ok && t.MaxRedundancy > 0 && v > t.MaxRedundancy {
+		stages = append(stages, DeduplicateStage{})
+	}
+	if t.MaxTimestampGap > 0 {
+		stages = append(stages, TimestampRepairStage{MinGap: 0, MaxGap: t.MaxTimestampGap})
+	}
+	if v, ok := a[quality.Consistency]; ok && t.MinConsistency > 0 && v < t.MinConsistency {
+		stages = append(stages, OutlierRemovalStage{})
+	}
+	if v, ok := a[quality.PrecisionError]; ok && t.MaxPrecisionError > 0 && v > t.MaxPrecisionError {
+		stages = append(stages, SmoothingStage{})
+	}
+	if v, ok := a[quality.Completeness]; ok && t.MinCompleteness > 0 && v < t.MinCompleteness {
+		stages = append(stages, ImputeStage{})
+	}
+	return stages
+}
+
+// PlanAndRun assesses, plans, and executes in one call, returning the
+// cleaned dataset, the plan, and the per-stage reports.
+func PlanAndRun(ds *Dataset, t Targets) (*Dataset, []Stage, []StageReport) {
+	stages := Plan(ds.Assess(), t)
+	out, reports := NewPipeline(stages...).Run(ds)
+	return out, stages, reports
+}
+
+// PlanAndRunIterative repeats assess-plan-run until the targets are met
+// or no further stages are planned, up to maxRounds rounds. Cleaning
+// can itself create deficits (dropping outliers lowers completeness,
+// for example), which a single planning pass cannot anticipate; the
+// re-assessment loop closes that gap. A stage type is applied at most
+// once across rounds to guarantee termination.
+func PlanAndRunIterative(ds *Dataset, t Targets, maxRounds int) (*Dataset, []Stage, []StageReport) {
+	if maxRounds < 1 {
+		maxRounds = 1
+	}
+	cur := ds
+	var allStages []Stage
+	var allReports []StageReport
+	applied := map[string]bool{}
+	for round := 0; round < maxRounds; round++ {
+		var stages []Stage
+		for _, s := range Plan(cur.Assess(), t) {
+			if applied[s.Name()] {
+				continue
+			}
+			applied[s.Name()] = true
+			stages = append(stages, s)
+		}
+		if len(stages) == 0 {
+			break
+		}
+		out, reports := NewPipeline(stages...).Run(cur)
+		cur = out
+		allStages = append(allStages, stages...)
+		allReports = append(allReports, reports...)
+	}
+	return cur, allStages, allReports
+}

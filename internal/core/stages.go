@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sidq/internal/faults"
+	"sidq/internal/geo"
+	"sidq/internal/integrate"
+	"sidq/internal/outlier"
+	"sidq/internal/refine"
+	"sidq/internal/trajectory"
+	"sidq/internal/uncertain"
+)
+
+// Task identifies a §2.2 quality-management task family.
+type Task int
+
+// The task families of the paper's pre-processing and localization
+// layers.
+const (
+	LocationRefinement Task = iota
+	UncertaintyElimination
+	OutlierRemoval
+	FaultCorrection
+	DataIntegration
+	DataReduction
+)
+
+var taskNames = map[Task]string{
+	LocationRefinement:     "location refinement",
+	UncertaintyElimination: "uncertainty elimination",
+	OutlierRemoval:         "outlier removal",
+	FaultCorrection:        "fault correction",
+	DataIntegration:        "data integration",
+	DataReduction:          "data reduction",
+}
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	if s, ok := taskNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("task(%d)", int(t))
+}
+
+// Stage is one cleaning step in a pipeline.
+type Stage interface {
+	// Name is a short human-readable identifier.
+	Name() string
+	// Task is the taxonomy family the stage implements.
+	Task() Task
+	// Apply transforms the dataset in place (the pipeline clones first).
+	Apply(ds *Dataset)
+}
+
+// OutlierRemovalStage drops trajectory points flagged by both the
+// constraint-based and statistics-based detectors being consulted in
+// union, and readings flagged by the temporal detector.
+type OutlierRemovalStage struct {
+	MaxSpeed float64 // physical speed bound; 0 uses the dataset's
+}
+
+// Name implements Stage.
+func (s OutlierRemovalStage) Name() string { return "outlier-removal" }
+
+// Task implements Stage.
+func (s OutlierRemovalStage) Task() Task { return OutlierRemoval }
+
+// Apply implements Stage.
+func (s OutlierRemovalStage) Apply(ds *Dataset) {
+	maxSpeed := s.MaxSpeed
+	if maxSpeed <= 0 {
+		maxSpeed = ds.MaxSpeed
+	}
+	for i, tr := range ds.Trajectories {
+		speedFlags := outlier.SpeedConstraint(tr, maxSpeed)
+		statFlags := outlier.Statistical(tr, outlier.StatisticalOptions{})
+		merged := make([]bool, tr.Len())
+		for j := range merged {
+			merged[j] = speedFlags[j] || statFlags[j]
+		}
+		ds.Trajectories[i] = outlier.Remove(tr, merged)
+	}
+	if len(ds.Readings) > 0 {
+		flags := outlier.Temporal(ds.Readings, outlier.TemporalOptions{})
+		ds.Readings = outlier.RemoveReadings(ds.Readings, flags)
+	}
+}
+
+// SmoothingStage applies RTS Kalman smoothing to every trajectory.
+type SmoothingStage struct {
+	ProcessNoise float64 // default 1
+	MeasNoise    float64 // default: the measured precision error
+}
+
+// Name implements Stage.
+func (s SmoothingStage) Name() string { return "kalman-smoothing" }
+
+// Task implements Stage.
+func (s SmoothingStage) Task() Task { return UncertaintyElimination }
+
+// Apply implements Stage.
+func (s SmoothingStage) Apply(ds *Dataset) {
+	q := s.ProcessNoise
+	if q <= 0 {
+		q = 1
+	}
+	for i, tr := range ds.Trajectories {
+		r := s.MeasNoise
+		if r <= 0 {
+			// Estimate the noise level from the data itself.
+			a := quality2Precision(tr)
+			if a <= 0 {
+				a = 5
+			}
+			r = a
+		}
+		ds.Trajectories[i] = refine.KalmanSmoothTrajectory(tr, q, r)
+	}
+}
+
+// quality2Precision estimates a trajectory's noise via local roughness
+// (the same estimator package quality uses, inlined to avoid exposing
+// it publicly there).
+func quality2Precision(tr *trajectory.Trajectory) float64 {
+	if tr.Len() < 3 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for i := 1; i < tr.Len()-1; i++ {
+		d := trajectory.SED(tr.Points[i-1], tr.Points[i+1], tr.Points[i])
+		sum += d * d
+		n++
+	}
+	return math.Sqrt(sum/float64(n)) / math.Sqrt(1.5)
+}
+
+// PredictionRepairStage repairs (rather than drops) gross trajectory
+// outliers with the Kalman prediction-based detector.
+type PredictionRepairStage struct {
+	MeasNoise float64 // default 5
+	Threshold float64 // default 5
+}
+
+// Name implements Stage.
+func (s PredictionRepairStage) Name() string { return "prediction-repair" }
+
+// Task implements Stage.
+func (s PredictionRepairStage) Task() Task { return OutlierRemoval }
+
+// Apply implements Stage.
+func (s PredictionRepairStage) Apply(ds *Dataset) {
+	for i, tr := range ds.Trajectories {
+		repaired, _ := outlier.Prediction(tr, outlier.PredictionOptions{
+			MeasNoise: s.MeasNoise,
+			Threshold: s.Threshold,
+			Repair:    true,
+		})
+		ds.Trajectories[i] = repaired
+	}
+}
+
+// TimestampRepairStage repairs per-trajectory timestamp sequences to
+// satisfy gap constraints.
+type TimestampRepairStage struct {
+	MinGap, MaxGap float64
+}
+
+// Name implements Stage.
+func (s TimestampRepairStage) Name() string { return "timestamp-repair" }
+
+// Task implements Stage.
+func (s TimestampRepairStage) Task() Task { return FaultCorrection }
+
+// Apply implements Stage.
+func (s TimestampRepairStage) Apply(ds *Dataset) {
+	for _, tr := range ds.Trajectories {
+		ts := make([]float64, tr.Len())
+		for i, p := range tr.Points {
+			ts[i] = p.T
+		}
+		repaired, err := faults.RepairTimestamps(ts, s.MinGap, s.MaxGap)
+		if err != nil {
+			continue
+		}
+		for i := range tr.Points {
+			tr.Points[i].T = repaired[i]
+		}
+	}
+}
+
+// DeduplicateStage removes exact duplicate trajectory points and
+// merges redundant readings.
+type DeduplicateStage struct {
+	CellSize   float64 // reading dedup cell (default 1 m)
+	TimeBucket float64 // reading dedup bucket (default 1 s)
+}
+
+// Name implements Stage.
+func (s DeduplicateStage) Name() string { return "deduplicate" }
+
+// Task implements Stage.
+func (s DeduplicateStage) Task() Task { return DataIntegration }
+
+// Apply implements Stage.
+func (s DeduplicateStage) Apply(ds *Dataset) {
+	for i, tr := range ds.Trajectories {
+		out := &trajectory.Trajectory{ID: tr.ID}
+		seen := make(map[trajectory.Point]bool, tr.Len())
+		for _, p := range tr.Points {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			out.Points = append(out.Points, p)
+		}
+		ds.Trajectories[i] = out
+	}
+	if len(ds.Readings) > 0 {
+		ds.Readings = integrate.Deduplicate(ds.Readings, s.CellSize, s.TimeBucket)
+	}
+}
+
+// ImputeStage resamples each trajectory at the dataset's expected
+// interval, filling gaps by interpolation (the simplest inference-based
+// completeness repair; map matching is available via RouteRecoverStage
+// when a road network exists).
+type ImputeStage struct {
+	Interval float64 // default: dataset ExpectedInterval
+}
+
+// Name implements Stage.
+func (s ImputeStage) Name() string { return "interpolation-impute" }
+
+// Task implements Stage.
+func (s ImputeStage) Task() Task { return UncertaintyElimination }
+
+// Apply implements Stage.
+func (s ImputeStage) Apply(ds *Dataset) {
+	dt := s.Interval
+	if dt <= 0 {
+		dt = ds.ExpectedInterval
+	}
+	if dt <= 0 {
+		return
+	}
+	for i, tr := range ds.Trajectories {
+		if rs, err := tr.Resample(dt); err == nil {
+			ds.Trajectories[i] = rs
+		}
+	}
+}
+
+// ThematicRepairStage detects STID value outliers temporally and
+// repairs them by neighborhood consensus instead of dropping them.
+type ThematicRepairStage struct {
+	SpaceSigma, TimeSigma float64
+}
+
+// Name implements Stage.
+func (s ThematicRepairStage) Name() string { return "thematic-repair" }
+
+// Task implements Stage.
+func (s ThematicRepairStage) Task() Task { return FaultCorrection }
+
+// Apply implements Stage.
+func (s ThematicRepairStage) Apply(ds *Dataset) {
+	if len(ds.Readings) == 0 {
+		return
+	}
+	flags := outlier.Temporal(ds.Readings, outlier.TemporalOptions{})
+	ss := s.SpaceSigma
+	if ss <= 0 {
+		ss = 200
+	}
+	ts := s.TimeSigma
+	if ts <= 0 {
+		ts = 600
+	}
+	ds.Readings, _ = faults.RepairThematic(ds.Readings, flags, ss, ts)
+}
+
+// SmoothReadingsStage is referenced by the planner when precision is
+// the only deficit on the readings side; it applies a per-sensor
+// moving-median.
+type SmoothReadingsStage struct {
+	Window int // samples each side (default 2)
+}
+
+// Name implements Stage.
+func (s SmoothReadingsStage) Name() string { return "readings-smoothing" }
+
+// Task implements Stage.
+func (s SmoothReadingsStage) Task() Task { return UncertaintyElimination }
+
+// Apply implements Stage.
+func (s SmoothReadingsStage) Apply(ds *Dataset) {
+	w := s.Window
+	if w <= 0 {
+		w = 2
+	}
+	series := groupReadingIdx(ds)
+	for _, idxs := range series {
+		vals := make([]float64, len(idxs))
+		for i, idx := range idxs {
+			vals[i] = ds.Readings[idx].Value
+		}
+		for i, idx := range idxs {
+			lo, hi := i-w, i+w
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= len(vals) {
+				hi = len(vals) - 1
+			}
+			window := append([]float64(nil), vals[lo:hi+1]...)
+			ds.Readings[idx].Value = medianOf(window)
+		}
+	}
+}
+
+func groupReadingIdx(ds *Dataset) map[string][]int {
+	out := map[string][]int{}
+	for i, r := range ds.Readings {
+		out[r.SensorID] = append(out[r.SensorID], i)
+	}
+	for _, idxs := range out {
+		// insertion sort by time (groups are small)
+		for i := 1; i < len(idxs); i++ {
+			for j := i; j > 0 && ds.Readings[idxs[j]].T < ds.Readings[idxs[j-1]].T; j-- {
+				idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+			}
+		}
+	}
+	return out
+}
+
+func medianOf(xs []float64) float64 {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// CalibrationStage pulls trajectory points toward reference anchors.
+type CalibrationStage struct {
+	Anchors []geo.Point
+	Radius  float64
+	Alpha   float64
+}
+
+// Name implements Stage.
+func (s CalibrationStage) Name() string { return "anchor-calibration" }
+
+// Task implements Stage.
+func (s CalibrationStage) Task() Task { return UncertaintyElimination }
+
+// Apply implements Stage.
+func (s CalibrationStage) Apply(ds *Dataset) {
+	if len(s.Anchors) == 0 {
+		return
+	}
+	for i, tr := range ds.Trajectories {
+		ds.Trajectories[i] = uncertain.CalibrateToAnchors(tr, s.Anchors, s.Radius, s.Alpha)
+	}
+}

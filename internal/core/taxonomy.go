@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TaxonomyEntry is one cell of the paper's Figure-2 categorization,
+// mapped to the module that implements it in this repository.
+type TaxonomyEntry struct {
+	Layer     string // IoT layer (localization / pre-processing / business)
+	Task      string // DQ task (Figure 2, task perspective)
+	Technique string // technique family (Figure 2, technique perspective)
+	Package   string // implementing package
+	Symbol    string // representative exported symbol
+}
+
+// Taxonomy returns the full Figure-2 coverage matrix of this
+// repository: every task the tutorial's taxonomy names, the technique
+// perspective it exercises, and where it lives.
+func Taxonomy() []TaxonomyEntry {
+	return []TaxonomyEntry{
+		// Localization layer — Location Refinement.
+		{"localization", "location refinement / ensemble (single-source)", "probabilistic modeling", "internal/refine", "WkNN"},
+		{"localization", "location refinement / ensemble (multi-source)", "probabilistic modeling", "internal/refine", "Multilaterate, Fuse"},
+		{"localization", "location refinement / motion-based", "spatiotemporal dependency (Bayes filter)", "internal/refine", "Kalman, KalmanSmoothTrajectory"},
+		{"localization", "location refinement / motion-based", "probabilistic modeling (SMC)", "internal/refine", "ParticleFilter"},
+		{"localization", "location refinement / motion-based", "probabilistic graph model", "internal/refine", "HMMGrid"},
+		{"localization", "location refinement / collaborative (joint denoising)", "collaborative computing", "internal/refine", "JointDenoise"},
+		{"localization", "location refinement / collaborative (iterative)", "collaborative computing", "internal/refine", "IterativeOptimize"},
+		// Pre-processing layer — Uncertainty Elimination.
+		{"pre-processing", "uncertainty elimination / trajectory (calibration)", "spatial constraint modeling", "internal/uncertain", "CalibrateToAnchors"},
+		{"pre-processing", "uncertainty elimination / trajectory (inference)", "spatiotemporal regularity (HMM + shortest paths)", "internal/uncertain", "MapMatch"},
+		{"pre-processing", "uncertainty elimination / trajectory (online inference)", "stream computing (fixed-lag Viterbi)", "internal/uncertain", "OnlineMatcher"},
+		{"pre-processing", "uncertainty elimination / trajectory (smoothing)", "spatiotemporal dependency", "internal/uncertain", "MovingAverage, ExponentialSmooth"},
+		{"pre-processing", "uncertainty elimination / STID (interpolation)", "spatiotemporal dependency", "internal/uncertain", "IDW, GaussianKernel, TrendResidual"},
+		{"pre-processing", "uncertainty elimination / STID (fusion)", "probabilistic modeling / multi-view", "internal/uncertain", "FuseSources"},
+		{"pre-processing", "uncertainty elimination / STID (few labels)", "semi-supervised learning (co-training)", "internal/uncertain", "CoTraining"},
+		{"pre-processing", "uncertainty elimination / STID (cross-region)", "transfer learning", "internal/uncertain", "TransferTrend"},
+		{"pre-processing", "uncertainty elimination / STID (correlated variables)", "multi-task learning", "internal/uncertain", "MultiTaskTrend"},
+		// Pre-processing layer — Outlier Removal.
+		{"pre-processing", "outlier removal / trajectory (constraint)", "spatial constraint modeling", "internal/outlier", "SpeedConstraint"},
+		{"pre-processing", "outlier removal / trajectory (statistics)", "probabilistic modeling", "internal/outlier", "Statistical"},
+		{"pre-processing", "outlier removal / trajectory (prediction)", "spatiotemporal dependency", "internal/outlier", "Prediction"},
+		{"pre-processing", "outlier removal / STID (temporal)", "probabilistic modeling", "internal/outlier", "Temporal"},
+		{"pre-processing", "outlier removal / STID (spatial)", "spatially autocorrelated neighborhood", "internal/outlier", "Spatial"},
+		{"pre-processing", "outlier removal / STID (spatiotemporal)", "neighborhood-based", "internal/outlier", "SpatioTemporal"},
+		// Pre-processing layer — Fault Correction.
+		{"pre-processing", "fault correction / symbolic (rule)", "spatial constraint modeling", "internal/faults", "ResolveConflicts"},
+		{"pre-processing", "fault correction / symbolic (smoothing)", "spatiotemporal regularity", "internal/faults", "SmoothImpute"},
+		{"pre-processing", "fault correction / symbolic (probabilistic)", "probabilistic modeling (HMM)", "internal/faults", "HMMClean"},
+		{"pre-processing", "fault correction / timestamps", "temporal constraints", "internal/faults", "RepairTimestamps"},
+		{"pre-processing", "fault correction / thematic values", "spatiotemporal dependency", "internal/faults", "RepairThematic"},
+		// Pre-processing layer — Data Integration.
+		{"pre-processing", "data integration / semantic (trajectory)", "spatiotemporal regularity (geo-semantics)", "internal/integrate", "Episodes"},
+		{"pre-processing", "data integration / non-semantic (traj+traj)", "spatiotemporal dependency", "internal/integrate", "LinkEntities, AlignScales"},
+		{"pre-processing", "data integration / non-semantic (traj+STID)", "spatiotemporal dependency", "internal/integrate", "AttachReadings"},
+		{"pre-processing", "data integration / non-semantic (STID+STID)", "probabilistic modeling", "internal/uncertain", "FuseSources (bias-corrected)"},
+		// Pre-processing layer — Data Reduction.
+		{"pre-processing", "data reduction / trajectory (offline)", "error-bounded line simplification", "internal/reduce", "DouglasPeuckerSED"},
+		{"pre-processing", "data reduction / trajectory (online)", "error-bounded line simplification", "internal/reduce", "SlidingWindow, SQUISH, DeadReckoning"},
+		{"pre-processing", "data reduction / trajectory (direction)", "direction-bounded simplification", "internal/reduce", "DirectionPreserving"},
+		{"pre-processing", "data reduction / network-constrained", "spatial constraint modeling", "internal/reduce", "EncodeNetworkTrip"},
+		{"pre-processing", "data reduction / STID (lossless)", "entropy coding", "internal/reduce", "DeltaVarintEncode, RiceEncode"},
+		{"pre-processing", "data reduction / STID (lossy)", "error-bounded compression", "internal/reduce", "LTC"},
+		{"pre-processing", "data reduction / STID (prediction)", "prediction-based suppression", "internal/reduce", "SuppressConstant"},
+		// Business layer — Querying.
+		{"business", "querying / uncertainty (pdf models)", "probabilistic modeling", "internal/uquery", "GaussianObject, DiscreteObject"},
+		{"business", "querying / uncertainty (range, kNN)", "bound-based pruning", "internal/uquery", "ProbRange, ProbKNN"},
+		{"business", "querying / uncertainty (between samples)", "space-time prisms", "internal/uquery", "Prism"},
+		{"business", "querying / uncertainty (possibly-definitely)", "space-time prisms", "internal/uquery", "PossiblyDefinitely, ClassifyRange"},
+		{"business", "querying / uncertainty (between samples)", "first-order Markov grids", "internal/uquery", "MarkovGrid"},
+		{"business", "querying / dynamics (continuous)", "safe regions", "internal/uquery", "SafeRegionMonitor"},
+		{"business", "querying / dynamics (continuous kNN)", "safe regions", "internal/uquery", "KNNMonitor"},
+		{"business", "querying / dynamics (streams)", "stream computing (watermarks)", "internal/uquery", "StreamRangeCounter"},
+		{"business", "querying / decentralization", "distributed computing", "internal/uquery", "DistStore"},
+		// Business layer — Analysis.
+		{"business", "analysis / uncertain clustering", "probabilistic modeling", "internal/analysis", "UncertainDBSCAN"},
+		{"business", "analysis / stream anomaly detection", "stream computing", "internal/analysis", "StreamAnomalyDetector"},
+		{"business", "analysis / probabilistic frequent patterns", "probabilistic modeling", "internal/analysis", "FrequentPairs, ExtendPatterns"},
+		{"business", "analysis / popular routes", "spatiotemporal regularity", "internal/analysis", "PopularRoute"},
+		{"business", "analysis / bursty regions (streams)", "stream computing", "internal/analysis", "BurstDetector"},
+		{"business", "analysis / co-evolving patterns", "spatially autocorrelated dependency", "internal/analysis", "CoEvolving"},
+		{"business", "analysis / trajectory clustering", "spatiotemporal dependency (k-medoids)", "internal/analysis", "ClusterTrajectories"},
+		{"business", "querying / symbolic (indoor) monitoring", "symbolic-space range monitoring", "internal/faults", "ZoneMonitor"},
+		{"business", "analysis / uncertain trajectory similarity", "probabilistic modeling", "internal/analysis", "TopKSimilar"},
+		// Business layer — Decision-making.
+		{"business", "decision-making / next location", "incremental learning (Markov)", "internal/decide", "MarkovPredictor, Markov2Predictor"},
+		{"business", "decision-making / traffic volume", "spatiotemporal dependency (shrinkage)", "internal/decide", "VolumeGrid"},
+		{"business", "decision-making / POI recommendation", "probabilistic modeling", "internal/decide", "Recommender"},
+		{"business", "decision-making / task assignment", "DQ-aware planning", "internal/decide", "AssignTasks"},
+		{"business", "decision-making / decentralized models", "federated learning", "internal/decide", "FederatedVolume"},
+		{"business", "decision-making / adaptive sampling", "reinforcement learning (bandit)", "internal/decide", "AdaptiveSampler"},
+		{"business", "decision-making / site selection", "semi-supervised learning (PU)", "internal/decide", "PUSiteSelection"},
+		{"business", "querying / privacy-preserving outsourcing", "spatial transformation", "internal/private", "Scheme, Client, Server"},
+		// Middleware (open-issue directions).
+		{"middleware", "DQ assessment", "quality dimensions framework", "internal/quality", "AssessTrajectory, AssessReadings"},
+		{"middleware", "DQ-aware task planning", "rule-based planning", "internal/core", "Plan"},
+		{"middleware", "quality management middleware", "pipeline composition", "internal/core", "Pipeline"},
+	}
+}
+
+// RenderFigure2 renders the taxonomy as the Figure-2-shaped coverage
+// table grouped by layer.
+func RenderFigure2() string {
+	var b strings.Builder
+	entries := Taxonomy()
+	lastLayer := ""
+	for _, e := range entries {
+		if e.Layer != lastLayer {
+			fmt.Fprintf(&b, "\n[%s layer]\n", e.Layer)
+			lastLayer = e.Layer
+		}
+		fmt.Fprintf(&b, "  %-55s | %-48s | %s: %s\n", e.Task, e.Technique, e.Package, e.Symbol)
+	}
+	return b.String()
+}

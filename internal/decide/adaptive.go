@@ -1,0 +1,86 @@
+package decide
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AdaptiveSampler chooses an IoT node's sampling interval online with
+// an epsilon-greedy multi-armed bandit — the paper's
+// reinforcement-learning trend applied to the energy/quality trade-off
+// of dynamic SID collection. Each arm is a candidate interval; the
+// caller reports a reward after each round (typically
+// -(energyCost + lambda * reconstructionError)), and the sampler
+// converges to the interval that balances the two.
+type AdaptiveSampler struct {
+	intervals []float64
+	counts    []int
+	values    []float64 // running mean reward per arm
+	epsilon   float64
+	rng       *rand.Rand
+	lastArm   int
+}
+
+// NewAdaptiveSampler returns a sampler over the candidate intervals
+// (seconds) with the given exploration rate (default 0.1).
+func NewAdaptiveSampler(intervals []float64, epsilon float64, seed int64) *AdaptiveSampler {
+	if len(intervals) == 0 {
+		intervals = []float64{1}
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		epsilon = 0.1
+	}
+	return &AdaptiveSampler{
+		intervals: append([]float64(nil), intervals...),
+		counts:    make([]int, len(intervals)),
+		values:    make([]float64, len(intervals)),
+		epsilon:   epsilon,
+		rng:       rand.New(rand.NewSource(seed)),
+		lastArm:   -1,
+	}
+}
+
+// Choose picks the next sampling interval (epsilon-greedy).
+func (a *AdaptiveSampler) Choose() float64 {
+	if a.rng.Float64() < a.epsilon {
+		a.lastArm = a.rng.Intn(len(a.intervals))
+		return a.intervals[a.lastArm]
+	}
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range a.values {
+		if a.counts[i] == 0 {
+			// Optimistic initialization: try every arm once.
+			a.lastArm = i
+			return a.intervals[i]
+		}
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	a.lastArm = best
+	return a.intervals[best]
+}
+
+// Reward reports the outcome of the last chosen interval.
+func (a *AdaptiveSampler) Reward(r float64) {
+	if a.lastArm < 0 {
+		return
+	}
+	i := a.lastArm
+	a.counts[i]++
+	a.values[i] += (r - a.values[i]) / float64(a.counts[i])
+}
+
+// Best returns the currently best-believed interval.
+func (a *AdaptiveSampler) Best() float64 {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range a.values {
+		if a.counts[i] > 0 && v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return a.intervals[best]
+}
+
+// Pulls returns how many times each interval was chosen.
+func (a *AdaptiveSampler) Pulls() []int { return append([]int(nil), a.counts...) }

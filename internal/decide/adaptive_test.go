@@ -1,0 +1,78 @@
+package decide
+
+import (
+	"math"
+	"testing"
+)
+
+// rewardModel simulates a node's energy/quality trade-off: sampling
+// every dt seconds costs energy ~ 1/dt and incurs reconstruction error
+// ~ dt; the optimum sits at the balance point.
+func rewardModel(dt float64) float64 {
+	energy := 10 / dt
+	errCost := 0.5 * dt
+	return -(energy + errCost)
+}
+
+func TestAdaptiveSamplerConvergesToOptimum(t *testing.T) {
+	intervals := []float64{1, 2, 4, 8, 16, 32}
+	// Analytic optimum of 10/dt + 0.5 dt is dt = sqrt(20) ≈ 4.47, so the
+	// best arm is 4.
+	best, bestR := 0.0, math.Inf(-1)
+	for _, dt := range intervals {
+		if r := rewardModel(dt); r > bestR {
+			best, bestR = dt, r
+		}
+	}
+	if best != 4 {
+		t.Fatalf("test setup: analytic best arm = %v", best)
+	}
+	s := NewAdaptiveSampler(intervals, 0.1, 1)
+	for round := 0; round < 2000; round++ {
+		dt := s.Choose()
+		s.Reward(rewardModel(dt))
+	}
+	if got := s.Best(); got != 4 {
+		t.Fatalf("converged to %v, want 4 (pulls %v)", got, s.Pulls())
+	}
+	// The best arm dominates the pulls.
+	pulls := s.Pulls()
+	bestPulls := pulls[2]
+	var total int
+	for _, p := range pulls {
+		total += p
+	}
+	if float64(bestPulls)/float64(total) < 0.5 {
+		t.Fatalf("best arm pulled only %d/%d times", bestPulls, total)
+	}
+}
+
+func TestAdaptiveSamplerExplores(t *testing.T) {
+	s := NewAdaptiveSampler([]float64{1, 2, 3}, 0.2, 2)
+	for round := 0; round < 300; round++ {
+		dt := s.Choose()
+		s.Reward(-dt) // arm 1 is best
+	}
+	for i, p := range s.Pulls() {
+		if p == 0 {
+			t.Fatalf("arm %d never explored", i)
+		}
+	}
+	if s.Best() != 1 {
+		t.Fatalf("best = %v", s.Best())
+	}
+}
+
+func TestAdaptiveSamplerDegenerate(t *testing.T) {
+	s := NewAdaptiveSampler(nil, -1, 3)
+	if dt := s.Choose(); dt != 1 {
+		t.Fatalf("default interval = %v", dt)
+	}
+	s.Reward(1) // must not panic
+	// Reward before any choice is ignored.
+	s2 := NewAdaptiveSampler([]float64{5}, 0.1, 4)
+	s2.Reward(100)
+	if s2.Pulls()[0] != 0 {
+		t.Fatal("reward without choice recorded")
+	}
+}

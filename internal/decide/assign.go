@@ -1,0 +1,139 @@
+package decide
+
+import (
+	"sort"
+
+	"sidq/internal/geo"
+)
+
+// Task is a spatial task to be served at a location before a deadline
+// horizon (expressed as a maximum useful travel distance).
+type Task struct {
+	ID       string
+	Pos      geo.Point
+	Reward   float64
+	MaxRange float64 // assignments farther than this earn nothing
+}
+
+// Worker is a candidate with a reported position whose quality is
+// quantified by an error stddev (meters): low-quality positions make
+// the real travel distance uncertain.
+type Worker struct {
+	ID       string
+	Reported geo.Point
+	Sigma    float64 // positional uncertainty of the report
+}
+
+// Assignment pairs a worker with a task.
+type Assignment struct {
+	Worker, Task    string
+	ExpectedUtility float64
+}
+
+// ghNodes are the 3-point Gauss-Hermite nodes/weights for N(0, 1),
+// used to integrate utility over a worker's positional uncertainty.
+var ghNodes = [3]struct{ x, w float64 }{
+	{-1.7320508075688772, 1.0 / 6}, // -sqrt(3)
+	{0, 2.0 / 3},
+	{1.7320508075688772, 1.0 / 6},
+}
+
+// expectedUtility scores worker w on task t. A DQ-blind assigner
+// trusts the reported position outright; the DQ-aware assigner
+// integrates the realized utility max(0, 1 - d/range) over the
+// worker's positional error distribution (3x3 Gauss-Hermite
+// quadrature), so unreliable reports are neither trusted nor simply
+// discarded — they are weighted by what they are actually worth.
+func expectedUtility(w Worker, t Task, dqAware bool) float64 {
+	if t.MaxRange <= 0 {
+		return 0
+	}
+	utility := func(p geo.Point) float64 {
+		d := p.Dist(t.Pos)
+		if d >= t.MaxRange {
+			return 0
+		}
+		return t.Reward * (1 - d/t.MaxRange)
+	}
+	if !dqAware || w.Sigma <= 0 {
+		return utility(w.Reported)
+	}
+	var e float64
+	for _, nx := range ghNodes {
+		for _, ny := range ghNodes {
+			p := w.Reported.Add(geo.Pt(nx.x*w.Sigma, ny.x*w.Sigma))
+			e += nx.w * ny.w * utility(p)
+		}
+	}
+	return e
+}
+
+// AssignTasks assigns workers to tasks one-to-one, greedily by
+// expected utility. With dqAware set, positional uncertainty discounts
+// utilities, which steers tasks with tight ranges toward workers with
+// trustworthy reports (the DQ-aware task planning direction the paper
+// advocates).
+func AssignTasks(workers []Worker, tasks []Task, dqAware bool) []Assignment {
+	type cand struct {
+		w, t int
+		u    float64
+	}
+	var cands []cand
+	for i, w := range workers {
+		for j, t := range tasks {
+			if u := expectedUtility(w, t, dqAware); u > 0 {
+				cands = append(cands, cand{i, j, u})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].u != cands[b].u {
+			return cands[a].u > cands[b].u
+		}
+		if cands[a].w != cands[b].w {
+			return cands[a].w < cands[b].w
+		}
+		return cands[a].t < cands[b].t
+	})
+	usedW := make([]bool, len(workers))
+	usedT := make([]bool, len(tasks))
+	var out []Assignment
+	for _, c := range cands {
+		if usedW[c.w] || usedT[c.t] {
+			continue
+		}
+		usedW[c.w] = true
+		usedT[c.t] = true
+		out = append(out, Assignment{
+			Worker:          workers[c.w].ID,
+			Task:            tasks[c.t].ID,
+			ExpectedUtility: c.u,
+		})
+	}
+	return out
+}
+
+// RealizedUtility scores assignments against the workers' true
+// positions: the utility actually obtained once workers travel.
+func RealizedUtility(assignments []Assignment, workers []Worker, truePos map[string]geo.Point, tasks []Task) float64 {
+	taskByID := map[string]Task{}
+	for _, t := range tasks {
+		taskByID[t.ID] = t
+	}
+	var total float64
+	for _, a := range assignments {
+		t, ok := taskByID[a.Task]
+		if !ok {
+			continue
+		}
+		pos, ok := truePos[a.Worker]
+		if !ok {
+			continue
+		}
+		d := pos.Dist(t.Pos)
+		if t.MaxRange > 0 && d < t.MaxRange {
+			total += t.Reward * (1 - d/t.MaxRange)
+		}
+	}
+	return total
+}

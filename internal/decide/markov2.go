@@ -1,0 +1,92 @@
+package decide
+
+// Markov2Predictor is an order-2 Markov next-symbol model with backoff
+// to order 1: when the (prev2, prev1) context was never seen, the
+// order-1 model answers instead. Higher order captures longer habits
+// (home->work->lunch) when data suffices; backoff keeps coverage when
+// it does not — the standard fix for the order/coverage trade-off of
+// Markov mobility models.
+type Markov2Predictor struct {
+	pairs  map[[2]string]map[string]float64
+	order1 *MarkovPredictor
+	decay  float64
+}
+
+// NewMarkov2Predictor returns a predictor; decay as in NewMarkovPredictor.
+func NewMarkov2Predictor(decay float64) *Markov2Predictor {
+	if decay <= 0 || decay > 1 {
+		decay = 1
+	}
+	return &Markov2Predictor{
+		pairs:  map[[2]string]map[string]float64{},
+		order1: NewMarkovPredictor(decay),
+		decay:  decay,
+	}
+}
+
+// Observe records a transition (prev2, prev1) -> next.
+func (m *Markov2Predictor) Observe(prev2, prev1, next string) {
+	key := [2]string{prev2, prev1}
+	row, ok := m.pairs[key]
+	if !ok {
+		row = map[string]float64{}
+		m.pairs[key] = row
+	}
+	if m.decay < 1 {
+		for k := range row {
+			row[k] *= m.decay
+		}
+	}
+	row[next]++
+	m.order1.Observe(prev1, next)
+}
+
+// Train folds in whole sequences.
+func (m *Markov2Predictor) Train(sequences [][]string) {
+	for _, seq := range sequences {
+		for i := 2; i < len(seq); i++ {
+			m.Observe(seq[i-2], seq[i-1], seq[i])
+		}
+		// Order-1 still learns from the first transition.
+		if len(seq) >= 2 {
+			m.order1.Observe(seq[0], seq[1])
+		}
+	}
+}
+
+// Predict returns the most likely next symbol, backing off to order 1
+// for unseen contexts. ok is false when even the order-1 context is
+// unknown.
+func (m *Markov2Predictor) Predict(prev2, prev1 string) (string, bool) {
+	if row, ok := m.pairs[[2]string{prev2, prev1}]; ok && len(row) > 0 {
+		best, bestN := "", -1.0
+		for k, n := range row {
+			if n > bestN || (n == bestN && k < best) {
+				best, bestN = k, n
+			}
+		}
+		return best, true
+	}
+	return m.order1.Predict(prev1)
+}
+
+// Accuracy evaluates next-symbol prediction over test sequences.
+func (m *Markov2Predictor) Accuracy(sequences [][]string) float64 {
+	correct, total := 0, 0
+	for _, seq := range sequences {
+		for i := 2; i < len(seq); i++ {
+			pred, ok := m.Predict(seq[i-2], seq[i-1])
+			if !ok {
+				continue
+			}
+			total++
+			if pred == seq[i] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

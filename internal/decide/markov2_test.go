@@ -1,0 +1,54 @@
+package decide
+
+import "testing"
+
+func TestMarkov2BeatsOrder1OnSecondOrderHabits(t *testing.T) {
+	// Habit is strictly second-order: after (A,B) comes C, after (X,B)
+	// comes D — an order-1 model on context B can only get one right.
+	var train [][]string
+	for i := 0; i < 50; i++ {
+		train = append(train, []string{"A", "B", "C"})
+		train = append(train, []string{"X", "B", "D"})
+	}
+	m2 := NewMarkov2Predictor(1)
+	m2.Train(train)
+	m1 := NewMarkovPredictor(1)
+	m1.Train(train)
+	test := [][]string{{"A", "B", "C"}, {"X", "B", "D"}}
+	if a2 := m2.Accuracy(test); a2 != 1 {
+		t.Fatalf("order2 acc %v", a2)
+	}
+	// Order 1 sees only context B and must get one of the two wrong.
+	p, _ := m1.Predict("B")
+	hits := 0
+	if p == "C" {
+		hits++
+	}
+	if p == "D" {
+		hits++
+	}
+	if hits != 1 {
+		t.Fatalf("order1 should satisfy exactly one habit, predicted %q", p)
+	}
+}
+
+func TestMarkov2BackoffToOrder1(t *testing.T) {
+	m := NewMarkov2Predictor(1)
+	m.Train([][]string{{"A", "B", "C"}})
+	// Unseen order-2 context (Z, B) backs off to order-1 context B.
+	got, ok := m.Predict("Z", "B")
+	if !ok || got != "C" {
+		t.Fatalf("backoff: %v %v", got, ok)
+	}
+	// Completely unknown context fails.
+	if _, ok := m.Predict("Z", "Q"); ok {
+		t.Fatal("unknown context should be !ok")
+	}
+}
+
+func TestMarkov2EmptyAccuracy(t *testing.T) {
+	m := NewMarkov2Predictor(0.5)
+	if m.Accuracy([][]string{{"a"}}) != 0 {
+		t.Fatal("empty accuracy")
+	}
+}

@@ -1,0 +1,59 @@
+package decide
+
+import (
+	"math"
+	"sort"
+
+	"sidq/internal/geo"
+)
+
+// PUSite is a candidate location with its PU-learning score.
+type PUSite struct {
+	Pos   geo.Point
+	Score float64
+}
+
+// PUSiteSelection ranks candidate sites with positive-unlabeled
+// learning, the label-scarcity scheme the paper surveys for site
+// selection (only existing facilities are labeled — there are no
+// negatives). The score contrasts a kernel density around known
+// positives (captures what successful sites look like spatially, e.g.
+// demand proximity) against the density of the unlabeled background
+// (penalizes already-saturated areas):
+//
+//	score(c) = density_pos(c) / (density_unlabeled(c) + eps)
+//
+// which is the classical PU density-ratio estimator. Candidates are
+// returned sorted by score, descending.
+func PUSiteSelection(positives, unlabeled, candidates []geo.Point, bandwidth float64) []PUSite {
+	if bandwidth <= 0 {
+		bandwidth = 100
+	}
+	density := func(p geo.Point, data []geo.Point) float64 {
+		var sum float64
+		inv := 1 / (2 * bandwidth * bandwidth)
+		for _, d := range data {
+			sum += math.Exp(-p.DistSq(d) * inv)
+		}
+		if len(data) == 0 {
+			return 0
+		}
+		return sum / float64(len(data))
+	}
+	out := make([]PUSite, 0, len(candidates))
+	for _, c := range candidates {
+		pos := density(c, positives)
+		bg := density(c, unlabeled)
+		out = append(out, PUSite{Pos: c, Score: pos / (bg + 1e-6)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Pos.X != out[j].Pos.X {
+			return out[i].Pos.X < out[j].Pos.X
+		}
+		return out[i].Pos.Y < out[j].Pos.Y
+	})
+	return out
+}

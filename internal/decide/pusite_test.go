@@ -1,0 +1,54 @@
+package decide
+
+import (
+	"math/rand"
+	"testing"
+
+	"sidq/internal/geo"
+)
+
+func TestPUSiteSelectionPrefersPositivePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	// Successful facilities cluster along a demand band at y~300; the
+	// unlabeled background is city-wide with a saturated downtown blob.
+	var positives []geo.Point
+	for i := 0; i < 20; i++ {
+		positives = append(positives, geo.Pt(rng.Float64()*1000, 300+rng.NormFloat64()*40))
+	}
+	var unlabeled []geo.Point
+	for i := 0; i < 300; i++ {
+		if rng.Float64() < 0.5 {
+			unlabeled = append(unlabeled, geo.Pt(500+rng.NormFloat64()*60, 700+rng.NormFloat64()*60))
+		} else {
+			unlabeled = append(unlabeled, geo.Pt(rng.Float64()*1000, rng.Float64()*1000))
+		}
+	}
+	candidates := []geo.Point{
+		geo.Pt(200, 300), // on the demand band, away from saturation
+		geo.Pt(500, 700), // saturated downtown
+		geo.Pt(900, 950), // nowhere
+	}
+	ranked := PUSiteSelection(positives, unlabeled, candidates, 100)
+	if ranked[0].Pos != candidates[0] {
+		t.Fatalf("top site = %v (scores %+v)", ranked[0].Pos, ranked)
+	}
+	// The saturated blob must rank below the band site.
+	for _, s := range ranked {
+		if s.Pos == candidates[1] && s.Score >= ranked[0].Score {
+			t.Fatal("saturated site outranked the band site")
+		}
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+}
+
+func TestPUSiteSelectionDegenerate(t *testing.T) {
+	if got := PUSiteSelection(nil, nil, nil, 0); len(got) != 0 {
+		t.Fatal("empty candidates")
+	}
+	got := PUSiteSelection(nil, nil, []geo.Point{{X: 1, Y: 1}}, 50)
+	if len(got) != 1 || got[0].Score != 0 {
+		t.Fatalf("no-positives score = %+v", got)
+	}
+}

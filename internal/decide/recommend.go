@@ -1,0 +1,131 @@
+package decide
+
+import (
+	"sort"
+)
+
+// UncertainVisit is one uncertain check-in: candidate POIs with
+// probabilities.
+type UncertainVisit []POIProb
+
+// POIProb is one candidate of an uncertain visit.
+type POIProb struct {
+	POI  string
+	Prob float64
+}
+
+// Recommender scores POIs from uncertain check-in histories using
+// expected visit counts: each uncertain visit contributes its
+// probability mass to every candidate, so positioning uncertainty
+// attenuates rather than corrupts the preference signal (the
+// probabilistic-modeling approach to uncertain check-ins).
+type Recommender struct {
+	userCounts map[string]map[string]float64 // user -> poi -> expected visits
+	popularity map[string]float64            // global expected visits
+	blend      float64                       // weight of global popularity
+}
+
+// NewRecommender returns a recommender; blend in [0, 1] mixes global
+// popularity into personal scores (0.2 is a reasonable default).
+func NewRecommender(blend float64) *Recommender {
+	if blend < 0 {
+		blend = 0
+	}
+	if blend > 1 {
+		blend = 1
+	}
+	return &Recommender{
+		userCounts: map[string]map[string]float64{},
+		popularity: map[string]float64{},
+		blend:      blend,
+	}
+}
+
+// Observe folds one uncertain visit of a user into the model.
+func (r *Recommender) Observe(user string, visit UncertainVisit) {
+	row, ok := r.userCounts[user]
+	if !ok {
+		row = map[string]float64{}
+		r.userCounts[user] = row
+	}
+	for _, c := range visit {
+		row[c.POI] += c.Prob
+		r.popularity[c.POI] += c.Prob
+	}
+}
+
+// Scored is a recommendation entry.
+type Scored struct {
+	POI   string
+	Score float64
+}
+
+// Recommend returns the top-k POIs for the user, excluding the given
+// set (typically the user's recent visits).
+func (r *Recommender) Recommend(user string, k int, exclude map[string]bool) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	personal := r.userCounts[user]
+	var maxPop float64
+	for _, p := range r.popularity {
+		if p > maxPop {
+			maxPop = p
+		}
+	}
+	var out []Scored
+	for poi, pop := range r.popularity {
+		if exclude[poi] {
+			continue
+		}
+		score := r.blend * pop / maxPossible(maxPop)
+		if personal != nil {
+			var maxPers float64
+			for _, v := range personal {
+				if v > maxPers {
+					maxPers = v
+				}
+			}
+			score += (1 - r.blend) * personal[poi] / maxPossible(maxPers)
+		}
+		out = append(out, Scored{POI: poi, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].POI < out[j].POI
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+func maxPossible(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// HitRate evaluates recommendations: for each (user, truth) pair it
+// checks whether the true next POI appears in the user's top-k.
+func (r *Recommender) HitRate(tests []struct {
+	User string
+	POI  string
+}, k int) float64 {
+	if len(tests) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, tc := range tests {
+		for _, s := range r.Recommend(tc.User, k, nil) {
+			if s.POI == tc.POI {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(tests))
+}

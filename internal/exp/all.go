@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"sidq/internal/core"
+)
+
+// F2 renders the Figure-2 taxonomy coverage matrix.
+func F2() string { return core.RenderFigure2() }
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(seed int64) Table
+}
+
+// All returns every table-producing experiment in run order (T1 and F2
+// render free-form text and are exposed separately).
+func All() []Experiment {
+	return []Experiment{
+		{"E1a", "ensemble location refinement", E1Radio},
+		{"E1b", "motion-based location refinement", E1Motion},
+		{"E1c", "collaborative location refinement", E1Collab},
+		{"E2", "trajectory uncertainty elimination", E2},
+		{"E3", "STID interpolation and fusion", E3},
+		{"E4", "outlier removal", E4},
+		{"E4b", "outlier handling ablation", E4b},
+		{"E5", "fault correction", E5},
+		{"E6", "data integration", E6},
+		{"E7", "trajectory compression", E7},
+		{"E7b", "network + STID codecs", E7b},
+		{"E8", "uncertain queries", E8},
+		{"E9", "dynamics: continuous/stream/distributed", E9},
+		{"E9b", "skew partitioning", E9b},
+		{"E10", "analysis", E10},
+		{"E11", "decision-making", E11},
+		{"E12", "pipeline ablation", E12},
+		{"E13", "privacy-preserving outsourcing", E13},
+		{"E14", "federated volume learning", E14},
+	}
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sidq/internal/decide"
+	"sidq/internal/geo"
+	"sidq/internal/private"
+)
+
+// E13 measures the privacy-preserving outsourcing scheme (§2.4
+// emerging trend): correctness of the private range query versus a
+// plaintext baseline, and the over-fetch cost across cell sizes — the
+// efficiency/privacy knob of spatial-transformation schemes.
+func E13(seed int64) Table {
+	t := Table{
+		ID:    "E13",
+		Title: "privacy-preserving outsourcing: over-fetch vs cell size",
+		Cols:  []string{"cell (m)", "results correct", "fetched/answer", "tokens/query"},
+		Notes: []string{"2000 encrypted points, 20 range queries of ~120 m; server sees tokens only"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point, 2000)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	queries := make([]geo.Rect, 20)
+	for i := range queries {
+		queries[i] = geo.RectFromCenter(
+			geo.Pt(rng.Float64()*1000, rng.Float64()*1000), 120, 120)
+	}
+	for _, cell := range []float64{50, 100, 200, 400} {
+		scheme := private.NewScheme([]byte("bench-key"), cell)
+		server := private.NewServer()
+		var recs []private.Record
+		for i, p := range pts {
+			recs = append(recs, scheme.Encrypt(uint64(i), p, []byte(fmt.Sprintf("d%d", i))))
+		}
+		server.Store(recs)
+		client := &private.Client{Scheme: scheme}
+		correct := true
+		answers, tokens := 0, 0
+		for _, rect := range queries {
+			got, err := client.RangeQuery(server, rect)
+			if err != nil {
+				correct = false
+				break
+			}
+			want := 0
+			for _, p := range pts {
+				if rect.Contains(p) {
+					want++
+				}
+			}
+			if len(got) != want {
+				correct = false
+			}
+			answers += len(got)
+			tokens += len(scheme.CoverTokens(rect))
+		}
+		overFetch := 0.0
+		if answers > 0 {
+			overFetch = float64(server.Fetched()) / float64(answers)
+		}
+		t.AddRow(F1(cell), fmt.Sprintf("%v", correct), F(overFetch), F1(float64(tokens)/float64(len(queries))))
+	}
+	return t
+}
+
+// E14 measures federated traffic-volume learning (§2.4 emerging
+// trend): the federated-averaged global model versus each node's local
+// model and versus the centralized (all raw data pooled) upper bound,
+// across fleet sizes.
+func E14(seed int64) Table {
+	t := Table{
+		ID:    "E14",
+		Title: "federated learning: volume MAE vs number of nodes",
+		Cols:  []string{"nodes", "worst local MAE", "best local MAE", "federated MAE", "centralized MAE"},
+		Notes: []string{"30k trips split across companies by market share; raw data never leaves a node"},
+	}
+	for _, k := range []int{2, 4, 8} {
+		truth, nodes, rates := federatedScenario(k, seed)
+		fed := decide.NewFederatedVolume(len(truth))
+		var updates []decide.LocalUpdate
+		worst, best := 0.0, 1e18
+		for i, g := range nodes {
+			updates = append(updates, decide.LocalEstimate(g, rates[i], 1))
+			local := decide.MAE(g.InferVolumes(rates[i], 1), truth)
+			if local > worst {
+				worst = local
+			}
+			if local < best {
+				best = local
+			}
+		}
+		if err := fed.Aggregate(updates); err != nil {
+			continue
+		}
+		fedMAE := decide.MAE(fed.Global(), truth)
+
+		// Centralized bound: pool everything with the summed rate.
+		bounds := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+		central := decide.NewVolumeGrid(bounds, 8, 8)
+		var totalRate float64
+		for i, g := range nodes {
+			totalRate += rates[i]
+			counts := g.Counts()
+			for c, v := range counts {
+				for j := 0; j < int(v); j++ {
+					central.Add(cellCenter(bounds, 8, 8, c))
+				}
+			}
+		}
+		centralMAE := decide.MAE(central.InferVolumes(totalRate, 1), truth)
+		t.AddRow(I(k), F1(worst), F1(best), F1(fedMAE), F1(centralMAE))
+	}
+	return t
+}
+
+// federatedScenario mirrors the decide package's test fixture: one
+// probe stream split across k companies with random market shares.
+func federatedScenario(k int, seed int64) (truth []float64, nodes []*decide.VolumeGrid, rates []float64) {
+	bounds := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	rng := rand.New(rand.NewSource(seed))
+	truthGrid := decide.NewVolumeGrid(bounds, 8, 8)
+	nodes = make([]*decide.VolumeGrid, k)
+	rates = make([]float64, k)
+	for i := range nodes {
+		nodes[i] = decide.NewVolumeGrid(bounds, 8, 8)
+		rates[i] = 0.05 + rng.Float64()*0.15
+	}
+	for i := 0; i < 30000; i++ {
+		var p geo.Point
+		if rng.Float64() < 0.7 {
+			p = geo.Pt(rng.Float64()*1000, 300+rng.NormFloat64()*120)
+		} else {
+			p = geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		truthGrid.Add(p)
+		r := rng.Float64()
+		acc := 0.0
+		for j := range nodes {
+			acc += rates[j]
+			if r < acc {
+				nodes[j].Add(p)
+				break
+			}
+		}
+	}
+	return truthGrid.Counts(), nodes, rates
+}
+
+func cellCenter(bounds geo.Rect, nx, ny, i int) geo.Point {
+	cx, cy := i%nx, i/nx
+	w := bounds.Width() / float64(nx)
+	h := bounds.Height() / float64(ny)
+	return geo.Pt(
+		bounds.Min.X+(float64(cx)+0.5)*w,
+		bounds.Min.Y+(float64(cy)+0.5)*h,
+	)
+}

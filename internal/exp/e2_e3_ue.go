@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+
+	"sidq/internal/geo"
+	"sidq/internal/refine"
+	"sidq/internal/roadnet"
+	"sidq/internal/simulate"
+	"sidq/internal/stid"
+	"sidq/internal/trajectory"
+	"sidq/internal/uncertain"
+)
+
+// E2 compares trajectory uncertainty-elimination methods across
+// sampling sparsity: calibration, smoothing (moving average and RTS),
+// and inference-based route recovery (map matching).
+func E2(seed int64) Table {
+	t := Table{
+		ID:    "E2",
+		Title: "trajectory UE: mean error (m) vs sampling interval (noise σ=10 m)",
+		Cols:  []string{"thin factor", "noisy raw", "moving avg", "RTS", "calibration", "map-matched", "route acc"},
+		Notes: []string{"grid-city trips; calibration anchors = network nodes; route acc = Jaccard vs true edges"},
+	}
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 10, NY: 10, Spacing: 120, Jitter: 8, RemoveFrac: 0.2, Seed: seed})
+	snapper := roadnet.NewSnapper(g, 100)
+	trips := simulate.TripsWithRoutes(g, simulate.TripOptions{NumObjects: 4, MinHops: 10, Speed: 12, SampleInterval: 1, Seed: seed + 1})
+	anchors := make([]geo.Point, 0, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		anchors = append(anchors, g.Node(roadnet.NodeID(i)).Pos)
+	}
+	for _, thin := range []int{2, 5, 10} {
+		var raw, ma, rts, cal, mm, acc float64
+		var n float64
+		for k, trip := range trips {
+			noisy := simulate.AddGaussianNoise(trip.Truth.Thin(thin), 10, seed+10+int64(k))
+			raw += trajectory.MeanErrorAgainst(noisy, trip.Truth)
+			ma += trajectory.MeanErrorAgainst(uncertain.MovingAverage(noisy, 2), trip.Truth)
+			rts += trajectory.MeanErrorAgainst(refine.KalmanSmoothTrajectory(noisy, 1, 10), trip.Truth)
+			cal += trajectory.MeanErrorAgainst(uncertain.CalibrateToAnchors(noisy, anchors, 25, 0.6), trip.Truth)
+			res, err := uncertain.MapMatch(g, snapper, noisy, uncertain.MatchOptions{EmissionSigma: 12})
+			if err == nil {
+				mm += trajectory.MeanErrorAgainst(res.Recovered, trip.Truth)
+				acc += uncertain.RouteAccuracy(res.Route, trip.Path.Edges)
+			}
+			n++
+		}
+		t.AddRow(I(thin), F(raw/n), F(ma/n), F(rts/n), F(cal/n), F(mm/n), F(acc/n))
+	}
+	return t
+}
+
+// E3 compares spatiotemporal interpolation methods across sensor
+// density, and shows the gain from bias-corrected multi-source fusion.
+func E3(seed int64) Table {
+	t := Table{
+		ID:    "E3",
+		Title: "STID UE: interpolation MAE vs sensor density; fusion gain",
+		Cols:  []string{"sensors", "IDW", "gaussian kernel", "trend+residual", "fused 2-src MAE"},
+		Notes: []string{"1 km² field, 100 random location-time probes; 2nd source has +15 bias, 4x noise"},
+	}
+	f := simulate.NewField(simulate.FieldOptions{Seed: seed})
+	for _, density := range []int{10, 20, 40, 80} {
+		_, readings := simulate.SensorNetwork(f, simulate.SensorNetworkOptions{
+			NumSensors: density, Interval: 600, Duration: 3600, NoiseSigma: 1, Seed: seed + int64(density),
+		})
+		idw := uncertain.IDW{Readings: readings, TimeWindow: 900}
+		gk := uncertain.GaussianKernel{Readings: readings, SpaceSigma: 150, TimeSigma: 900}
+		tr := uncertain.NewTrendResidual(readings, 2, 900)
+		rng := rand.New(rand.NewSource(seed + 99))
+		var eI, eG, eT float64
+		const probes = 100
+		for i := 0; i < probes; i++ {
+			pos := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			tm := rng.Float64() * 3600
+			truth := f.Value(pos, tm)
+			if v, ok := idw.Estimate(pos, tm); ok {
+				eI += math.Abs(v - truth)
+			}
+			if v, ok := gk.Estimate(pos, tm); ok {
+				eG += math.Abs(v - truth)
+			}
+			if v, ok := tr.Estimate(pos, tm); ok {
+				eT += math.Abs(v - truth)
+			}
+		}
+		// Fusion: a second biased, noisier source on the same grid.
+		_, noisy := simulate.SensorNetwork(f, simulate.SensorNetworkOptions{
+			NumSensors: density, Interval: 600, Duration: 3600, NoiseSigma: 4, Seed: seed + 500 + int64(density),
+		})
+		biased := make([]stid.Reading, len(noisy))
+		copy(biased, noisy)
+		for i := range biased {
+			biased[i].Value += 15
+		}
+		fres := uncertain.FuseSources([]uncertain.SourceReadings{
+			{Source: "A", Readings: readings},
+			{Source: "B", Readings: biased},
+		}, 150)
+		var eF float64
+		for _, r := range fres.Fused {
+			eF += math.Abs(r.Value - f.Value(r.Pos, r.T))
+		}
+		if len(fres.Fused) > 0 {
+			eF /= float64(len(fres.Fused))
+		}
+		t.AddRow(I(density), F(eI/probes), F(eG/probes), F(eT/probes), F(eF))
+	}
+	return t
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"math/rand"
+
+	"sidq/internal/distrib"
+	"sidq/internal/geo"
+	"sidq/internal/outlier"
+	"sidq/internal/simulate"
+	"sidq/internal/trajectory"
+)
+
+// E4b ablates the outlier-handling strategy (DESIGN ablation #3):
+// repairing gross outliers with the motion prediction versus dropping
+// them, scored on positional accuracy and on the completeness the
+// consumer retains.
+func E4b(seed int64) Table {
+	t := Table{
+		ID:    "E4b",
+		Title: "outlier handling ablation: repair vs drop",
+		Cols:  []string{"rate", "raw err", "drop err", "repair err", "drop kept", "repair kept"},
+		Notes: []string{"mean error (m) vs truth; kept = points retained / original"},
+	}
+	region := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(2000, 2000)}
+	for _, rate := range []float64{0.05, 0.1, 0.2, 0.3} {
+		truth := simulate.RandomWalk("w", region, 600, 3, 1, seed)
+		noisy := simulate.AddGaussianNoise(truth, 2, seed+1)
+		corrupted, _ := simulate.InjectOutliers(noisy, rate, 150, seed+2)
+
+		_, flags := outlier.Prediction(corrupted, outlier.PredictionOptions{MeasNoise: 4, Threshold: 6})
+		dropped := outlier.Remove(corrupted, flags)
+		repaired, _ := outlier.Prediction(corrupted, outlier.PredictionOptions{MeasNoise: 4, Threshold: 6, Repair: true})
+
+		t.AddRow(F(rate),
+			F1(trajectory.MeanErrorAgainst(corrupted, truth)),
+			F1(trajectory.MeanErrorAgainst(dropped, truth)),
+			F1(trajectory.MeanErrorAgainst(repaired, truth)),
+			F(float64(dropped.Len())/float64(corrupted.Len())),
+			F(float64(repaired.Len())/float64(corrupted.Len())),
+		)
+	}
+	return t
+}
+
+// E9b reproduces the skewed-SID partitioning comparison: locality-
+// preserving grid partitioning concentrates a hot spot on one worker,
+// hash partitioning spreads it — the load-balancing trade-off the paper
+// surveys for queries over skewed SID.
+func E9b(seed int64) Table {
+	t := Table{
+		ID:    "E9b",
+		Title: "skewed SID partitioning: load imbalance (max/mean) grid vs hash",
+		Cols:  []string{"hot-spot frac", "grid imbalance", "hash imbalance"},
+		Notes: []string{"16 partitions, 20k points; hot spot is a 30x30 m cell of a 1 km² region"},
+	}
+	bounds := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	for _, hot := range []float64{0, 0.25, 0.5, 0.9} {
+		rng := rand.New(rand.NewSource(seed))
+		grid := distrib.NewGridPartitioner(bounds, 4, 4)
+		hash := distrib.NewHashPartitioner(16, 0.5)
+		gridCounts := make([]float64, 16)
+		hashCounts := make([]float64, 16)
+		const n = 20000
+		for i := 0; i < n; i++ {
+			var p geo.Point
+			if rng.Float64() < hot {
+				p = geo.Pt(500+rng.Float64()*30, 500+rng.Float64()*30)
+			} else {
+				p = geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			}
+			gridCounts[grid.Partition(p)]++
+			hashCounts[hash.Partition(p)]++
+		}
+		t.AddRow(F(hot), F(imbalance(gridCounts)), F(imbalance(hashCounts)))
+	}
+	return t
+}
+
+func imbalance(counts []float64) float64 {
+	var sum, max float64
+	for _, c := range counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(counts)))
+}

@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"sidq/internal/geo"
+	"sidq/internal/integrate"
+	"sidq/internal/reduce"
+	"sidq/internal/roadnet"
+	"sidq/internal/simulate"
+	"sidq/internal/stid"
+	"sidq/internal/trajectory"
+)
+
+// E6 scores the data-integration tasks: semantic annotation accuracy,
+// cross-system entity-linking precision, and reading deduplication.
+func E6(seed int64) Table {
+	t := Table{
+		ID:    "E6",
+		Title: "data integration: quality vs GPS noise",
+		Cols:  []string{"noise σ (m)", "annotation acc", "linking precision", "dedup kept frac"},
+		Notes: []string{"annotation: 3-stop visit tours; linking: 6 objects seen by 2 systems; dedup: 30% duplicated readings"},
+	}
+	pois := []integrate.POI{
+		{ID: "home", Pos: geo.Pt(50, 50), Category: "home"},
+		{ID: "work", Pos: geo.Pt(700, 100), Category: "work"},
+		{ID: "cafe", Pos: geo.Pt(400, 650), Category: "food"},
+		{ID: "gym", Pos: geo.Pt(100, 700), Category: "leisure"},
+	}
+	for _, sigma := range []float64{1, 4, 8, 16} {
+		// Semantic annotation.
+		truthTr, visits := visitTour(pois, []int{0, 1, 2, 3}, 180, 8)
+		noisy := simulate.AddGaussianNoise(truthTr, sigma, seed+1)
+		eps := integrate.Episodes(noisy, pois, 20+2*sigma, 90, 40+2*sigma)
+		annAcc := integrate.AnnotationAccuracy(eps, visits)
+
+		// Entity linking.
+		region := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+		var sysA, sysB []*trajectory.Trajectory
+		for i := 0; i < 6; i++ {
+			truth := simulate.RandomWalk(fmt.Sprintf("A%d", i), region, 150, 2, 1, seed+10+int64(i))
+			sysA = append(sysA, truth)
+			obs := simulate.AddGaussianNoise(truth, sigma, seed+20+int64(i))
+			obs.ID = fmt.Sprintf("B%d", i)
+			sysB = append(sysB, obs)
+		}
+		links := integrate.LinkEntities(sysA, sysB, 25, 0)
+		correct := 0
+		for _, l := range links {
+			if l.A[1:] == l.B[1:] {
+				correct++
+			}
+		}
+		linkPrec := 0.0
+		if len(links) > 0 {
+			linkPrec = float64(correct) / float64(len(links))
+		}
+
+		// Deduplication.
+		f := simulate.NewField(simulate.FieldOptions{Seed: seed})
+		_, readings := simulate.SensorNetwork(f, simulate.SensorNetworkOptions{
+			NumSensors: 20, Interval: 300, Duration: 3000, Seed: seed + 30,
+		})
+		dup := append([]stid.Reading(nil), readings...)
+		for i := 0; i < len(readings)*3/10; i++ {
+			dup = append(dup, readings[i])
+		}
+		merged := integrate.Deduplicate(dup, 5, 5)
+		t.AddRow(F1(sigma), F(annAcc), F(linkPrec), F(float64(len(merged))/float64(len(dup))))
+	}
+	return t
+}
+
+// visitTour builds a tour dwelling at each POI; mirrors the integrate
+// package's test helper.
+func visitTour(pois []integrate.POI, order []int, dwell, speed float64) (*trajectory.Trajectory, map[float64]string) {
+	var pts []trajectory.Point
+	visits := map[float64]string{}
+	tm := 0.0
+	var cur geo.Point
+	for k, idx := range order {
+		target := pois[idx].Pos
+		if k > 0 {
+			dist := cur.Dist(target)
+			steps := int(dist/(speed*5)) + 1
+			for s := 1; s <= steps; s++ {
+				tm += 5
+				pts = append(pts, trajectory.Point{T: tm, Pos: cur.Lerp(target, float64(s)/float64(steps))})
+			}
+		}
+		cur = target
+		start := tm
+		for dt := 0.0; dt <= dwell; dt += 10 {
+			tm += 10
+			wob := geo.Pt(math.Sin(tm)*2, math.Cos(tm)*2)
+			pts = append(pts, trajectory.Point{T: tm, Pos: cur.Add(wob)})
+		}
+		visits[start+dwell/2] = pois[idx].ID
+	}
+	return trajectory.New("tour", pts), visits
+}
+
+// E7 measures data reduction: trajectory simplification ratios at
+// bounded SED error, network-constrained encoding, and STID codecs.
+func E7(seed int64) Table {
+	t := Table{
+		ID:    "E7",
+		Title: "data reduction: compression ratio vs error bound",
+		Cols:  []string{"eps (m)", "DP-SED ratio", "DP maxSED", "sliding-window ratio", "SW maxSED", "dead-reckoning ratio", "SQUISH@eq ratio"},
+		Notes: []string{"grid-city trip @1 Hz; SQUISH capacity = DP's kept count (equal budget)"},
+	}
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 10, NY: 10, Spacing: 150, Jitter: 10, RemoveFrac: 0.2, Seed: seed})
+	trip := simulate.Trips(g, simulate.TripOptions{NumObjects: 1, MinHops: 14, Speed: 12, SampleInterval: 1, Seed: seed})[0]
+	for _, eps := range []float64{2, 5, 10, 25} {
+		dp := reduce.DouglasPeuckerSED(trip, eps)
+		sw := reduce.SlidingWindow(trip, eps)
+		dr := reduce.DeadReckoning(trip, eps)
+		sq := reduce.SQUISH(trip, dp.Len())
+		t.AddRow(F1(eps),
+			F1(reduce.CompressionRatio(trip.Len(), dp.Len())), F(reduce.VerifySED(trip, dp)),
+			F1(reduce.CompressionRatio(trip.Len(), sw.Len())), F(reduce.VerifySED(trip, sw)),
+			F1(reduce.CompressionRatio(trip.Len(), dr.Len())),
+			F1(reduce.CompressionRatio(trip.Len(), sq.Len())),
+		)
+	}
+	return t
+}
+
+// E7b measures network-constrained and STID codecs.
+func E7b(seed int64) Table {
+	t := Table{
+		ID:    "E7b",
+		Title: "data reduction: network-constrained + STID codecs",
+		Cols:  []string{"codec", "ratio", "max error"},
+	}
+	// Network-constrained trip.
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 10, NY: 10, Spacing: 150, Seed: seed})
+	trips := simulate.TripsWithRoutes(g, simulate.TripOptions{NumObjects: 1, MinHops: 15, Speed: 12, SampleInterval: 1, Seed: seed})
+	trip := trips[0]
+	times := make([]float64, len(trip.Path.Edges))
+	walked := 0.0
+	for i, e := range trip.Path.Edges {
+		walked += g.Edge(e).Length
+		times[i] = walked / 12
+	}
+	enc := reduce.EncodeNetworkTrip(reduce.NetworkTrip{Route: trip.Path.Edges, Times: times}, 1)
+	t.AddRow("network-constrained", F1(float64(reduce.RawTripBytes(trip.Truth.Len()))/float64(len(enc))), "0.5 s (time quantum)")
+
+	// STID series: one sensor over a day.
+	f := simulate.NewField(simulate.FieldOptions{Seed: seed + 1})
+	samples := make([]reduce.Sample, 1440)
+	vals := make([]float64, len(samples))
+	pos := geo.Pt(500, 500)
+	for i := range samples {
+		tm := float64(i) * 60
+		samples[i] = reduce.Sample{T: tm, V: f.Value(pos, tm)}
+		vals[i] = samples[i].V
+	}
+	// Lossless after 0.01 quantization.
+	q := reduce.Quantize(vals, 0.01)
+	dv := reduce.DeltaVarintEncode(q)
+	t.AddRow("delta+varint (q=0.01)", F1(float64(8*len(vals))/float64(len(dv))), "0.005 (quantization)")
+	zz := make([]uint64, len(q))
+	prev := int64(0)
+	for i, v := range q {
+		zz[i] = reduce.ZigZag(v - prev)
+		prev = v
+	}
+	rice := reduce.RiceEncode(zz, 4)
+	t.AddRow("rice k=4 (q=0.01)", F1(float64(8*len(vals))/float64(len(rice))), "0.005 (quantization)")
+	// Lossy LTC at eps=0.5.
+	kept := reduce.LTC(samples, 0.5)
+	t.AddRow("LTC eps=0.5", F1(reduce.CompressionRatio(len(samples), len(kept))), F(reduce.MaxReconstructionError(samples, kept)))
+	// Prediction suppression at eps=0.5.
+	sup := reduce.SuppressConstant(samples, 0.5)
+	var worst float64
+	for _, s := range samples {
+		v, _ := reduce.ReconstructConstant(sup, s.T)
+		if d := math.Abs(v - s.V); d > worst {
+			worst = d
+		}
+	}
+	t.AddRow("suppress eps=0.5", F1(reduce.CompressionRatio(len(samples), len(sup))), F(worst))
+	return t
+}

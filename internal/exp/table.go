@@ -1,0 +1,72 @@
+// Package exp contains the experiment harness that regenerates the
+// paper-derived tables and figures listed in DESIGN.md: T1 (Table 1),
+// F2 (Figure 2), and the taxonomy experiments E1-E12. Every experiment
+// is deterministic given its seed and returns a Table that renders as
+// an aligned text table; cmd/sidqbench prints them and the root bench
+// suite times them.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID    string
+	Title string
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// F formats a float compactly for table cells.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// F1 formats with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// Render returns the aligned text rendering of the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	for i, c := range t.Cols {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range t.Cols {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, cell)
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

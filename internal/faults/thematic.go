@@ -1,0 +1,41 @@
+package faults
+
+import (
+	"sidq/internal/stid"
+	"sidq/internal/uncertain"
+)
+
+// RepairThematic replaces the flagged readings' values with a
+// spatiotemporal neighborhood-consensus estimate computed from the
+// unflagged readings (Gaussian-kernel interpolation). Readings the
+// consensus cannot estimate (no clean neighbors) are left unchanged.
+// It returns the repaired copy and the number of values rewritten.
+func RepairThematic(readings []stid.Reading, flags []bool, spaceSigma, timeSigma float64) ([]stid.Reading, int) {
+	out := append([]stid.Reading(nil), readings...)
+	var clean []stid.Reading
+	for i, r := range readings {
+		if i < len(flags) && flags[i] {
+			continue
+		}
+		clean = append(clean, r)
+	}
+	if len(clean) == 0 {
+		return out, 0
+	}
+	kernel := uncertain.GaussianKernel{
+		Readings:   clean,
+		SpaceSigma: spaceSigma,
+		TimeSigma:  timeSigma,
+	}
+	repaired := 0
+	for i := range out {
+		if i >= len(flags) || !flags[i] {
+			continue
+		}
+		if est, ok := kernel.Estimate(out[i].Pos, out[i].T); ok {
+			out[i].Value = est
+			repaired++
+		}
+	}
+	return out, repaired
+}

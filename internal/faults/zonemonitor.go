@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"sort"
+)
+
+// ZoneEvent is a monitored object's zone transition.
+type ZoneEvent struct {
+	ObjectID string
+	T        float64
+	From, To string // zone labels; None for uncovered space
+}
+
+// ZoneMonitor maintains a continuous range query over *symbolic* space
+// (the indoor analogue of rectangle monitoring): given a watch-set of
+// zones (readers/rooms), it tracks which objects are currently inside
+// any watched zone from their cleaned symbolic label streams, emitting
+// enter/exit events. This is the scalable symbolic-indoor range
+// monitoring task the paper cites for symbolic tracking data.
+type ZoneMonitor struct {
+	watched map[string]bool
+	current map[string]string // object -> zone label
+	inside  map[string]bool
+	events  []ZoneEvent
+}
+
+// NewZoneMonitor returns a monitor over the watched zone labels.
+func NewZoneMonitor(zones []string) *ZoneMonitor {
+	m := &ZoneMonitor{
+		watched: map[string]bool{},
+		current: map[string]string{},
+		inside:  map[string]bool{},
+	}
+	for _, z := range zones {
+		m.watched[z] = true
+	}
+	return m
+}
+
+// Observe feeds one labeled epoch of an object's symbolic trajectory.
+// It returns whether the observation changed the object's membership
+// in the watched set.
+func (m *ZoneMonitor) Observe(objectID string, t float64, zone string) bool {
+	prev := m.current[objectID]
+	m.current[objectID] = zone
+	wasIn := m.inside[objectID]
+	isIn := m.watched[zone]
+	if wasIn == isIn {
+		return false
+	}
+	m.inside[objectID] = isIn
+	m.events = append(m.events, ZoneEvent{
+		ObjectID: objectID,
+		T:        t,
+		From:     prev,
+		To:       zone,
+	})
+	return true
+}
+
+// Result returns the ids currently inside a watched zone, sorted.
+func (m *ZoneMonitor) Result() []string {
+	var out []string
+	for id, in := range m.inside {
+		if in {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Events returns the enter/exit transitions observed so far, in
+// arrival order.
+func (m *ZoneMonitor) Events() []ZoneEvent {
+	return append([]ZoneEvent(nil), m.events...)
+}
+
+// Where returns the object's last known zone label.
+func (m *ZoneMonitor) Where(objectID string) string { return m.current[objectID] }

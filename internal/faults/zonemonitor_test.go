@@ -1,0 +1,107 @@
+package faults
+
+import (
+	"testing"
+
+	"sidq/internal/simulate"
+)
+
+func TestZoneMonitorTracksWatchedZones(t *testing.T) {
+	m := NewZoneMonitor([]string{"r2", "r3"})
+	// Object walks r0 -> r1 -> r2 -> r3 -> r4 with gaps (None).
+	seq := []struct {
+		t    float64
+		zone string
+	}{
+		{0, "r0"}, {1, None}, {2, "r1"}, {3, "r2"}, {4, "r2"},
+		{5, None}, {6, "r3"}, {7, "r4"},
+	}
+	var changes int
+	for _, s := range seq {
+		if m.Observe("tag", s.t, s.zone) {
+			changes++
+		}
+	}
+	// Transitions: enter at t=3 (r2), exit at t=5 (None), enter at t=6
+	// (r3), exit at t=7 (r4).
+	if changes != 4 {
+		t.Fatalf("membership changes = %d", changes)
+	}
+	events := m.Events()
+	if len(events) != 4 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].T != 3 || events[0].To != "r2" {
+		t.Fatalf("first event = %+v", events[0])
+	}
+	if len(m.Result()) != 0 {
+		t.Fatalf("object should be outside at the end: %v", m.Result())
+	}
+	if m.Where("tag") != "r4" {
+		t.Fatalf("where = %q", m.Where("tag"))
+	}
+}
+
+func TestZoneMonitorMultipleObjects(t *testing.T) {
+	m := NewZoneMonitor([]string{"dock"})
+	m.Observe("a", 0, "dock")
+	m.Observe("b", 0, "hall")
+	m.Observe("c", 0, "dock")
+	got := m.Result()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("result = %v", got)
+	}
+	// Repeated same-zone observations are not membership changes.
+	if m.Observe("a", 1, "dock") {
+		t.Fatal("no-op observation reported a change")
+	}
+}
+
+func TestZoneMonitorOverCleanedSymbolicStream(t *testing.T) {
+	// End to end: simulate faulty detections, clean with the HMM, and
+	// monitor a zone set over the cleaned stream; accuracy of membership
+	// vs ground truth should beat monitoring the raw stream.
+	w := simulate.Symbolic("tag", simulate.SymbolicOptions{
+		NumReaders: 10, Spacing: 20, Range: 8, Epoch: 1, Speed: 2,
+		FalseNeg: 0.3, FalsePos: 0.08, Seed: 9,
+	})
+	dep := Deployment{Epoch: 1, MaxSpeed: 6}
+	for _, r := range w.Readers {
+		dep.Readers = append(dep.Readers, ReaderInfo{ID: r.ID, Pos: r.Pos, Range: r.Range})
+	}
+	obs := map[float64][]string{}
+	for _, e := range w.Epochs {
+		obs[e] = nil
+	}
+	for _, d := range w.Detections {
+		obs[d.T] = append(obs[d.T], d.ReaderID)
+	}
+	cleaned := dep.HMMClean(w.Epochs, obs, 0.3, 0.08)
+	watch := []string{"r4", "r5"}
+	inWatch := func(z string) bool { return z == "r4" || z == "r5" }
+
+	score := func(label func(t float64) string) int {
+		m := NewZoneMonitor(watch)
+		ok := 0
+		for _, e := range w.Epochs {
+			m.Observe("tag", e, label(e))
+			want := inWatch(w.Truth[e])
+			got := len(m.Result()) == 1
+			if got == want {
+				ok++
+			}
+		}
+		return ok
+	}
+	cleanedScore := score(func(t float64) string { return cleaned[t] })
+	rawScore := score(func(t float64) string {
+		rs := obs[t]
+		if len(rs) == 0 {
+			return None
+		}
+		return rs[0]
+	})
+	if cleanedScore <= rawScore {
+		t.Fatalf("cleaned monitoring %d <= raw %d", cleanedScore, rawScore)
+	}
+}

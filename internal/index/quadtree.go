@@ -1,0 +1,120 @@
+package index
+
+import (
+	"sidq/internal/geo"
+)
+
+const quadtreeCapacity = 8
+
+// Quadtree is a region quadtree over point entries with a fixed extent.
+// Points outside the extent are rejected by Insert.
+type Quadtree struct {
+	root  *quadNode
+	count int
+}
+
+type quadNode struct {
+	bounds   geo.Rect
+	entries  []PointEntry
+	children *[4]*quadNode // nil until split
+	depth    int
+}
+
+const quadtreeMaxDepth = 24
+
+// NewQuadtree returns an empty quadtree covering bounds.
+func NewQuadtree(bounds geo.Rect) *Quadtree {
+	return &Quadtree{root: &quadNode{bounds: bounds}}
+}
+
+// Len returns the number of stored entries.
+func (q *Quadtree) Len() int { return q.count }
+
+// Insert adds an entry; it reports false if the point is outside the
+// tree's extent.
+func (q *Quadtree) Insert(e PointEntry) bool {
+	if !q.root.bounds.Contains(e.Pos) {
+		return false
+	}
+	q.root.insert(e)
+	q.count++
+	return true
+}
+
+func (n *quadNode) insert(e PointEntry) {
+	if n.children == nil {
+		if len(n.entries) < quadtreeCapacity || n.depth >= quadtreeMaxDepth {
+			n.entries = append(n.entries, e)
+			return
+		}
+		n.split()
+	}
+	n.childFor(e.Pos).insert(e)
+}
+
+func (n *quadNode) split() {
+	c := n.bounds.Center()
+	b := n.bounds
+	n.children = &[4]*quadNode{
+		{bounds: geo.Rect{Min: b.Min, Max: c}, depth: n.depth + 1},                                   // SW
+		{bounds: geo.Rect{Min: geo.Pt(c.X, b.Min.Y), Max: geo.Pt(b.Max.X, c.Y)}, depth: n.depth + 1}, // SE
+		{bounds: geo.Rect{Min: geo.Pt(b.Min.X, c.Y), Max: geo.Pt(c.X, b.Max.Y)}, depth: n.depth + 1}, // NW
+		{bounds: geo.Rect{Min: c, Max: b.Max}, depth: n.depth + 1},                                   // NE
+	}
+	old := n.entries
+	n.entries = nil
+	for _, e := range old {
+		n.childFor(e.Pos).insert(e)
+	}
+}
+
+func (n *quadNode) childFor(p geo.Point) *quadNode {
+	c := n.bounds.Center()
+	i := 0
+	if p.X >= c.X {
+		i++
+	}
+	if p.Y >= c.Y {
+		i += 2
+	}
+	return n.children[i]
+}
+
+// Range returns all entries with positions inside rect.
+func (q *Quadtree) Range(rect geo.Rect) []PointEntry {
+	var out []PointEntry
+	q.root.query(rect, &out)
+	return out
+}
+
+func (n *quadNode) query(rect geo.Rect, out *[]PointEntry) {
+	if !n.bounds.Intersects(rect) {
+		return
+	}
+	for _, e := range n.entries {
+		if rect.Contains(e.Pos) {
+			*out = append(*out, e)
+		}
+	}
+	if n.children != nil {
+		for _, c := range n.children {
+			c.query(rect, out)
+		}
+	}
+}
+
+// Depth returns the maximum depth of the tree (0 for a leaf root).
+func (q *Quadtree) Depth() int { return q.root.maxDepth() }
+
+func (n *quadNode) maxDepth() int {
+	if n.children == nil {
+		return 0
+	}
+	var d int
+	for _, c := range n.children {
+		if cd := c.maxDepth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}

@@ -1,0 +1,175 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"sidq/internal/geo"
+	"sidq/internal/trajectory"
+)
+
+// TrajectoryIndex is a spatio-temporal index over trajectories: time is
+// partitioned into fixed buckets, and each bucket holds an R-tree of
+// the bounding rectangles of trajectory sub-segments that overlap it.
+// This is the classic 3D-range access method used for historical
+// moving-object queries.
+type TrajectoryIndex struct {
+	bucket  float64
+	buckets map[int64]*RTree
+	trs     map[string]*trajectory.Trajectory
+}
+
+// NewTrajectoryIndex returns an index with the given time-bucket width
+// in seconds (must be positive; defaults to 60 otherwise).
+func NewTrajectoryIndex(bucketSeconds float64) *TrajectoryIndex {
+	if bucketSeconds <= 0 {
+		bucketSeconds = 60
+	}
+	return &TrajectoryIndex{
+		bucket:  bucketSeconds,
+		buckets: make(map[int64]*RTree),
+		trs:     make(map[string]*trajectory.Trajectory),
+	}
+}
+
+// Add indexes a trajectory. Re-adding an id replaces the stored
+// trajectory but does not remove stale bucket entries; use a fresh
+// index for rebuild semantics.
+func (ix *TrajectoryIndex) Add(tr *trajectory.Trajectory) {
+	if tr.Len() == 0 {
+		return
+	}
+	ix.trs[tr.ID] = tr
+	t0, t1, _ := tr.TimeBounds()
+	for b := int64(math.Floor(t0 / ix.bucket)); b <= int64(math.Floor(t1/ix.bucket)); b++ {
+		lo, hi := float64(b)*ix.bucket, float64(b+1)*ix.bucket
+		sub := tr.Slice(lo, hi) // points within the bucket
+		rect := sub.Bounds()
+		// Include the interpolated positions at the bucket boundaries so
+		// segments crossing bucket edges are covered.
+		if p, ok := tr.LocationAt(lo); ok {
+			rect = rect.ExtendPoint(p)
+		}
+		if p, ok := tr.LocationAt(hi); ok {
+			rect = rect.ExtendPoint(p)
+		}
+		if rect.IsEmpty() {
+			continue
+		}
+		rt, ok := ix.buckets[b]
+		if !ok {
+			rt = NewRTree()
+			ix.buckets[b] = rt
+		}
+		rt.Insert(RectEntry{ID: tr.ID, Rect: rect})
+	}
+}
+
+// Get returns the stored trajectory by id.
+func (ix *TrajectoryIndex) Get(id string) (*trajectory.Trajectory, bool) {
+	tr, ok := ix.trs[id]
+	return tr, ok
+}
+
+// Len returns the number of indexed trajectories.
+func (ix *TrajectoryIndex) Len() int { return len(ix.trs) }
+
+// RangeQuery returns the ids of trajectories that have an interpolated
+// position inside rect at some time in [t0, t1]. Candidate pruning uses
+// the bucket R-trees; candidates are verified against the actual
+// geometry by sampling the motion at sub-bucket resolution.
+func (ix *TrajectoryIndex) RangeQuery(rect geo.Rect, t0, t1 float64) []string {
+	if t1 < t0 || rect.IsEmpty() {
+		return nil
+	}
+	cands := map[string]bool{}
+	for b := int64(math.Floor(t0 / ix.bucket)); b <= int64(math.Floor(t1/ix.bucket)); b++ {
+		rt, ok := ix.buckets[b]
+		if !ok {
+			continue
+		}
+		for _, e := range rt.Search(rect) {
+			cands[e.ID] = true
+		}
+	}
+	var out []string
+	for id := range cands {
+		if ix.verify(ix.trs[id], rect, t0, t1) {
+			out = append(out, id)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+// verify checks whether tr's interpolated position enters rect during
+// [t0, t1], by checking each motion segment overlapping the window.
+func (ix *TrajectoryIndex) verify(tr *trajectory.Trajectory, rect geo.Rect, t0, t1 float64) bool {
+	if tr == nil {
+		return false
+	}
+	pts := tr.Points
+	for i := 0; i < len(pts); i++ {
+		if pts[i].T >= t0 && pts[i].T <= t1 && rect.Contains(pts[i].Pos) {
+			return true
+		}
+		if i == 0 {
+			continue
+		}
+		a, b := pts[i-1], pts[i]
+		if b.T < t0 || a.T > t1 || a.T == b.T {
+			continue
+		}
+		// Clip the segment to the time window and test the clipped chord.
+		loT := math.Max(a.T, t0)
+		hiT := math.Min(b.T, t1)
+		fa := (loT - a.T) / (b.T - a.T)
+		fb := (hiT - a.T) / (b.T - a.T)
+		pa := a.Pos.Lerp(b.Pos, fa)
+		pb := a.Pos.Lerp(b.Pos, fb)
+		if segmentIntersectsRect(pa, pb, rect) {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentIntersectsRect reports whether the segment pa-pb intersects
+// rect, using a standard slab (Liang-Barsky style) clip test.
+func segmentIntersectsRect(pa, pb geo.Point, rect geo.Rect) bool {
+	if rect.Contains(pa) || rect.Contains(pb) {
+		return true
+	}
+	d := pb.Sub(pa)
+	tmin, tmax := 0.0, 1.0
+	for _, axis := range [2][3]float64{
+		{d.X, pa.X - rect.Min.X, rect.Max.X - pa.X},
+		{d.Y, pa.Y - rect.Min.Y, rect.Max.Y - pa.Y},
+	} {
+		dir, toMin, toMax := axis[0], axis[1], axis[2]
+		if dir == 0 {
+			if toMin < 0 || toMax < 0 {
+				return false
+			}
+			continue
+		}
+		t1 := -toMin / dir // param where axis = min
+		t2 := toMax / dir  // param where axis = max
+		lo, hi := t1, t2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo > tmin {
+			tmin = lo
+		}
+		if hi < tmax {
+			tmax = hi
+		}
+		if tmin > tmax {
+			return false
+		}
+	}
+	return true
+}
+
+func sortStrings(s []string) { sort.Strings(s) }

@@ -1,0 +1,218 @@
+package integrate
+
+import (
+	"math"
+	"testing"
+
+	"sidq/internal/geo"
+	"sidq/internal/simulate"
+	"sidq/internal/stid"
+	"sidq/internal/trajectory"
+)
+
+// visitTrajectory builds a trajectory that dwells at each given POI for
+// dwell seconds, moving between them at speed.
+func visitTrajectory(pois []POI, order []int, dwell, speed float64) (*trajectory.Trajectory, map[float64]string) {
+	var pts []trajectory.Point
+	visits := map[float64]string{}
+	t := 0.0
+	var cur geo.Point
+	for k, idx := range order {
+		target := pois[idx].Pos
+		if k > 0 {
+			dist := cur.Dist(target)
+			steps := int(dist/(speed*5)) + 1
+			for s := 1; s <= steps; s++ {
+				t += 5
+				pts = append(pts, trajectory.Point{T: t, Pos: cur.Lerp(target, float64(s)/float64(steps))})
+			}
+		}
+		cur = target
+		// Dwell with small wobble.
+		start := t
+		for dt := 0.0; dt <= dwell; dt += 10 {
+			t += 10
+			wob := geo.Pt(math.Sin(t)*2, math.Cos(t)*2)
+			pts = append(pts, trajectory.Point{T: t, Pos: cur.Add(wob)})
+		}
+		visits[start+dwell/2] = pois[idx].ID
+	}
+	return trajectory.New("u", pts), visits
+}
+
+func testPOIs() []POI {
+	return []POI{
+		{ID: "home", Pos: geo.Pt(0, 0), Category: "home"},
+		{ID: "work", Pos: geo.Pt(500, 0), Category: "work"},
+		{ID: "cafe", Pos: geo.Pt(500, 400), Category: "food"},
+	}
+}
+
+func TestEpisodesSegmentsAndAnnotates(t *testing.T) {
+	pois := testPOIs()
+	tr, visits := visitTrajectory(pois, []int{0, 1, 2}, 120, 10)
+	eps := Episodes(tr, pois, 15, 60, 30)
+	var stays, moves int
+	for _, ep := range eps {
+		if ep.Kind == Stay {
+			stays++
+			if ep.POI == "" {
+				t.Fatalf("unannotated stay at %v", ep.Center)
+			}
+		} else {
+			moves++
+		}
+		if ep.End < ep.Start {
+			t.Fatal("episode times inverted")
+		}
+	}
+	if stays != 3 {
+		t.Fatalf("stays = %d, want 3", stays)
+	}
+	if moves < 2 {
+		t.Fatalf("moves = %d", moves)
+	}
+	if acc := AnnotationAccuracy(eps, visits); acc != 1 {
+		t.Fatalf("annotation accuracy = %v", acc)
+	}
+}
+
+func TestEpisodesNoPOIsNearby(t *testing.T) {
+	pois := []POI{{ID: "far", Pos: geo.Pt(1e6, 1e6)}}
+	tr, _ := visitTrajectory(testPOIs(), []int{0, 1}, 120, 10)
+	eps := Episodes(tr, pois, 15, 60, 30)
+	for _, ep := range eps {
+		if ep.POI != "" {
+			t.Fatal("annotation should require proximity")
+		}
+	}
+	if got := Episodes(&trajectory.Trajectory{}, pois, 15, 60, 30); got != nil {
+		t.Fatal("empty trajectory episodes")
+	}
+}
+
+func TestAnnotationAccuracyEmpty(t *testing.T) {
+	if AnnotationAccuracy(nil, nil) != 1 {
+		t.Fatal("empty visits should be perfect")
+	}
+	if AnnotationAccuracy(nil, map[float64]string{1: "x"}) != 0 {
+		t.Fatal("missing episodes should miss visits")
+	}
+}
+
+func TestLinkEntities(t *testing.T) {
+	region := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	// System A observes 5 objects; system B observes the same objects
+	// with noise and different ids.
+	var a, b []*trajectory.Trajectory
+	for i := 0; i < 5; i++ {
+		truth := simulate.RandomWalk("A"+string(rune('0'+i)), region, 200, 2, 1, int64(i+1))
+		a = append(a, truth)
+		obs := simulate.AddGaussianNoise(truth, 3, int64(100+i))
+		obs.ID = "B" + string(rune('0'+i))
+		b = append(b, obs)
+	}
+	// Shuffle b's order so matching is non-trivial.
+	b[0], b[3] = b[3], b[0]
+	b[1], b[4] = b[4], b[1]
+	links := LinkEntities(a, b, 30, 50)
+	if len(links) != 5 {
+		t.Fatalf("links = %d", len(links))
+	}
+	for _, l := range links {
+		if l.A[1] != l.B[1] { // digit must match
+			t.Fatalf("wrong link %v <-> %v (cost %v)", l.A, l.B, l.Cost)
+		}
+	}
+	// maxCost rejects links for disjoint objects.
+	far := simulate.RandomWalk("C", geo.Rect{Min: geo.Pt(5e5, 5e5), Max: geo.Pt(6e5, 6e5)}, 200, 2, 1, 99)
+	links = LinkEntities([]*trajectory.Trajectory{far}, b, 30, 50)
+	if len(links) != 0 {
+		t.Fatalf("implausible link accepted: %+v", links)
+	}
+}
+
+func TestAlignScales(t *testing.T) {
+	mk := func(id string, t0, t1, dt float64) *trajectory.Trajectory {
+		var pts []trajectory.Point
+		for tm := t0; tm <= t1; tm += dt {
+			pts = append(pts, trajectory.Point{T: tm, Pos: geo.Pt(tm, 0)})
+		}
+		return trajectory.New(id, pts)
+	}
+	a := mk("a", 0, 100, 1)  // 1 Hz
+	b := mk("b", 20, 150, 7) // sparse
+	ar, br := AlignScales(a, b, 5)
+	if ar == nil || br == nil {
+		t.Fatal("align failed")
+	}
+	if ar.MeanSampleInterval() != 5 || br.MeanSampleInterval() > 5.01 {
+		t.Fatalf("intervals: %v %v", ar.MeanSampleInterval(), br.MeanSampleInterval())
+	}
+	a0, _, _ := ar.TimeBounds()
+	b0, _, _ := br.TimeBounds()
+	if a0 != 20 || b0 != 20 {
+		t.Fatalf("overlap start: %v %v", a0, b0)
+	}
+	// Disjoint spans fail.
+	c := mk("c", 1000, 1100, 1)
+	if x, y := AlignScales(a, c, 5); x != nil || y != nil {
+		t.Fatal("disjoint align should fail")
+	}
+	if x, _ := AlignScales(a, b, 0); x != nil {
+		t.Fatal("bad dt should fail")
+	}
+}
+
+func TestAttachReadings(t *testing.T) {
+	f := simulate.NewField(simulate.FieldOptions{Seed: 7})
+	_, readings := simulate.SensorNetwork(f, simulate.SensorNetworkOptions{
+		NumSensors: 50, Interval: 300, Duration: 3600, NoiseSigma: 0.5, Seed: 8,
+	})
+	tr := simulate.RandomWalk("v", geo.Rect{Min: geo.Pt(100, 100), Max: geo.Pt(900, 900)}, 100, 3, 30, 9)
+	attached := AttachReadings(tr, readings, 150, 900)
+	if len(attached) != tr.Len() {
+		t.Fatal("attachment length")
+	}
+	var errSum float64
+	var n int
+	for _, ap := range attached {
+		if !ap.OK {
+			continue
+		}
+		errSum += math.Abs(ap.Value - f.Value(ap.Pos, ap.T))
+		n++
+	}
+	if n < tr.Len()/2 {
+		t.Fatalf("too few attachments: %d", n)
+	}
+	if errSum/float64(n) > 8 {
+		t.Fatalf("attachment MAE = %v", errSum/float64(n))
+	}
+}
+
+func TestDeduplicate(t *testing.T) {
+	rs := []stid.Reading{
+		{SensorID: "a", Pos: geo.Pt(1, 1), T: 10, Value: 10},
+		{SensorID: "b", Pos: geo.Pt(1.2, 1.1), T: 12, Value: 20}, // same cell+bucket
+		{SensorID: "c", Pos: geo.Pt(100, 100), T: 10, Value: 30}, // different cell
+		{SensorID: "d", Pos: geo.Pt(1, 1), T: 500, Value: 40},    // different bucket
+	}
+	out := Deduplicate(rs, 10, 60)
+	if len(out) != 3 {
+		t.Fatalf("dedup len = %d", len(out))
+	}
+	if out[0].Value != 15 {
+		t.Fatalf("merged value = %v", out[0].Value)
+	}
+	if out[1].SensorID != "c" || out[2].SensorID != "d" {
+		t.Fatalf("order not first-seen: %+v", out)
+	}
+	if got := Deduplicate(nil, 10, 60); len(got) != 0 {
+		t.Fatal("empty dedup")
+	}
+	// Bad params default instead of panicking.
+	if got := Deduplicate(rs, 0, 0); len(got) == 0 {
+		t.Fatal("default params")
+	}
+}

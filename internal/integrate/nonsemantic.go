@@ -1,0 +1,158 @@
+package integrate
+
+import (
+	"math"
+	"sort"
+
+	"sidq/internal/stid"
+	"sidq/internal/trajectory"
+	"sidq/internal/uncertain"
+)
+
+// Link is one cross-system identity match.
+type Link struct {
+	A, B string  // trajectory ids from the two systems
+	Cost float64 // mean synchronized distance of the match
+}
+
+// LinkEntities matches trajectories from two ID systems observing the
+// same objects (trajectory+trajectory DI): candidate pairs are scored
+// by synchronized Euclidean distance and matched greedily
+// lowest-cost-first, one-to-one. maxCost rejects implausible links.
+func LinkEntities(a, b []*trajectory.Trajectory, samples int, maxCost float64) []Link {
+	if samples <= 0 {
+		samples = 20
+	}
+	if maxCost <= 0 {
+		maxCost = math.Inf(1)
+	}
+	type cand struct {
+		i, j int
+		cost float64
+	}
+	var cands []cand
+	for i, ta := range a {
+		for j, tb := range b {
+			c := trajectory.SyncDistance(ta, tb, samples)
+			if c <= maxCost {
+				cands = append(cands, cand{i, j, c})
+			}
+		}
+	}
+	sort.Slice(cands, func(x, y int) bool { return cands[x].cost < cands[y].cost })
+	usedA := make([]bool, len(a))
+	usedB := make([]bool, len(b))
+	var out []Link
+	for _, c := range cands {
+		if usedA[c.i] || usedB[c.j] {
+			continue
+		}
+		usedA[c.i] = true
+		usedB[c.j] = true
+		out = append(out, Link{A: a[c.i].ID, B: b[c.j].ID, Cost: c.cost})
+	}
+	return out
+}
+
+// AlignScales resamples both trajectories to a common interval dt over
+// their overlapping time span, unifying data collected at different
+// temporal scales. It returns nil, nil when the spans do not overlap
+// enough to resample.
+func AlignScales(a, b *trajectory.Trajectory, dt float64) (*trajectory.Trajectory, *trajectory.Trajectory) {
+	a0, a1, okA := a.TimeBounds()
+	b0, b1, okB := b.TimeBounds()
+	if !okA || !okB || dt <= 0 {
+		return nil, nil
+	}
+	lo, hi := math.Max(a0, b0), math.Min(a1, b1)
+	if hi-lo < dt {
+		return nil, nil
+	}
+	as := a.Slice(lo, hi)
+	bs := b.Slice(lo, hi)
+	ar, errA := as.Resample(dt)
+	br, errB := bs.Resample(dt)
+	if errA != nil || errB != nil {
+		return nil, nil
+	}
+	return ar, br
+}
+
+// AttachedPoint is a trajectory point enriched with an interpolated
+// thematic measurement (trajectory+STID DI).
+type AttachedPoint struct {
+	trajectory.Point
+	Value float64
+	OK    bool
+}
+
+// AttachReadings joins a trajectory with a set of STID readings: each
+// point receives the Gaussian-kernel spatiotemporal estimate of the
+// thematic variable at its position and time (e.g. "the PM2.5 this
+// vehicle was exposed to along its route").
+func AttachReadings(tr *trajectory.Trajectory, readings []stid.Reading, spaceSigma, timeSigma float64) []AttachedPoint {
+	kernel := uncertain.GaussianKernel{
+		Readings:   readings,
+		SpaceSigma: spaceSigma,
+		TimeSigma:  timeSigma,
+	}
+	out := make([]AttachedPoint, tr.Len())
+	for i, p := range tr.Points {
+		v, ok := kernel.Estimate(p.Pos, p.T)
+		out[i] = AttachedPoint{Point: p, Value: v, OK: ok}
+	}
+	return out
+}
+
+// Deduplicate collapses redundant STID readings: readings falling in
+// the same spatial cell (cellSize meters) and time bucket
+// (timeBucket seconds) are merged into one averaged reading. This is
+// the conflict-elimination half of STID+STID integration; cross-source
+// bias-corrected fusion is uncertain.FuseSources.
+func Deduplicate(readings []stid.Reading, cellSize, timeBucket float64) []stid.Reading {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	if timeBucket <= 0 {
+		timeBucket = 1
+	}
+	type key struct {
+		cx, cy, ct int64
+	}
+	type acc struct {
+		sum   float64
+		n     int
+		first stid.Reading
+		order int
+	}
+	groups := map[key]*acc{}
+	orderCount := 0
+	for _, r := range readings {
+		k := key{
+			cx: int64(math.Floor(r.Pos.X / cellSize)),
+			cy: int64(math.Floor(r.Pos.Y / cellSize)),
+			ct: int64(math.Floor(r.T / timeBucket)),
+		}
+		g, ok := groups[k]
+		if !ok {
+			g = &acc{first: r, order: orderCount}
+			orderCount++
+			groups[k] = g
+		}
+		g.sum += r.Value
+		g.n++
+	}
+	// Deterministic order: first-seen.
+	merged := make([]*acc, 0, len(groups))
+	for _, g := range groups {
+		merged = append(merged, g)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].order < merged[j].order })
+	out := make([]stid.Reading, 0, len(merged))
+	for _, g := range merged {
+		r := g.first
+		r.Value = g.sum / float64(g.n)
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package outlier
+
+import (
+	"testing"
+
+	"sidq/internal/geo"
+	"sidq/internal/simulate"
+	"sidq/internal/stid"
+	"sidq/internal/trajectory"
+)
+
+func corruptedWalk(seed int64, rate float64) (*trajectory.Trajectory, *trajectory.Trajectory, []bool) {
+	region := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(2000, 2000)}
+	truth := simulate.RandomWalk("w", region, 600, 3, 1, seed)
+	noisy := simulate.AddGaussianNoise(truth, 2, seed+1)
+	corrupted, flags := simulate.InjectOutliers(noisy, rate, 150, seed+2)
+	return truth, corrupted, flags
+}
+
+func TestSpeedConstraintDetects(t *testing.T) {
+	_, corrupted, truth := corruptedWalk(1, 0.05)
+	flags := SpeedConstraint(corrupted, 15)
+	s := Evaluate(flags, truth)
+	if s.Precision() < 0.8 {
+		t.Fatalf("precision = %v (%+v)", s.Precision(), s)
+	}
+	if s.Recall() < 0.6 {
+		t.Fatalf("recall = %v (%+v)", s.Recall(), s)
+	}
+}
+
+func TestSpeedConstraintDegenerate(t *testing.T) {
+	short := trajectory.New("s", []trajectory.Point{{T: 0}, {T: 1}})
+	for _, f := range SpeedConstraint(short, 10) {
+		if f {
+			t.Fatal("short trajectory flagged")
+		}
+	}
+	_, corrupted, _ := corruptedWalk(2, 0.05)
+	for _, f := range SpeedConstraint(corrupted, 0) {
+		if f {
+			t.Fatal("zero max speed should disable")
+		}
+	}
+}
+
+func TestStatisticalDetects(t *testing.T) {
+	_, corrupted, truth := corruptedWalk(3, 0.05)
+	flags := Statistical(corrupted, StatisticalOptions{})
+	s := Evaluate(flags, truth)
+	if s.Precision() < 0.7 || s.Recall() < 0.6 {
+		t.Fatalf("statistical P=%v R=%v (%+v)", s.Precision(), s.Recall(), s)
+	}
+}
+
+func TestStatisticalCleanDataLowFalsePositives(t *testing.T) {
+	truth, _, _ := corruptedWalk(4, 0)
+	flags := Statistical(truth, StatisticalOptions{})
+	fp := 0
+	for _, f := range flags {
+		if f {
+			fp++
+		}
+	}
+	if float64(fp)/float64(truth.Len()) > 0.02 {
+		t.Fatalf("clean data false positives: %d of %d", fp, truth.Len())
+	}
+}
+
+func TestPredictionDetectsAndRepairs(t *testing.T) {
+	truthTr, corrupted, truth := corruptedWalk(5, 0.05)
+	repaired, flags := Prediction(corrupted, PredictionOptions{
+		ProcessNoise: 1, MeasNoise: 4, Threshold: 6, Repair: true,
+	})
+	s := Evaluate(flags, truth)
+	if s.Precision() < 0.7 || s.Recall() < 0.6 {
+		t.Fatalf("prediction P=%v R=%v (%+v)", s.Precision(), s.Recall(), s)
+	}
+	// Repair must reduce positional error versus the corrupted input.
+	rawErr := trajectory.RMSEAgainst(corrupted, truthTr)
+	repErr := trajectory.RMSEAgainst(repaired, truthTr)
+	if repErr >= rawErr {
+		t.Fatalf("repair: raw %v -> repaired %v", rawErr, repErr)
+	}
+	// Length preserved (repair, not removal).
+	if repaired.Len() != corrupted.Len() {
+		t.Fatal("repair changed length")
+	}
+}
+
+func TestPredictionEmpty(t *testing.T) {
+	out, flags := Prediction(&trajectory.Trajectory{}, PredictionOptions{})
+	if out.Len() != 0 || len(flags) != 0 {
+		t.Fatal("empty prediction")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tr := trajectory.New("x", []trajectory.Point{
+		{T: 0, Pos: geo.Pt(0, 0)},
+		{T: 1, Pos: geo.Pt(1, 0)},
+		{T: 2, Pos: geo.Pt(2, 0)},
+	})
+	out := Remove(tr, []bool{false, true, false})
+	if out.Len() != 2 || out.Points[1].T != 2 {
+		t.Fatalf("remove: %+v", out.Points)
+	}
+	// Short flag slice keeps the tail.
+	out = Remove(tr, []bool{true})
+	if out.Len() != 2 {
+		t.Fatal("short flags")
+	}
+}
+
+func TestEvaluateScores(t *testing.T) {
+	pred := []bool{true, false, true, false}
+	truth := []bool{true, true, false, false}
+	s := Evaluate(pred, truth)
+	if s.TP != 1 || s.FP != 1 || s.FN != 1 {
+		t.Fatalf("score = %+v", s)
+	}
+	if s.Precision() != 0.5 || s.Recall() != 0.5 || s.F1() != 0.5 {
+		t.Fatalf("PRF = %v %v %v", s.Precision(), s.Recall(), s.F1())
+	}
+	// Perfect empty case.
+	e := Evaluate([]bool{false}, []bool{false})
+	if e.Precision() != 1 || e.Recall() != 1 || e.F1() != 1 {
+		t.Fatal("empty score should be perfect")
+	}
+	// Truth longer than prediction counts as misses.
+	m := Evaluate([]bool{false}, []bool{false, true})
+	if m.FN != 1 {
+		t.Fatalf("mismatched lengths: %+v", m)
+	}
+}
+
+func stidWorkload(seed int64, rate float64) ([]stid.Reading, []bool, *simulate.Field) {
+	f := simulate.NewField(simulate.FieldOptions{Seed: seed})
+	_, readings := simulate.SensorNetwork(f, simulate.SensorNetworkOptions{
+		NumSensors: 30, Interval: 300, Duration: 7200, NoiseSigma: 1, Seed: seed + 1,
+	})
+	corrupted, flags := simulate.InjectValueOutliers(readings, rate, 60, seed+2)
+	return corrupted, flags, f
+}
+
+func TestTemporalDetectsSpikes(t *testing.T) {
+	readings, truth, _ := stidWorkload(10, 0.04)
+	flags := Temporal(readings, TemporalOptions{})
+	s := Evaluate(flags, truth)
+	if s.Precision() < 0.8 || s.Recall() < 0.7 {
+		t.Fatalf("temporal P=%v R=%v (%+v)", s.Precision(), s.Recall(), s)
+	}
+}
+
+func TestSpatialDetectsSpikes(t *testing.T) {
+	readings, truth, _ := stidWorkload(11, 0.04)
+	flags := Spatial(readings, SpatialOptions{Neighbors: 6, TimeWindow: 10})
+	s := Evaluate(flags, truth)
+	if s.Precision() < 0.5 || s.Recall() < 0.5 {
+		t.Fatalf("spatial P=%v R=%v (%+v)", s.Precision(), s.Recall(), s)
+	}
+}
+
+func TestSpatioTemporalHigherPrecision(t *testing.T) {
+	readings, truth, _ := stidWorkload(12, 0.04)
+	st := SpatioTemporal(readings, TemporalOptions{}, SpatialOptions{Neighbors: 6, TimeWindow: 10})
+	sScore := Evaluate(Spatial(readings, SpatialOptions{Neighbors: 6, TimeWindow: 10}), truth)
+	stScore := Evaluate(st, truth)
+	// Requiring both signals should not lower precision.
+	if stScore.Precision() < sScore.Precision()-1e-9 {
+		t.Fatalf("ST precision %v < spatial precision %v", stScore.Precision(), sScore.Precision())
+	}
+}
+
+func TestTemporalCleanDataFewFalsePositives(t *testing.T) {
+	readings, _, _ := stidWorkload(13, 0)
+	flags := Temporal(readings, TemporalOptions{})
+	fp := 0
+	for _, f := range flags {
+		if f {
+			fp++
+		}
+	}
+	if float64(fp)/float64(len(readings)) > 0.03 {
+		t.Fatalf("clean-data false positives: %d / %d", fp, len(readings))
+	}
+}
+
+func TestRemoveReadings(t *testing.T) {
+	rs := []stid.Reading{{SensorID: "a"}, {SensorID: "b"}, {SensorID: "c"}}
+	out := RemoveReadings(rs, []bool{true, false, true})
+	if len(out) != 1 || out[0].SensorID != "b" {
+		t.Fatalf("remove readings: %+v", out)
+	}
+}
+
+func TestRemovalImprovesDownstreamAccuracy(t *testing.T) {
+	readings, flags, f := stidWorkload(14, 0.05)
+	detected := Temporal(readings, TemporalOptions{})
+	cleaned := RemoveReadings(readings, detected)
+	errOf := func(rs []stid.Reading) float64 {
+		var sum float64
+		for _, r := range rs {
+			d := r.Value - f.Value(r.Pos, r.T)
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		return sum / float64(len(rs))
+	}
+	if errOf(cleaned) >= errOf(readings) {
+		t.Fatalf("cleaning did not reduce error: %v vs %v", errOf(cleaned), errOf(readings))
+	}
+	_ = flags
+}

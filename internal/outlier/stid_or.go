@@ -1,0 +1,203 @@
+package outlier
+
+import (
+	"math"
+
+	"sidq/internal/stats"
+	"sidq/internal/stid"
+)
+
+// TemporalOptions configures the per-sensor temporal detector.
+type TemporalOptions struct {
+	Window    int     // samples each side (default 4)
+	Threshold float64 // robust z cut (default 3.5)
+}
+
+// Temporal flags readings whose value deviates from the robust local
+// median of their own sensor's series — the classic temporal OR over
+// time-series windows. The returned flags align with the input order.
+func Temporal(readings []stid.Reading, opt TemporalOptions) []bool {
+	if opt.Window <= 0 {
+		opt.Window = 4
+	}
+	if opt.Threshold <= 0 {
+		opt.Threshold = 3.5
+	}
+	flags := make([]bool, len(readings))
+	// Group indices by sensor, preserving input positions.
+	bySensor := map[string][]int{}
+	for i, r := range readings {
+		bySensor[r.SensorID] = append(bySensor[r.SensorID], i)
+	}
+	for _, idxs := range bySensor {
+		// Sort the sensor's indices by time.
+		sortByTime(readings, idxs)
+		// Pass 1: residual of each value against its local window median.
+		// Pass 2: flag residuals against the sensor's global robust scale
+		// — a per-window MAD over a handful of samples is too noisy and
+		// produces spurious flags on clean data.
+		res := make([]float64, len(idxs))
+		usable := make([]bool, len(idxs))
+		var all []float64
+		for pos, idx := range idxs {
+			var window []float64
+			for w := -opt.Window; w <= opt.Window; w++ {
+				j := pos + w
+				if j < 0 || j >= len(idxs) || j == pos {
+					continue
+				}
+				window = append(window, readings[idxs[j]].Value)
+			}
+			if len(window) < 3 {
+				continue
+			}
+			med, _ := stats.Median(window)
+			res[pos] = readings[idx].Value - med
+			usable[pos] = true
+			all = append(all, res[pos])
+		}
+		if len(all) < 4 {
+			continue
+		}
+		sigma, _ := stats.MAD(all)
+		if sigma < 1e-9 {
+			sigma = 1e-9
+		}
+		for pos, idx := range idxs {
+			if usable[pos] && math.Abs(res[pos])/sigma > opt.Threshold {
+				flags[idx] = true
+			}
+		}
+	}
+	return flags
+}
+
+func sortByTime(readings []stid.Reading, idxs []int) {
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && readings[idxs[j]].T < readings[idxs[j-1]].T; j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+}
+
+// SpatialOptions configures the per-epoch spatial detector.
+type SpatialOptions struct {
+	Neighbors  int     // spatial neighbors consulted (default 5)
+	Threshold  float64 // robust z cut (default 3.5)
+	TimeWindow float64 // co-temporal tolerance in seconds (default 1)
+}
+
+// Spatial flags readings that deviate from the consensus of their
+// co-temporal spatial neighbors — spatial OR with time as the
+// contextual attribute.
+func Spatial(readings []stid.Reading, opt SpatialOptions) []bool {
+	if opt.Neighbors <= 0 {
+		opt.Neighbors = 5
+	}
+	if opt.Threshold <= 0 {
+		opt.Threshold = 3.5
+	}
+	if opt.TimeWindow <= 0 {
+		opt.TimeWindow = 1
+	}
+	flags := make([]bool, len(readings))
+	// Bucket readings by epoch (quantized by the time window).
+	buckets := map[int64][]int{}
+	for i, r := range readings {
+		buckets[int64(math.Floor(r.T/opt.TimeWindow))] = append(buckets[int64(math.Floor(r.T/opt.TimeWindow))], i)
+	}
+	// Pass 1: residual of each reading against its co-temporal spatial
+	// neighborhood median. Pass 2: flag against the global robust scale
+	// of those residuals, which absorbs the legitimate spread caused by
+	// smooth spatial gradients.
+	res := make([]float64, len(readings))
+	usable := make([]bool, len(readings))
+	var all []float64
+	for _, idxs := range buckets {
+		if len(idxs) < opt.Neighbors+1 {
+			continue
+		}
+		for _, i := range idxs {
+			// Collect the k nearest co-temporal readings from other sensors.
+			var nds []distVal
+			for _, j := range idxs {
+				if i == j || readings[i].SensorID == readings[j].SensorID {
+					continue
+				}
+				nds = append(nds, distVal{readings[i].Pos.Dist(readings[j].Pos), readings[j].Value})
+			}
+			if len(nds) < 3 {
+				continue
+			}
+			partialSortByDist(nds, opt.Neighbors)
+			k := opt.Neighbors
+			if k > len(nds) {
+				k = len(nds)
+			}
+			vals := make([]float64, k)
+			for x := 0; x < k; x++ {
+				vals[x] = nds[x].v
+			}
+			med, _ := stats.Median(vals)
+			res[i] = readings[i].Value - med
+			usable[i] = true
+			all = append(all, res[i])
+		}
+	}
+	if len(all) < 4 {
+		return flags
+	}
+	sigma, _ := stats.MAD(all)
+	if sigma < 1e-9 {
+		sigma = 1e-9
+	}
+	for i := range readings {
+		if usable[i] && math.Abs(res[i])/sigma > opt.Threshold {
+			flags[i] = true
+		}
+	}
+	return flags
+}
+
+type distVal struct{ d, v float64 }
+
+func partialSortByDist(nds []distVal, k int) {
+	if k > len(nds) {
+		k = len(nds)
+	}
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(nds); j++ {
+			if nds[j].d < nds[min].d {
+				min = j
+			}
+		}
+		nds[i], nds[min] = nds[min], nds[i]
+	}
+}
+
+// SpatioTemporal flags readings that BOTH their own temporal context
+// and their co-temporal spatial neighborhood reject — the
+// neighborhood-based spatiotemporal outlier definition (a value that
+// disagrees with its ST neighborhood, not merely with one dimension).
+func SpatioTemporal(readings []stid.Reading, topt TemporalOptions, sopt SpatialOptions) []bool {
+	tf := Temporal(readings, topt)
+	sf := Spatial(readings, sopt)
+	out := make([]bool, len(readings))
+	for i := range out {
+		out[i] = tf[i] && sf[i]
+	}
+	return out
+}
+
+// RemoveReadings returns readings without the flagged entries.
+func RemoveReadings(readings []stid.Reading, flags []bool) []stid.Reading {
+	out := make([]stid.Reading, 0, len(readings))
+	for i, r := range readings {
+		if i < len(flags) && flags[i] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+// Package outlier implements the paper's §2.2.3 Outlier Removal task
+// family, covering the tutorial's three trajectory-point method
+// categories (constraint-based, statistics-based, prediction-based)
+// and the temporal / spatial / spatiotemporal STID outlier detectors.
+//
+// Detectors return boolean flags aligned to the input so experiments
+// can score precision and recall against injected ground truth;
+// Remove/Repair helpers turn flags into cleaned datasets.
+package outlier
+
+import (
+	"math"
+
+	"sidq/internal/refine"
+	"sidq/internal/stats"
+	"sidq/internal/trajectory"
+)
+
+// SpeedConstraint flags points that cannot be reached under the given
+// maximum speed: a point is an outlier when the speeds both into and
+// out of it violate the bound while its neighbors agree with each
+// other. This is the classic constraint-based detector; it needs no
+// training data but assumes locally valid neighbors.
+func SpeedConstraint(tr *trajectory.Trajectory, maxSpeed float64) []bool {
+	n := tr.Len()
+	flags := make([]bool, n)
+	if n < 3 || maxSpeed <= 0 {
+		return flags
+	}
+	speed := func(i, j int) float64 {
+		dt := tr.Points[j].T - tr.Points[i].T
+		if dt <= 0 {
+			return math.Inf(1)
+		}
+		return tr.Points[i].Pos.Dist(tr.Points[j].Pos) / dt
+	}
+	for i := 1; i < n-1; i++ {
+		in := speed(i-1, i)
+		out := speed(i, i+1)
+		skip := speed(i-1, i+1) // neighbor-to-neighbor, skipping i
+		if in > maxSpeed && out > maxSpeed && skip <= maxSpeed {
+			flags[i] = true
+		}
+	}
+	// Endpoints: flag when the only adjacent segment is impossible and
+	// the next interior point is consistent with its own neighbor.
+	if n >= 3 {
+		if speed(0, 1) > maxSpeed && speed(1, 2) <= maxSpeed {
+			flags[0] = true
+		}
+		if speed(n-2, n-1) > maxSpeed && speed(n-3, n-2) <= maxSpeed {
+			flags[n-1] = true
+		}
+	}
+	return flags
+}
+
+// StatisticalOptions configures the statistics-based detector.
+type StatisticalOptions struct {
+	Window    int     // temporal neighbors each side (default 3)
+	Threshold float64 // robust z-score cut (default 3.5)
+}
+
+// Statistical flags points whose deviation from their local
+// neighborhood chord is extreme relative to the trajectory's robust
+// deviation profile (median/MAD). It needs no physical bound but
+// assumes most points are clean.
+func Statistical(tr *trajectory.Trajectory, opt StatisticalOptions) []bool {
+	n := tr.Len()
+	flags := make([]bool, n)
+	if n < 5 {
+		return flags
+	}
+	if opt.Window <= 0 {
+		opt.Window = 3
+	}
+	if opt.Threshold <= 0 {
+		opt.Threshold = 3.5
+	}
+	// Feature: median distance to the surrounding window's points.
+	feat := make([]float64, n)
+	for i := range tr.Points {
+		var ds []float64
+		for w := -opt.Window; w <= opt.Window; w++ {
+			j := i + w
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			ds = append(ds, tr.Points[i].Pos.Dist(tr.Points[j].Pos))
+		}
+		m, _ := stats.Median(ds)
+		feat[i] = m
+	}
+	med, _ := stats.Median(feat)
+	mad, _ := stats.MAD(feat)
+	if mad < 1e-9 {
+		mad = 1e-9
+	}
+	for i, f := range feat {
+		if (f-med)/mad > opt.Threshold {
+			flags[i] = true
+		}
+	}
+	return flags
+}
+
+// PredictionOptions configures the prediction-based detector.
+type PredictionOptions struct {
+	ProcessNoise float64 // Kalman process noise (default 1)
+	MeasNoise    float64 // measurement noise stddev (default 5)
+	Threshold    float64 // innovation multiple of MeasNoise (default 5)
+	Repair       bool    // replace outliers with the model prediction
+}
+
+// Prediction runs a Kalman filter over the trajectory and flags points
+// whose innovation (distance from the motion prediction) exceeds
+// Threshold * MeasNoise; flagged points do not update the filter. With
+// Repair set, flagged points are replaced by the prediction, following
+// the repair-with-predicted-value strategy. It returns the (possibly
+// repaired) trajectory and the flags.
+func Prediction(tr *trajectory.Trajectory, opt PredictionOptions) (*trajectory.Trajectory, []bool) {
+	n := tr.Len()
+	out := tr.Clone()
+	flags := make([]bool, n)
+	if n < 2 {
+		return out, flags
+	}
+	if opt.ProcessNoise <= 0 {
+		opt.ProcessNoise = 1
+	}
+	if opt.MeasNoise <= 0 {
+		opt.MeasNoise = 5
+	}
+	if opt.Threshold <= 0 {
+		opt.Threshold = 5
+	}
+	k := refine.NewKalman(tr.Points[0].Pos, opt.ProcessNoise, opt.MeasNoise)
+	k.Update(tr.Points[0].Pos)
+	prevT := tr.Points[0].T
+	warmup := 3
+	consecutive := 0
+	for i := 1; i < n; i++ {
+		dt := math.Max(tr.Points[i].T-prevT, 1e-9)
+		innov := k.Innovation(dt, tr.Points[i].Pos)
+		// The innovation gate widens with the prediction horizon to
+		// tolerate legitimate motion over long gaps.
+		gate := opt.Threshold * opt.MeasNoise * math.Max(1, math.Sqrt(dt))
+		if i > warmup && innov > gate && consecutive < 3 {
+			// Outliers do not update the filter — but only for a bounded
+			// run. A long disagreement means the filter itself diverged
+			// (e.g. after a sharp legitimate turn), so trust the data
+			// again rather than flag everything that follows.
+			flags[i] = true
+			consecutive++
+			k.Predict(dt)
+			if opt.Repair {
+				out.Points[i].Pos = k.Position()
+			}
+		} else {
+			if consecutive >= 3 {
+				// Recover from divergence: rebuild around the data.
+				k = refine.NewKalman(tr.Points[i].Pos, opt.ProcessNoise, opt.MeasNoise)
+				k.Update(tr.Points[i].Pos)
+			} else {
+				k.Step(dt, tr.Points[i].Pos)
+			}
+			consecutive = 0
+		}
+		prevT = tr.Points[i].T
+	}
+	return out, flags
+}
+
+// Remove returns a copy of tr without the flagged points.
+func Remove(tr *trajectory.Trajectory, flags []bool) *trajectory.Trajectory {
+	out := &trajectory.Trajectory{ID: tr.ID}
+	for i, p := range tr.Points {
+		if i < len(flags) && flags[i] {
+			continue
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out
+}
+
+// Score is a detector evaluation against ground-truth flags.
+type Score struct {
+	TP, FP, FN int
+}
+
+// Precision returns TP/(TP+FP), 1 when nothing was predicted.
+func (s Score) Precision() float64 {
+	if s.TP+s.FP == 0 {
+		return 1
+	}
+	return float64(s.TP) / float64(s.TP+s.FP)
+}
+
+// Recall returns TP/(TP+FN), 1 when nothing was to be found.
+func (s Score) Recall() float64 {
+	if s.TP+s.FN == 0 {
+		return 1
+	}
+	return float64(s.TP) / float64(s.TP+s.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (s Score) F1() float64 {
+	p, r := s.Precision(), s.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Evaluate scores predicted flags against ground truth.
+func Evaluate(predicted, truth []bool) Score {
+	var s Score
+	n := len(predicted)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case predicted[i] && truth[i]:
+			s.TP++
+		case predicted[i] && !truth[i]:
+			s.FP++
+		case !predicted[i] && truth[i]:
+			s.FN++
+		}
+	}
+	// Count truths beyond the shorter slice as misses.
+	for i := n; i < len(truth); i++ {
+		if truth[i] {
+			s.FN++
+		}
+	}
+	return s
+}

@@ -1,0 +1,204 @@
+// Package private implements the paper's §2.4 "privacy-preserving
+// computing" trend for SID: outsourcing spatial data to an untrusted
+// server such that the server can answer range queries without
+// learning locations, in the spirit of the spatial-transformation
+// schemes the paper cites (Yiu et al., The VLDB Journal 2010).
+//
+// The scheme is cell-based: the data owner keys a pseudorandom
+// transformation that maps each spatial cell to an opaque token and
+// encrypts each record's payload (including its exact coordinates)
+// with a keyed stream. The server indexes records by token only. To
+// query, the client derives the tokens of the cells covering its
+// range, the server returns the matching ciphertexts, and the client
+// decrypts and refines locally. The server observes tokens and result
+// sizes but no coordinates, and nearby cells map to unrelated tokens.
+//
+// The cryptography here is intentionally lightweight (HMAC-SHA256
+// tokens, SHA256-CTR-style keystream) — the point reproduced is the
+// *architecture* and its efficiency/privacy trade-off, not a new
+// cipher.
+package private
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"sidq/internal/geo"
+)
+
+// ErrBadCiphertext is returned when decryption fails structurally.
+var ErrBadCiphertext = errors.New("private: bad ciphertext")
+
+// Scheme is the client-side key material and spatial quantization.
+type Scheme struct {
+	key  []byte
+	cell float64
+}
+
+// NewScheme returns a scheme with the given secret key and cell size
+// in meters (the privacy/efficiency knob: larger cells leak less via
+// access patterns but over-fetch more).
+func NewScheme(key []byte, cellSize float64) *Scheme {
+	if cellSize <= 0 {
+		cellSize = 100
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Scheme{key: k, cell: cellSize}
+}
+
+// CellOf returns the cell coordinates of p.
+func (s *Scheme) CellOf(p geo.Point) (int64, int64) {
+	return int64(math.Floor(p.X / s.cell)), int64(math.Floor(p.Y / s.cell))
+}
+
+// Token derives the opaque server-side token of a cell.
+func (s *Scheme) Token(cx, cy int64) string {
+	mac := hmac.New(sha256.New, s.key)
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(cx))
+	binary.BigEndian.PutUint64(buf[8:], uint64(cy))
+	mac.Write(buf[:])
+	return fmt.Sprintf("%x", mac.Sum(nil)[:16])
+}
+
+// Record is one outsourced item: an opaque cell token plus an
+// encrypted payload containing the exact position and the client data.
+type Record struct {
+	Token      string
+	Ciphertext []byte
+}
+
+// plaintext layout: 8 bytes X | 8 bytes Y | data...
+
+// Encrypt seals a point and payload into a Record.
+func (s *Scheme) Encrypt(id uint64, p geo.Point, data []byte) Record {
+	cx, cy := s.CellOf(p)
+	plain := make([]byte, 16+len(data))
+	binary.BigEndian.PutUint64(plain[:8], math.Float64bits(p.X))
+	binary.BigEndian.PutUint64(plain[8:16], math.Float64bits(p.Y))
+	copy(plain[16:], data)
+	ct := make([]byte, 8+len(plain))
+	binary.BigEndian.PutUint64(ct[:8], id) // nonce
+	s.xorStream(id, ct[8:], plain)
+	return Record{Token: s.Token(cx, cy), Ciphertext: ct}
+}
+
+// Decrypt opens a Record produced by Encrypt.
+func (s *Scheme) Decrypt(r Record) (geo.Point, []byte, error) {
+	if len(r.Ciphertext) < 24 {
+		return geo.Point{}, nil, fmt.Errorf("private: ciphertext %d bytes: %w", len(r.Ciphertext), ErrBadCiphertext)
+	}
+	id := binary.BigEndian.Uint64(r.Ciphertext[:8])
+	plain := make([]byte, len(r.Ciphertext)-8)
+	s.xorStream(id, plain, r.Ciphertext[8:])
+	p := geo.Pt(
+		math.Float64frombits(binary.BigEndian.Uint64(plain[:8])),
+		math.Float64frombits(binary.BigEndian.Uint64(plain[8:16])),
+	)
+	if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+		return geo.Point{}, nil, fmt.Errorf("private: implausible plaintext: %w", ErrBadCiphertext)
+	}
+	return p, append([]byte(nil), plain[16:]...), nil
+}
+
+// xorStream XORs src into dst with a keyed SHA256 counter stream
+// bound to the record nonce.
+func (s *Scheme) xorStream(nonce uint64, dst, src []byte) {
+	var counter uint64
+	var block [sha256.Size]byte
+	off := 0
+	for off < len(src) {
+		mac := hmac.New(sha256.New, s.key)
+		var hdr [16]byte
+		binary.BigEndian.PutUint64(hdr[:8], nonce)
+		binary.BigEndian.PutUint64(hdr[8:], counter)
+		mac.Write(hdr[:])
+		copy(block[:], mac.Sum(nil))
+		for i := 0; i < len(block) && off < len(src); i++ {
+			dst[off] = src[off] ^ block[i]
+			off++
+		}
+		counter++
+	}
+}
+
+// CoverTokens returns the tokens of every cell intersecting rect —
+// what the client sends to the server as its (obfuscated) query.
+func (s *Scheme) CoverTokens(rect geo.Rect) []string {
+	if rect.IsEmpty() {
+		return nil
+	}
+	lox, loy := s.CellOf(rect.Min)
+	hix, hiy := s.CellOf(rect.Max)
+	var out []string
+	for cy := loy; cy <= hiy; cy++ {
+		for cx := lox; cx <= hix; cx++ {
+			out = append(out, s.Token(cx, cy))
+		}
+	}
+	return out
+}
+
+// Server is the untrusted host: it stores records keyed by token and
+// never sees key material or coordinates.
+type Server struct {
+	byToken map[string][]Record
+	fetched int
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server { return &Server{byToken: map[string][]Record{}} }
+
+// Store ingests outsourced records.
+func (sv *Server) Store(records []Record) {
+	for _, r := range records {
+		sv.byToken[r.Token] = append(sv.byToken[r.Token], r)
+	}
+}
+
+// Fetch returns all records under the given tokens.
+func (sv *Server) Fetch(tokens []string) []Record {
+	var out []Record
+	for _, t := range tokens {
+		out = append(out, sv.byToken[t]...)
+	}
+	sv.fetched += len(out)
+	return out
+}
+
+// Fetched returns the cumulative number of records served (the
+// over-fetch measurement for the efficiency/privacy trade-off).
+func (sv *Server) Fetched() int { return sv.fetched }
+
+// Client bundles the scheme with result refinement.
+type Client struct {
+	Scheme *Scheme
+}
+
+// Result is one decrypted query answer.
+type Result struct {
+	Pos  geo.Point
+	Data []byte
+}
+
+// RangeQuery runs the private protocol: derive cover tokens, fetch,
+// decrypt, and refine to the exact rectangle locally.
+func (c *Client) RangeQuery(sv *Server, rect geo.Rect) ([]Result, error) {
+	records := sv.Fetch(c.Scheme.CoverTokens(rect))
+	var out []Result
+	for _, r := range records {
+		p, data, err := c.Scheme.Decrypt(r)
+		if err != nil {
+			return nil, err
+		}
+		if rect.Contains(p) {
+			out = append(out, Result{Pos: p, Data: data})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package private
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sidq/internal/geo"
+)
+
+func outsourced(t *testing.T, n int, cell float64, seed int64) (*Client, *Server, []geo.Point) {
+	t.Helper()
+	scheme := NewScheme([]byte("a-long-and-secret-key"), cell)
+	server := NewServer()
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point, n)
+	var recs []Record
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		recs = append(recs, scheme.Encrypt(uint64(i), pts[i], []byte(fmt.Sprintf("payload-%d", i))))
+	}
+	server.Store(recs)
+	return &Client{Scheme: scheme}, server, pts
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	s := NewScheme([]byte("key"), 50)
+	p := geo.Pt(123.456, -789.01)
+	rec := s.Encrypt(7, p, []byte("hello"))
+	got, data, err := s.Decrypt(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p || !bytes.Equal(data, []byte("hello")) {
+		t.Fatalf("round trip: %v %q", got, data)
+	}
+	// Empty payload round-trips too.
+	rec2 := s.Encrypt(8, p, nil)
+	_, data2, err := s.Decrypt(rec2)
+	if err != nil || len(data2) != 0 {
+		t.Fatalf("empty payload: %v %q", err, data2)
+	}
+}
+
+func TestDecryptRejectsGarbage(t *testing.T) {
+	s := NewScheme([]byte("key"), 50)
+	if _, _, err := s.Decrypt(Record{Ciphertext: []byte{1, 2, 3}}); !errors.Is(err, ErrBadCiphertext) {
+		t.Fatalf("short ciphertext: %v", err)
+	}
+}
+
+func TestPrivateRangeQueryMatchesPlaintext(t *testing.T) {
+	client, server, pts := outsourced(t, 1000, 80, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		rect := geo.RectFromCenter(
+			geo.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			rng.Float64()*150, rng.Float64()*150,
+		)
+		got, err := client.RangeQuery(server, rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, p := range pts {
+			if rect.Contains(p) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), want)
+		}
+		for _, r := range got {
+			if !rect.Contains(r.Pos) {
+				t.Fatal("refinement leak: result outside rect")
+			}
+		}
+	}
+}
+
+func TestCiphertextHidesCoordinates(t *testing.T) {
+	s := NewScheme([]byte("key"), 50)
+	p := geo.Pt(100, 100)
+	a := s.Encrypt(1, p, []byte("x"))
+	b := s.Encrypt(2, p, []byte("x"))
+	// Same plaintext, different nonce -> different ciphertexts.
+	if bytes.Equal(a.Ciphertext, b.Ciphertext) {
+		t.Fatal("deterministic encryption leaks equality")
+	}
+	// The raw coordinate bytes never appear in the ciphertext.
+	if bytes.Contains(a.Ciphertext[8:], []byte("payload")) {
+		t.Fatal("plaintext visible")
+	}
+}
+
+func TestTokensDecorrelatedFromSpace(t *testing.T) {
+	s := NewScheme([]byte("key"), 100)
+	// Adjacent cells must not produce adjacent/related tokens: check
+	// that common prefixes between neighboring cells' tokens are no
+	// longer than random pairs' (compare first byte equality rates).
+	same := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		a := s.Token(int64(i), 0)
+		b := s.Token(int64(i+1), 0) // spatially adjacent
+		if a[0] == b[0] {
+			same++
+		}
+	}
+	// 1/16 expected by chance on a hex digit; allow generous slack.
+	if float64(same)/n > 0.2 {
+		t.Fatalf("adjacent cells share token prefixes too often: %d/%d", same, n)
+	}
+	// Different keys give different tokens.
+	s2 := NewScheme([]byte("other"), 100)
+	if s.Token(3, 4) == s2.Token(3, 4) {
+		t.Fatal("token independent of key")
+	}
+}
+
+func TestOverfetchTradeoff(t *testing.T) {
+	// Larger cells over-fetch more (server returns whole cells).
+	rect := geo.RectFromCenter(geo.Pt(500, 500), 60, 60)
+	fetchWith := func(cell float64) int {
+		client, server, _ := outsourced(t, 2000, cell, 3)
+		if _, err := client.RangeQuery(server, rect); err != nil {
+			t.Fatal(err)
+		}
+		return server.Fetched()
+	}
+	small := fetchWith(50)
+	large := fetchWith(400)
+	if large <= small {
+		t.Fatalf("larger cells should over-fetch more: %d vs %d", large, small)
+	}
+}
+
+func TestServerSeesOnlyTokens(t *testing.T) {
+	// Structural check: the server's store keys are the opaque tokens,
+	// and the client query is a token list (no geometry crosses the
+	// boundary in the types).
+	client, server, _ := outsourced(t, 10, 100, 4)
+	tokens := client.Scheme.CoverTokens(geo.RectFromCenter(geo.Pt(500, 500), 100, 100))
+	if len(tokens) == 0 {
+		t.Fatal("no tokens")
+	}
+	for _, tok := range tokens {
+		if len(tok) != 32 { // 16 bytes hex
+			t.Fatalf("token %q not opaque", tok)
+		}
+	}
+	_ = server
+}
+
+func TestCoverTokensEmptyRect(t *testing.T) {
+	s := NewScheme([]byte("k"), 100)
+	if s.CoverTokens(geo.EmptyRect()) != nil {
+		t.Fatal("empty rect should cover nothing")
+	}
+}

@@ -1,0 +1,95 @@
+package reduce
+
+import (
+	"math"
+
+	"sidq/internal/trajectory"
+)
+
+// DirectionPreserving simplifies a trajectory with a bounded
+// direction error (the direction-based simplification family): a point
+// is kept whenever dropping it would let the chord's heading deviate
+// from some skipped segment's heading by more than maxAngle radians.
+// Position error is not bounded — that is the point of the
+// direction-preserving trade-off the literature contrasts with
+// position-preserving (SED) methods.
+func DirectionPreserving(tr *trajectory.Trajectory, maxAngle float64) *trajectory.Trajectory {
+	n := tr.Len()
+	out := &trajectory.Trajectory{ID: tr.ID}
+	if n == 0 {
+		return out
+	}
+	if n <= 2 || maxAngle <= 0 {
+		out.Points = append(out.Points, tr.Points...)
+		return out
+	}
+	out.Points = append(out.Points, tr.Points[0])
+	anchor := 0
+	for i := 2; i < n; i++ {
+		if maxDirectionError(tr, anchor, i) > maxAngle {
+			out.Points = append(out.Points, tr.Points[i-1])
+			anchor = i - 1
+		}
+	}
+	out.Points = append(out.Points, tr.Points[n-1])
+	return out
+}
+
+// maxDirectionError returns the largest angular deviation between the
+// chord lo->hi and the headings of the skipped original segments.
+func maxDirectionError(tr *trajectory.Trajectory, lo, hi int) float64 {
+	chord := tr.Points[lo].Pos.Bearing(tr.Points[hi].Pos)
+	var worst float64
+	for k := lo; k < hi; k++ {
+		a, b := tr.Points[k].Pos, tr.Points[k+1].Pos
+		if a == b {
+			continue
+		}
+		if d := angleDiff(a.Bearing(b), chord); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// VerifyDirectionError returns the maximum angular deviation between
+// each original segment's heading and the heading of the simplified
+// chord covering it.
+func VerifyDirectionError(original, simplified *trajectory.Trajectory) float64 {
+	if simplified.Len() < 2 || original.Len() < 2 {
+		return 0
+	}
+	var worst float64
+	si := 1
+	for k := 0; k+1 < original.Len(); k++ {
+		a, b := original.Points[k], original.Points[k+1]
+		if a.Pos == b.Pos {
+			continue
+		}
+		mid := (a.T + b.T) / 2
+		// Advance to the simplified chord covering the segment midpoint.
+		for si < simplified.Len()-1 && simplified.Points[si].T < mid {
+			si++
+		}
+		ca, cb := simplified.Points[si-1].Pos, simplified.Points[si].Pos
+		if ca == cb {
+			continue
+		}
+		if d := angleDiff(a.Pos.Bearing(b.Pos), ca.Bearing(cb)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// angleDiff returns the absolute angular difference in [0, pi].
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	return math.Abs(d)
+}

@@ -1,0 +1,45 @@
+package reduce_test
+
+import (
+	"fmt"
+
+	"sidq/internal/geo"
+	"sidq/internal/reduce"
+	"sidq/internal/trajectory"
+)
+
+// ExampleDouglasPeuckerSED simplifies a zig-zag track under a 2 m SED
+// bound: the small wiggles vanish, the corner survives.
+func ExampleDouglasPeuckerSED() {
+	var pts []trajectory.Point
+	for i := 0; i <= 10; i++ {
+		y := 0.0
+		if i%2 == 1 {
+			y = 0.5 // sub-bound wiggle
+		}
+		pts = append(pts, trajectory.Point{T: float64(i), Pos: geo.Pt(float64(i)*10, y)})
+	}
+	// A real corner at the end.
+	pts = append(pts, trajectory.Point{T: 11, Pos: geo.Pt(100, 50)})
+	tr := trajectory.New("zigzag", pts)
+
+	simplified := reduce.DouglasPeuckerSED(tr, 2)
+	fmt.Printf("%d -> %d points, max SED %.2f m\n",
+		tr.Len(), simplified.Len(), reduce.VerifySED(tr, simplified))
+	// Output:
+	// 12 -> 3 points, max SED 0.50 m
+}
+
+// ExampleLTC compresses a slowly drifting sensor series with a hard
+// reconstruction bound.
+func ExampleLTC() {
+	var samples []reduce.Sample
+	for i := 0; i < 100; i++ {
+		samples = append(samples, reduce.Sample{T: float64(i), V: 20 + float64(i)*0.01})
+	}
+	kept := reduce.LTC(samples, 0.5)
+	fmt.Printf("%d -> %d samples, max error %.3f\n",
+		len(samples), len(kept), reduce.MaxReconstructionError(samples, kept))
+	// Output:
+	// 100 -> 2 samples, max error 0.000
+}

@@ -1,0 +1,73 @@
+package reduce
+
+import (
+	"bytes"
+	"testing"
+
+	"sidq/internal/roadnet"
+)
+
+// FuzzDeltaVarintDecode hardens the decoder against arbitrary bytes:
+// it must never panic, and whatever decodes must re-encode/decode to
+// the same values.
+func FuzzDeltaVarintDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02})
+	f.Add(DeltaVarintEncode([]int64{1, -5, 1 << 40}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := DeltaVarintDecode(data)
+		if err != nil {
+			return
+		}
+		back, err := DeltaVarintDecode(DeltaVarintEncode(vals))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(vals) {
+			t.Fatalf("length changed: %d vs %d", len(back), len(vals))
+		}
+		for i := range vals {
+			if back[i] != vals[i] {
+				t.Fatalf("value %d changed", i)
+			}
+		}
+	})
+}
+
+// FuzzRiceDecode hardens the Rice decoder against arbitrary bytes.
+func FuzzRiceDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 3, 0xFF})
+	f.Add(RiceEncode([]uint64{0, 7, 100, 1 << 50}, 4))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := RiceDecode(data)
+		if err != nil {
+			return
+		}
+		// Values that decode must round-trip at any legal k.
+		back, err := RiceDecode(RiceEncode(vals, 5))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(vals) {
+			t.Fatalf("length changed")
+		}
+	})
+}
+
+// FuzzDecodeNetworkTrip hardens the trip decoder.
+func FuzzDecodeNetworkTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeNetworkTrip(NetworkTrip{Route: []roadnet.EdgeID{1, 2, 3}, Times: []float64{1, 2, 3}}, 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trip, err := DecodeNetworkTrip(data)
+		if err != nil {
+			return
+		}
+		// Decoded trips re-encode without panicking.
+		enc := EncodeNetworkTrip(trip, 1)
+		if !bytes.Equal(enc, enc) {
+			t.Fatal("unreachable")
+		}
+	})
+}

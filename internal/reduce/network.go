@@ -1,0 +1,149 @@
+package reduce
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"sidq/internal/roadnet"
+	"sidq/internal/trajectory"
+)
+
+// ErrCorrupt is returned when an encoded payload cannot be decoded.
+var ErrCorrupt = errors.New("reduce: corrupt payload")
+
+// VerifySED returns the maximum SED of the original points against the
+// simplified trajectory's linear interpolation — the bound an
+// error-bounded simplifier must respect.
+func VerifySED(original, simplified *trajectory.Trajectory) float64 {
+	var worst float64
+	for _, p := range original.Points {
+		pos, ok := simplified.LocationAt(p.T)
+		if !ok {
+			return math.Inf(1)
+		}
+		if d := p.Pos.Dist(pos); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// CompressionRatio returns original size / compressed size for point
+// counts (both at the same bytes-per-point).
+func CompressionRatio(originalPoints, keptPoints int) float64 {
+	if keptPoints <= 0 {
+		return math.Inf(1)
+	}
+	return float64(originalPoints) / float64(keptPoints)
+}
+
+// NetworkTrip is a network-constrained trajectory: the edge route plus
+// the departure time and per-edge arrival times.
+type NetworkTrip struct {
+	Route []roadnet.EdgeID
+	Start float64
+	Times []float64 // arrival time at the end of each route edge
+}
+
+// EncodeNetworkTrip serializes a map-matched trip compactly: edge ids
+// are delta-encoded with varints (consecutive road edges have nearby
+// ids in practice), and arrival times are quantized to timeQuantum
+// seconds and delta-encoded. This is the network-constrained
+// compression scheme: geometry is not stored at all because the road
+// network supplies it.
+func EncodeNetworkTrip(t NetworkTrip, timeQuantum float64) []byte {
+	if timeQuantum <= 0 {
+		timeQuantum = 1
+	}
+	buf := make([]byte, 0, 16+5*len(t.Route))
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	putU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	putU(uint64(len(t.Route)))
+	putU(math.Float64bits(t.Start))
+	putU(math.Float64bits(timeQuantum))
+	prevEdge := int64(0)
+	for _, e := range t.Route {
+		put(int64(e) - prevEdge)
+		prevEdge = int64(e)
+	}
+	prevQ := int64(math.Round(t.Start / timeQuantum))
+	for _, tm := range t.Times {
+		q := int64(math.Round(tm / timeQuantum))
+		put(q - prevQ)
+		prevQ = q
+	}
+	return buf
+}
+
+// DecodeNetworkTrip inverts EncodeNetworkTrip. Arrival times are
+// recovered to timeQuantum precision.
+func DecodeNetworkTrip(data []byte) (NetworkTrip, error) {
+	var t NetworkTrip
+	off := 0
+	readU := func() (uint64, error) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("reduce: uvarint at %d: %w", off, ErrCorrupt)
+		}
+		off += n
+		return v, nil
+	}
+	read := func() (int64, error) {
+		v, n := binary.Varint(data[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("reduce: varint at %d: %w", off, ErrCorrupt)
+		}
+		off += n
+		return v, nil
+	}
+	count, err := readU()
+	if err != nil {
+		return t, err
+	}
+	if count > uint64(len(data))*2 {
+		return t, fmt.Errorf("reduce: implausible route length %d: %w", count, ErrCorrupt)
+	}
+	startBits, err := readU()
+	if err != nil {
+		return t, err
+	}
+	t.Start = math.Float64frombits(startBits)
+	quantBits, err := readU()
+	if err != nil {
+		return t, err
+	}
+	quantum := math.Float64frombits(quantBits)
+	prevEdge := int64(0)
+	for i := uint64(0); i < count; i++ {
+		d, err := read()
+		if err != nil {
+			return t, err
+		}
+		prevEdge += d
+		t.Route = append(t.Route, roadnet.EdgeID(prevEdge))
+	}
+	prevQ := int64(math.Round(t.Start / quantum))
+	for i := uint64(0); i < count; i++ {
+		d, err := read()
+		if err != nil {
+			return t, err
+		}
+		prevQ += d
+		t.Times = append(t.Times, float64(prevQ)*quantum)
+	}
+	return t, nil
+}
+
+// RawTripBytes returns the size of the naive encoding a network trip
+// replaces: the full sampled trajectory at 24 bytes per point
+// (float64 t, x, y).
+func RawTripBytes(points int) int { return 24 * points }

@@ -1,0 +1,170 @@
+package reduce
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sidq/internal/geo"
+	"sidq/internal/roadnet"
+	"sidq/internal/trajectory"
+)
+
+// TestDeltaVarintRoundTripProperty fuzzes the lossless integer codec.
+func TestDeltaVarintRoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		back, err := DeltaVarintDecode(DeltaVarintEncode(vals))
+		if err != nil {
+			return false
+		}
+		if len(back) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if back[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRiceRoundTripProperty fuzzes the Rice codec across parameters,
+// including the escape path for huge values.
+func TestRiceRoundTripProperty(t *testing.T) {
+	f := func(vals []uint64, kRaw uint8) bool {
+		k := kRaw % 33
+		// Bound magnitudes so unary runs stay reasonable except for a
+		// deliberate huge tail value exercising the escape.
+		bounded := make([]uint64, 0, len(vals)+1)
+		for _, v := range vals {
+			bounded = append(bounded, v%(1<<24))
+		}
+		bounded = append(bounded, math.MaxUint64)
+		back, err := RiceDecode(RiceEncode(bounded, k))
+		if err != nil {
+			return false
+		}
+		if len(back) != len(bounded) {
+			return false
+		}
+		for i := range bounded {
+			if back[i] != bounded[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNetworkTripRoundTripProperty fuzzes the route codec.
+func TestNetworkTripRoundTripProperty(t *testing.T) {
+	f := func(edgeDeltas []int16, startRaw float64) bool {
+		if len(edgeDeltas) == 0 {
+			return true
+		}
+		start := math.Mod(math.Abs(startRaw), 1e6)
+		if math.IsNaN(start) {
+			start = 0
+		}
+		nt := NetworkTrip{Start: start}
+		cur := int64(1000000) // keep ids positive
+		tm := start
+		for _, d := range edgeDeltas {
+			cur += int64(d)
+			tm += 1 + math.Abs(float64(d%50))
+			nt.Route = append(nt.Route, roadnet.EdgeID(cur))
+			nt.Times = append(nt.Times, tm)
+		}
+		back, err := DecodeNetworkTrip(EncodeNetworkTrip(nt, 0.5))
+		if err != nil {
+			return false
+		}
+		if len(back.Route) != len(nt.Route) {
+			return false
+		}
+		for i := range nt.Route {
+			if back.Route[i] != nt.Route[i] {
+				return false
+			}
+			if math.Abs(back.Times[i]-nt.Times[i]) > 0.25+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimplifierEndpointsProperty: every simplifier keeps the first and
+// last points of arbitrary (time-sorted) trajectories.
+func TestSimplifierEndpointsProperty(t *testing.T) {
+	f := func(coords []float64, epsRaw float64) bool {
+		if len(coords) < 6 {
+			return true
+		}
+		eps := 0.5 + math.Abs(math.Mod(epsRaw, 50))
+		var pts []trajectory.Point
+		for i := 0; i+1 < len(coords); i += 2 {
+			x := math.Mod(coords[i], 1e4)
+			y := math.Mod(coords[i+1], 1e4)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				x, y = 0, 0
+			}
+			pts = append(pts, trajectory.Point{T: float64(len(pts)), Pos: geo.Pt(x, y)})
+		}
+		tr := trajectory.New("p", pts)
+		first, last := tr.Points[0], tr.Points[tr.Len()-1]
+		for _, simp := range []*trajectory.Trajectory{
+			DouglasPeuckerSED(tr, eps),
+			SlidingWindow(tr, eps),
+			DeadReckoning(tr, eps),
+			SQUISH(tr, 4),
+			DirectionPreserving(tr, 0.5),
+		} {
+			if simp.Len() < 2 {
+				return false
+			}
+			if simp.Points[0] != first || simp.Points[simp.Len()-1] != last {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDPBoundProperty: the SED bound holds on arbitrary inputs.
+func TestDPBoundProperty(t *testing.T) {
+	f := func(coords []float64, epsRaw float64) bool {
+		if len(coords) < 8 {
+			return true
+		}
+		eps := 0.5 + math.Abs(math.Mod(epsRaw, 100))
+		var pts []trajectory.Point
+		for i := 0; i+1 < len(coords); i += 2 {
+			x := math.Mod(coords[i], 1e4)
+			y := math.Mod(coords[i+1], 1e4)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				x, y = 0, 0
+			}
+			pts = append(pts, trajectory.Point{T: float64(len(pts)), Pos: geo.Pt(x, y)})
+		}
+		tr := trajectory.New("p", pts)
+		simp := DouglasPeuckerSED(tr, eps)
+		return VerifySED(tr, simp) <= eps+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,378 @@
+package reduce
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sidq/internal/geo"
+	"sidq/internal/roadnet"
+	"sidq/internal/simulate"
+	"sidq/internal/trajectory"
+)
+
+func cityTrip(t *testing.T, seed int64) *trajectory.Trajectory {
+	t.Helper()
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 10, NY: 10, Spacing: 150, Jitter: 10, RemoveFrac: 0.2, Seed: seed})
+	trips := simulate.Trips(g, simulate.TripOptions{NumObjects: 1, MinHops: 12, Speed: 12, SampleInterval: 1, Seed: seed})
+	return trips[0]
+}
+
+func TestDouglasPeuckerSEDBound(t *testing.T) {
+	tr := cityTrip(t, 1)
+	for _, eps := range []float64{2, 10, 50} {
+		simp := DouglasPeuckerSED(tr, eps)
+		if got := VerifySED(tr, simp); got > eps+1e-9 {
+			t.Fatalf("eps=%v: bound violated: %v", eps, got)
+		}
+		if simp.Len() >= tr.Len() {
+			t.Fatalf("eps=%v: no reduction (%d -> %d)", eps, tr.Len(), simp.Len())
+		}
+		// Endpoints preserved.
+		if simp.Points[0] != tr.Points[0] || simp.Points[simp.Len()-1] != tr.Points[tr.Len()-1] {
+			t.Fatal("endpoints lost")
+		}
+	}
+}
+
+func TestDouglasPeuckerMonotoneInEps(t *testing.T) {
+	tr := cityTrip(t, 2)
+	prev := math.MaxInt32
+	for _, eps := range []float64{1, 5, 20, 80} {
+		n := DouglasPeuckerSED(tr, eps).Len()
+		if n > prev {
+			t.Fatalf("kept points increased with eps: %d -> %d", prev, n)
+		}
+		prev = n
+	}
+}
+
+func TestSlidingWindowBound(t *testing.T) {
+	tr := cityTrip(t, 3)
+	for _, eps := range []float64{5, 20} {
+		simp := SlidingWindow(tr, eps)
+		if got := VerifySED(tr, simp); got > eps+1e-9 {
+			t.Fatalf("eps=%v: bound violated: %v", eps, got)
+		}
+		if simp.Len() >= tr.Len() {
+			t.Fatal("no reduction")
+		}
+	}
+}
+
+func TestDeadReckoningReducesAndTracks(t *testing.T) {
+	tr := cityTrip(t, 4)
+	simp := DeadReckoning(tr, 15)
+	if simp.Len() >= tr.Len()/2 {
+		t.Fatalf("weak reduction: %d -> %d", tr.Len(), simp.Len())
+	}
+	// Dead reckoning bounds prediction error, not SED, but interpolated
+	// error should still be moderate.
+	if got := VerifySED(tr, simp); got > 60 {
+		t.Fatalf("reconstruction error too large: %v", got)
+	}
+}
+
+func TestSQUISHCapacityAndQuality(t *testing.T) {
+	tr := cityTrip(t, 5)
+	cap := 30
+	simp := SQUISH(tr, cap)
+	if simp.Len() != cap {
+		t.Fatalf("kept %d, want capacity %d", simp.Len(), cap)
+	}
+	if simp.Points[0] != tr.Points[0] || simp.Points[simp.Len()-1] != tr.Points[tr.Len()-1] {
+		t.Fatal("endpoints lost")
+	}
+	// SQUISH at equal point budget should beat uniform thinning on SED.
+	stride := tr.Len() / cap
+	uniform := tr.Thin(stride)
+	if VerifySED(tr, simp) > VerifySED(tr, uniform)*1.5 {
+		t.Fatalf("SQUISH error %v much worse than uniform %v",
+			VerifySED(tr, simp), VerifySED(tr, uniform))
+	}
+	// Under-capacity input passes through.
+	small := SQUISH(tr, tr.Len()+10)
+	if small.Len() != tr.Len() {
+		t.Fatal("under-capacity should pass through")
+	}
+}
+
+func TestSimplifierDegenerateInputs(t *testing.T) {
+	empty := &trajectory.Trajectory{}
+	if DouglasPeuckerSED(empty, 5).Len() != 0 ||
+		SlidingWindow(empty, 5).Len() != 0 ||
+		DeadReckoning(empty, 5).Len() != 0 ||
+		SQUISH(empty, 10).Len() != 0 {
+		t.Fatal("empty inputs")
+	}
+	two := trajectory.New("t", []trajectory.Point{{T: 0}, {T: 1, Pos: geo.Pt(1, 0)}})
+	if DouglasPeuckerSED(two, 5).Len() != 2 || SlidingWindow(two, 5).Len() != 2 {
+		t.Fatal("two-point inputs")
+	}
+}
+
+func TestNetworkTripRoundTripAndRatio(t *testing.T) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 10, NY: 10, Spacing: 150, Seed: 6})
+	trips := simulate.TripsWithRoutes(g, simulate.TripOptions{NumObjects: 1, MinHops: 15, Speed: 12, SampleInterval: 1, Seed: 6})
+	trip := trips[0]
+	times := make([]float64, len(trip.Path.Edges))
+	walked := 0.0
+	for i, e := range trip.Path.Edges {
+		walked += g.Edge(e).Length
+		times[i] = walked / 12
+	}
+	nt := NetworkTrip{Route: trip.Path.Edges, Start: 0, Times: times}
+	data := EncodeNetworkTrip(nt, 1)
+	back, err := DecodeNetworkTrip(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Route) != len(nt.Route) {
+		t.Fatalf("route length %d vs %d", len(back.Route), len(nt.Route))
+	}
+	for i := range nt.Route {
+		if back.Route[i] != nt.Route[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+		if math.Abs(back.Times[i]-nt.Times[i]) > 0.5 { // quantum/2
+			t.Fatalf("time %d off by %v", i, math.Abs(back.Times[i]-nt.Times[i]))
+		}
+	}
+	raw := RawTripBytes(trip.Truth.Len())
+	if ratio := float64(raw) / float64(len(data)); ratio < 10 {
+		t.Fatalf("network compression ratio = %v", ratio)
+	}
+}
+
+func TestDecodeNetworkTripCorrupt(t *testing.T) {
+	if _, err := DecodeNetworkTrip([]byte{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty: %v", err)
+	}
+	good := EncodeNetworkTrip(NetworkTrip{Route: []roadnet.EdgeID{1, 2, 3}, Times: []float64{1, 2, 3}}, 1)
+	if _, err := DecodeNetworkTrip(good[:len(good)-2]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	vals := []float64{1.234, -5.678, 0, 100.001}
+	q := Quantize(vals, 0.01)
+	back := Dequantize(q, 0.01)
+	for i := range vals {
+		if math.Abs(back[i]-vals[i]) > 0.005 {
+			t.Fatalf("quantize error %v", math.Abs(back[i]-vals[i]))
+		}
+	}
+	if got := Quantize([]float64{5}, 0); got[0] != 5 {
+		t.Fatal("zero step should default to 1")
+	}
+}
+
+func TestDeltaVarintRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 2, 100, -50, 1 << 40, -(1 << 40), 7}
+	back, err := DeltaVarintDecode(DeltaVarintEncode(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(vals) {
+		t.Fatalf("len %d", len(back))
+	}
+	for i := range vals {
+		if back[i] != vals[i] {
+			t.Fatalf("value %d: %d vs %d", i, back[i], vals[i])
+		}
+	}
+	if _, err := DeltaVarintDecode(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("empty decode should fail")
+	}
+}
+
+func TestDeltaVarintCompressesSmoothSeries(t *testing.T) {
+	// Smooth series: deltas fit in 1-2 bytes vs 8 raw.
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(1000 + 10*math.Sin(float64(i)/20)*10)
+	}
+	enc := DeltaVarintEncode(vals)
+	if ratio := float64(8*len(vals)) / float64(len(enc)); ratio < 4 {
+		t.Fatalf("delta-varint ratio = %v", ratio)
+	}
+}
+
+func TestRiceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]uint64, 500)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(200))
+	}
+	for _, k := range []uint8{0, 2, 4, 7} {
+		back, err := RiceDecode(RiceEncode(vals, k))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(back) != len(vals) {
+			t.Fatalf("k=%d: len %d", k, len(back))
+		}
+		for i := range vals {
+			if back[i] != vals[i] {
+				t.Fatalf("k=%d value %d: %d vs %d", k, i, back[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestRiceHandlesHugeValues(t *testing.T) {
+	vals := []uint64{0, 5, math.MaxUint64, 3, 1 << 50}
+	back, err := RiceDecode(RiceEncode(vals, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if back[i] != vals[i] {
+			t.Fatalf("value %d: %d vs %d", i, back[i], vals[i])
+		}
+	}
+}
+
+func TestRiceCompressesSmallDeltas(t *testing.T) {
+	// Typical quantized sensor deltas: small non-negative after zigzag.
+	rng := rand.New(rand.NewSource(8))
+	vals := make([]uint64, 2000)
+	for i := range vals {
+		vals[i] = ZigZag(int64(rng.Intn(9) - 4))
+	}
+	enc := RiceEncode(vals, 2)
+	if ratio := float64(8*len(vals)) / float64(len(enc)); ratio < 8 {
+		t.Fatalf("rice ratio = %v", ratio)
+	}
+	if _, err := RiceDecode([]byte{40, 1}); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("bad k should fail")
+	}
+}
+
+func TestZigZagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ZigZag(0) != 0 || ZigZag(-1) != 1 || ZigZag(1) != 2 {
+		t.Fatal("zigzag mapping wrong")
+	}
+}
+
+func fieldSamples(seed int64, n int) []Sample {
+	f := simulate.NewField(simulate.FieldOptions{Seed: seed})
+	rng := rand.New(rand.NewSource(seed + 1))
+	out := make([]Sample, n)
+	pos := geo.Pt(500, 500)
+	for i := range out {
+		t := float64(i) * 60
+		out[i] = Sample{T: t, V: f.Value(pos, t) + rng.NormFloat64()*0.3}
+	}
+	return out
+}
+
+func TestLTCErrorBoundAndReduction(t *testing.T) {
+	samples := fieldSamples(9, 1000)
+	for _, eps := range []float64{0.5, 1, 3} {
+		kept := LTC(samples, eps)
+		if got := MaxReconstructionError(samples, kept); got > eps+1e-9 {
+			t.Fatalf("eps=%v: error %v", eps, got)
+		}
+		if len(kept) >= len(samples) {
+			t.Fatalf("eps=%v: no reduction", eps)
+		}
+	}
+	// Bigger eps keeps fewer samples.
+	if len(LTC(samples, 3)) > len(LTC(samples, 0.5)) {
+		t.Fatal("LTC not monotone in eps")
+	}
+}
+
+func TestLTCDegenerate(t *testing.T) {
+	if got := LTC(nil, 1); len(got) != 0 {
+		t.Fatal("empty LTC")
+	}
+	two := []Sample{{0, 1}, {1, 2}}
+	if got := LTC(two, 1); len(got) != 2 {
+		t.Fatal("two-sample LTC")
+	}
+	// Duplicate timestamps must not panic.
+	dup := []Sample{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}}
+	LTC(dup, 0.5)
+}
+
+func TestSuppressConstant(t *testing.T) {
+	samples := []Sample{{0, 10}, {1, 10.1}, {2, 10.2}, {3, 15}, {4, 15.1}, {5, 20}}
+	kept := SuppressConstant(samples, 1)
+	if len(kept) != 3 { // 10, 15, 20
+		t.Fatalf("kept = %d: %+v", len(kept), kept)
+	}
+	// Reconstruction holds last value.
+	v, ok := ReconstructConstant(kept, 2.5)
+	if !ok || v != 10 {
+		t.Fatalf("reconstruct(2.5) = %v", v)
+	}
+	v, _ = ReconstructConstant(kept, 4.5)
+	if v != 15 {
+		t.Fatalf("reconstruct(4.5) = %v", v)
+	}
+	// Error bounded by eps between transmissions.
+	for _, s := range samples {
+		v, _ := ReconstructConstant(kept, s.T)
+		if math.Abs(v-s.V) > 1+1e-9 {
+			t.Fatalf("suppression error at %v: %v", s.T, math.Abs(v-s.V))
+		}
+	}
+	if SuppressConstant(nil, 1) != nil {
+		t.Fatal("empty suppression")
+	}
+}
+
+func TestReconstructLinearEdges(t *testing.T) {
+	if _, ok := ReconstructLinear(nil, 0); ok {
+		t.Fatal("empty reconstruction")
+	}
+	kept := []Sample{{0, 1}, {10, 11}}
+	if v, _ := ReconstructLinear(kept, -5); v != 1 {
+		t.Fatal("clamp low")
+	}
+	if v, _ := ReconstructLinear(kept, 50); v != 11 {
+		t.Fatal("clamp high")
+	}
+	if v, _ := ReconstructLinear(kept, 5); math.Abs(v-6) > 1e-9 {
+		t.Fatalf("midpoint = %v", v)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	if CompressionRatio(100, 10) != 10 {
+		t.Fatal("ratio")
+	}
+	if !math.IsInf(CompressionRatio(100, 0), 1) {
+		t.Fatal("zero kept")
+	}
+}
+
+func TestLTCPropertyBound(t *testing.T) {
+	f := func(raw []float64, epsRaw float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		eps := 0.1 + math.Abs(math.Mod(epsRaw, 5))
+		samples := make([]Sample, 0, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			samples = append(samples, Sample{T: float64(i), V: math.Mod(v, 1e6)})
+		}
+		kept := LTC(samples, eps)
+		return MaxReconstructionError(samples, kept) <= eps+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

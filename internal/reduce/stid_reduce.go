@@ -1,0 +1,377 @@
+package reduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Quantize converts float values to integers at the given step (e.g.
+// 0.01 keeps two decimals). Quantization is the only lossy stage in
+// front of the lossless integer codecs.
+func Quantize(vals []float64, step float64) []int64 {
+	if step <= 0 {
+		step = 1
+	}
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		out[i] = int64(math.Round(v / step))
+	}
+	return out
+}
+
+// Dequantize inverts Quantize.
+func Dequantize(qs []int64, step float64) []float64 {
+	if step <= 0 {
+		step = 1
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = float64(q) * step
+	}
+	return out
+}
+
+// DeltaVarintEncode losslessly encodes an integer series as
+// delta + zigzag varints — the baseline lossless codec for slowly
+// varying IoT series.
+func DeltaVarintEncode(vals []int64) []byte {
+	buf := make([]byte, 0, len(vals)*2+8)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(vals)))
+	buf = append(buf, tmp[:n]...)
+	prev := int64(0)
+	for _, v := range vals {
+		n := binary.PutVarint(tmp[:], v-prev)
+		buf = append(buf, tmp[:n]...)
+		prev = v
+	}
+	return buf
+}
+
+// DeltaVarintDecode inverts DeltaVarintEncode.
+func DeltaVarintDecode(data []byte) ([]int64, error) {
+	off := 0
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("reduce: delta-varint header: %w", ErrCorrupt)
+	}
+	off += n
+	if count > uint64(len(data))*10 {
+		return nil, fmt.Errorf("reduce: implausible count %d: %w", count, ErrCorrupt)
+	}
+	out := make([]int64, 0, count)
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		d, n := binary.Varint(data[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("reduce: delta-varint value %d: %w", i, ErrCorrupt)
+		}
+		off += n
+		prev += d
+		out = append(out, prev)
+	}
+	return out, nil
+}
+
+// bitWriter writes individual bits MSB-first.
+type bitWriter struct {
+	buf []byte
+	cur byte
+	n   uint8
+}
+
+func (w *bitWriter) writeBit(b uint8) {
+	w.cur = w.cur<<1 | (b & 1)
+	w.n++
+	if w.n == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.n = 0, 0
+	}
+}
+
+func (w *bitWriter) writeBits(v uint64, bits uint8) {
+	for i := int(bits) - 1; i >= 0; i-- {
+		w.writeBit(uint8(v >> uint(i) & 1))
+	}
+}
+
+func (w *bitWriter) finish() []byte {
+	if w.n > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.n))
+	}
+	return w.buf
+}
+
+// bitReader reads bits MSB-first.
+type bitReader struct {
+	data []byte
+	pos  int // bit position
+}
+
+func (r *bitReader) readBit() (uint8, error) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.data) {
+		return 0, ErrCorrupt
+	}
+	b := r.data[byteIdx] >> (7 - uint(r.pos&7)) & 1
+	r.pos++
+	return b, nil
+}
+
+func (r *bitReader) readBits(bits uint8) (uint64, error) {
+	var v uint64
+	for i := uint8(0); i < bits; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// RiceEncode encodes non-negative integers with Rice coding (Golomb
+// with power-of-two parameter 2^k): quotient in unary, remainder in k
+// bits. It is the codec of the phasor-angle lossless-compression work
+// the paper cites; k should match the series' typical delta magnitude.
+func RiceEncode(vals []uint64, k uint8) []byte {
+	if k > 32 {
+		k = 32
+	}
+	w := &bitWriter{}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(vals)))
+	pre := append([]byte{k}, hdr[:n]...)
+	const escapeRun = 64 // no normal value emits this many unary ones
+	for _, v := range vals {
+		q := v >> k
+		if q >= escapeRun {
+			// Escape pathological quotients: a sentinel run of 64 ones,
+			// the terminator, then the raw 64-bit value.
+			for i := 0; i < escapeRun; i++ {
+				w.writeBit(1)
+			}
+			w.writeBit(0)
+			w.writeBits(v, 64)
+			continue
+		}
+		for i := uint64(0); i < q; i++ {
+			w.writeBit(1)
+		}
+		w.writeBit(0)
+		w.writeBits(v&((1<<k)-1), k)
+	}
+	return append(pre, w.finish()...)
+}
+
+// RiceDecode inverts RiceEncode.
+func RiceDecode(data []byte) ([]uint64, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("reduce: rice header: %w", ErrCorrupt)
+	}
+	k := data[0]
+	if k > 32 {
+		return nil, fmt.Errorf("reduce: rice parameter %d: %w", k, ErrCorrupt)
+	}
+	count, n := binary.Uvarint(data[1:])
+	if n <= 0 {
+		return nil, fmt.Errorf("reduce: rice count: %w", ErrCorrupt)
+	}
+	if count > uint64(len(data))*10 {
+		return nil, fmt.Errorf("reduce: implausible rice count %d: %w", count, ErrCorrupt)
+	}
+	r := &bitReader{data: data[1+n:]}
+	out := make([]uint64, 0, count)
+	const escapeRun = 64
+	for i := uint64(0); i < count; i++ {
+		var q uint64
+		escaped := false
+		for {
+			b, err := r.readBit()
+			if err != nil {
+				return nil, fmt.Errorf("reduce: rice unary at %d: %w", i, err)
+			}
+			if b == 0 {
+				break
+			}
+			q++
+			if q == escapeRun {
+				// Escape: after the sentinel's terminator, the raw
+				// 64-bit value follows.
+				b2, err := r.readBit()
+				if err != nil || b2 != 0 {
+					return nil, fmt.Errorf("reduce: rice escape at %d: %w", i, ErrCorrupt)
+				}
+				raw, err := r.readBits(64)
+				if err != nil {
+					return nil, fmt.Errorf("reduce: rice escape payload at %d: %w", i, err)
+				}
+				out = append(out, raw)
+				escaped = true
+				break
+			}
+		}
+		if escaped {
+			continue
+		}
+		rem, err := r.readBits(k)
+		if err != nil {
+			return nil, fmt.Errorf("reduce: rice remainder at %d: %w", i, err)
+		}
+		out = append(out, q<<k|rem)
+	}
+	return out, nil
+}
+
+// ZigZag maps signed to unsigned integers preserving small magnitudes.
+func ZigZag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Sample is a timestamped scalar for value-series compression.
+type Sample struct {
+	T, V float64
+}
+
+// LTC compresses a value series online with the Lightweight Temporal
+// Compression algorithm: it maintains the cone of lines from the last
+// transmitted sample that stay within eps of every intervening sample,
+// and emits a new (possibly value-adjusted) sample only when the cone
+// collapses. The emitted value uses a slope clamped into the surviving
+// cone, which guarantees the piecewise-linear reconstruction deviates
+// from every original sample by at most eps.
+func LTC(samples []Sample, eps float64) []Sample {
+	n := len(samples)
+	if n <= 2 || eps <= 0 {
+		return append([]Sample(nil), samples...)
+	}
+	out := []Sample{samples[0]}
+	anchor := samples[0]
+	loSlope, hiSlope := math.Inf(-1), math.Inf(1)
+	prev := samples[0]
+	emit := func(at Sample) Sample {
+		dt := at.T - anchor.T
+		if dt <= 0 {
+			return anchor
+		}
+		slope := (at.V - anchor.V) / dt
+		if slope < loSlope {
+			slope = loSlope
+		}
+		if slope > hiSlope {
+			slope = hiSlope
+		}
+		e := Sample{T: at.T, V: anchor.V + slope*dt}
+		out = append(out, e)
+		return e
+	}
+	for i := 1; i < n; i++ {
+		s := samples[i]
+		dt := s.T - anchor.T
+		if dt <= 0 {
+			prev = s
+			continue
+		}
+		lo := (s.V - eps - anchor.V) / dt
+		hi := (s.V + eps - anchor.V) / dt
+		nlo := math.Max(loSlope, lo)
+		nhi := math.Min(hiSlope, hi)
+		if nlo > nhi {
+			// Cone collapsed: emit at the previous sample time with a
+			// cone-feasible slope and restart from the emitted point.
+			anchor = emit(prev)
+			dt = s.T - anchor.T
+			if dt <= 0 {
+				loSlope, hiSlope = math.Inf(-1), math.Inf(1)
+			} else {
+				loSlope = (s.V - eps - anchor.V) / dt
+				hiSlope = (s.V + eps - anchor.V) / dt
+			}
+		} else {
+			loSlope, hiSlope = nlo, nhi
+		}
+		prev = s
+	}
+	if out[len(out)-1].T != samples[n-1].T {
+		emit(samples[n-1])
+	}
+	return out
+}
+
+// ReconstructLinear evaluates the piecewise-linear reconstruction of
+// kept samples at time t (clamped to the endpoints).
+func ReconstructLinear(kept []Sample, t float64) (float64, bool) {
+	if len(kept) == 0 {
+		return 0, false
+	}
+	if t <= kept[0].T {
+		return kept[0].V, true
+	}
+	if t >= kept[len(kept)-1].T {
+		return kept[len(kept)-1].V, true
+	}
+	for i := 1; i < len(kept); i++ {
+		if t <= kept[i].T {
+			a, b := kept[i-1], kept[i]
+			if b.T == a.T {
+				return b.V, true
+			}
+			f := (t - a.T) / (b.T - a.T)
+			return a.V + (b.V-a.V)*f, true
+		}
+	}
+	return kept[len(kept)-1].V, true
+}
+
+// MaxReconstructionError returns the worst |original - reconstruction|
+// over the samples.
+func MaxReconstructionError(original, kept []Sample) float64 {
+	var worst float64
+	for _, s := range original {
+		v, ok := ReconstructLinear(kept, s.T)
+		if !ok {
+			return math.Inf(1)
+		}
+		if d := math.Abs(v - s.V); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// SuppressConstant performs prediction-based reduction with a
+// last-value predictor: a sample is transmitted only when it deviates
+// from the last transmitted value by more than eps. The receiver holds
+// the last value. Returns the transmitted samples.
+func SuppressConstant(samples []Sample, eps float64) []Sample {
+	if len(samples) == 0 {
+		return nil
+	}
+	out := []Sample{samples[0]}
+	last := samples[0].V
+	for _, s := range samples[1:] {
+		if math.Abs(s.V-last) > eps {
+			out = append(out, s)
+			last = s.V
+		}
+	}
+	return out
+}
+
+// ReconstructConstant evaluates the last-value-hold reconstruction at
+// time t.
+func ReconstructConstant(kept []Sample, t float64) (float64, bool) {
+	if len(kept) == 0 {
+		return 0, false
+	}
+	v := kept[0].V
+	for _, s := range kept {
+		if s.T > t {
+			break
+		}
+		v = s.V
+	}
+	return v, true
+}

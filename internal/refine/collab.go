@@ -1,0 +1,134 @@
+package refine
+
+import (
+	"math"
+
+	"sidq/internal/geo"
+	"sidq/internal/stats"
+)
+
+// JointDenoise removes common-mode (system) noise from simultaneous
+// observations of a fleet: obs[t][i] is object i's observed position at
+// epoch t, modeled as truth[i](t) + bias[t] + noise. The per-epoch
+// shared bias (e.g. a GNSS atmospheric error affecting every receiver
+// equally) is estimated and subtracted by alternating estimation of the
+// per-object tracks and the per-epoch offsets. Objects are assumed to
+// move smoothly relative to the epoch spacing.
+//
+// It returns the corrected observations and the estimated per-epoch
+// biases.
+func JointDenoise(obs [][]geo.Point, iterations int) ([][]geo.Point, []geo.Point) {
+	nT := len(obs)
+	if nT == 0 {
+		return nil, nil
+	}
+	nObj := len(obs[0])
+	if iterations <= 0 {
+		iterations = 5
+	}
+	bias := make([]geo.Point, nT)
+	corrected := make([][]geo.Point, nT)
+	for t := range corrected {
+		corrected[t] = append([]geo.Point(nil), obs[t]...)
+	}
+	for iter := 0; iter < iterations; iter++ {
+		// Estimate each object's smooth track from the corrected data:
+		// local average over a small temporal window.
+		est := make([][]geo.Point, nT)
+		for t := 0; t < nT; t++ {
+			est[t] = make([]geo.Point, nObj)
+			for i := 0; i < nObj; i++ {
+				var sx, sy float64
+				var n int
+				for w := -2; w <= 2; w++ {
+					tt := t + w
+					if tt < 0 || tt >= nT {
+						continue
+					}
+					sx += corrected[tt][i].X
+					sy += corrected[tt][i].Y
+					n++
+				}
+				est[t][i] = geo.Pt(sx/float64(n), sy/float64(n))
+			}
+		}
+		// Re-estimate per-epoch bias as the robust mean residual across
+		// objects (median per axis to resist individual outliers).
+		for t := 0; t < nT; t++ {
+			rx := make([]float64, nObj)
+			ry := make([]float64, nObj)
+			for i := 0; i < nObj; i++ {
+				rx[i] = obs[t][i].X - est[t][i].X
+				ry[i] = obs[t][i].Y - est[t][i].Y
+			}
+			mx, _ := stats.Median(rx)
+			my, _ := stats.Median(ry)
+			bias[t] = geo.Pt(mx, my)
+			for i := 0; i < nObj; i++ {
+				corrected[t][i] = obs[t][i].Sub(bias[t])
+			}
+		}
+	}
+	return corrected, bias
+}
+
+// PairRange is a measured distance between two objects in a batch,
+// e.g. from device-to-device ranging.
+type PairRange struct {
+	I, J int
+	Dist float64
+}
+
+// IterativeOptimize refines a batch of noisy positions against pairwise
+// range measurements by gradient descent on the stress function
+// sum((|pi-pj| - dij)^2), anchored softly to the initial estimates.
+// This is the iterative-optimization flavor of collaborative LR: random
+// errors shrink because the accurate inter-object geometry constrains
+// every position simultaneously.
+func IterativeOptimize(initial []geo.Point, ranges []PairRange, iterations int, anchorWeight float64) []geo.Point {
+	n := len(initial)
+	pos := append([]geo.Point(nil), initial...)
+	if n == 0 || len(ranges) == 0 {
+		return pos
+	}
+	if iterations <= 0 {
+		iterations = 100
+	}
+	if anchorWeight < 0 {
+		anchorWeight = 0
+	}
+	deg := make([]int, n)
+	for _, r := range ranges {
+		if r.I >= 0 && r.J >= 0 && r.I < n && r.J < n && r.I != r.J {
+			deg[r.I]++
+			deg[r.J]++
+		}
+	}
+	lr := 0.2
+	for iter := 0; iter < iterations; iter++ {
+		grad := make([]geo.Point, n)
+		for _, r := range ranges {
+			if r.I < 0 || r.J < 0 || r.I >= n || r.J >= n || r.I == r.J {
+				continue
+			}
+			d := pos[r.I].Dist(pos[r.J])
+			if d < 1e-9 {
+				continue
+			}
+			// d/dpi (d - dij)^2 = 2 (d - dij) * (pi - pj)/d
+			coef := 2 * (d - r.Dist) / d
+			diff := pos[r.I].Sub(pos[r.J])
+			grad[r.I] = grad[r.I].Add(diff.Scale(coef))
+			grad[r.J] = grad[r.J].Sub(diff.Scale(coef))
+		}
+		for i := 0; i < n; i++ {
+			// Soft anchor to the initial estimate keeps the solution in
+			// the absolute frame (ranging alone is translation/rotation
+			// invariant).
+			anchor := pos[i].Sub(initial[i]).Scale(2 * anchorWeight)
+			step := grad[i].Add(anchor).Scale(lr / math.Max(1, float64(deg[i])))
+			pos[i] = pos[i].Sub(step)
+		}
+	}
+	return pos
+}

@@ -1,0 +1,156 @@
+// Package refine implements the paper's §2.2.1 Location Refinement
+// task family: adjusting initial location estimates to reduce system
+// and random errors.
+//
+// Three method categories are provided, following the tutorial's
+// taxonomy:
+//
+//   - Ensemble LR: single-source weighted-kNN fingerprinting and
+//     multi-source fusion (weighted least-squares multilateration and
+//     inverse-variance estimate fusion).
+//   - Motion-based LR: Kalman filtering/smoothing, particle filtering,
+//     and an HMM grid filter over sequential observations.
+//   - Collaborative LR: joint denoising of a fleet's shared
+//     (common-mode) error and iterative batch optimization against
+//     pairwise range constraints.
+package refine
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"sidq/internal/geo"
+	"sidq/internal/stats"
+)
+
+// ErrInsufficient is returned when a method has too few observations.
+var ErrInsufficient = errors.New("refine: insufficient observations")
+
+// Fingerprint is a labeled radio observation: the signal vector
+// measured at a known position during a site survey.
+type Fingerprint struct {
+	Pos  geo.Point
+	RSSI []float64
+}
+
+// WkNN is a single-source ensemble locator: it aggregates the k survey
+// fingerprints nearest in signal space, weighted by inverse signal
+// distance. This is the classic weighted-kNN fingerprinting method.
+type WkNN struct {
+	fps []Fingerprint
+	k   int
+}
+
+// NewWkNN returns a WkNN locator over the survey database (k clamps to
+// the database size; k <= 0 defaults to 4).
+func NewWkNN(fps []Fingerprint, k int) (*WkNN, error) {
+	if len(fps) == 0 {
+		return nil, ErrInsufficient
+	}
+	if k <= 0 {
+		k = 4
+	}
+	if k > len(fps) {
+		k = len(fps)
+	}
+	return &WkNN{fps: fps, k: k}, nil
+}
+
+// Locate estimates the position producing the observed signal vector.
+func (w *WkNN) Locate(rssi []float64) (geo.Point, error) {
+	type scored struct {
+		pos geo.Point
+		d   float64
+	}
+	cands := make([]scored, 0, len(w.fps))
+	for _, fp := range w.fps {
+		if len(fp.RSSI) != len(rssi) {
+			return geo.Point{}, errors.New("refine: signal dimension mismatch")
+		}
+		var d2 float64
+		for i := range rssi {
+			diff := rssi[i] - fp.RSSI[i]
+			d2 += diff * diff
+		}
+		cands = append(cands, scored{fp.Pos, math.Sqrt(d2)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	var wx, wy, wsum float64
+	for _, c := range cands[:w.k] {
+		wt := 1 / (c.d + 1e-6)
+		wx += wt * c.pos.X
+		wy += wt * c.pos.Y
+		wsum += wt
+	}
+	return geo.Pt(wx/wsum, wy/wsum), nil
+}
+
+// RangeObs is one anchor range measurement for multilateration.
+type RangeObs struct {
+	Anchor geo.Point
+	Range  float64
+}
+
+// Multilaterate estimates a position from >= 3 anchor ranges using
+// linearized weighted least squares (weights 1/range^2, so nearer
+// anchors count more). This is the multi-source ensemble method: each
+// anchor is an independent measurement process.
+func Multilaterate(obs []RangeObs) (geo.Point, error) {
+	n := len(obs)
+	if n < 3 {
+		return geo.Point{}, ErrInsufficient
+	}
+	// Linearize against the last anchor.
+	ref := obs[n-1]
+	refC := ref.Anchor.X*ref.Anchor.X + ref.Anchor.Y*ref.Anchor.Y - ref.Range*ref.Range
+	a := stats.NewMatrix(n-1, 2)
+	b := stats.NewMatrix(n-1, 1)
+	wgt := stats.NewMatrix(n-1, n-1)
+	for i := 0; i < n-1; i++ {
+		o := obs[i]
+		a.Set(i, 0, 2*(o.Anchor.X-ref.Anchor.X))
+		a.Set(i, 1, 2*(o.Anchor.Y-ref.Anchor.Y))
+		c := o.Anchor.X*o.Anchor.X + o.Anchor.Y*o.Anchor.Y - o.Range*o.Range
+		b.Set(i, 0, c-refC)
+		w := 1 / math.Max(o.Range*o.Range, 1e-6)
+		wgt.Set(i, i, w)
+	}
+	at := a.Transpose()
+	atw := at.Mul(wgt)
+	lhs := atw.Mul(a)
+	inv, err := lhs.Inverse()
+	if err != nil {
+		return geo.Point{}, err
+	}
+	sol := inv.Mul(atw.Mul(b))
+	return geo.Pt(sol.At(0, 0), sol.At(1, 0)), nil
+}
+
+// Estimate is one independent location estimate with its error
+// variance, as produced by a single positioning process.
+type Estimate struct {
+	Pos geo.Point
+	Var float64 // isotropic error variance (m^2)
+}
+
+// Fuse combines independent estimates by inverse-variance weighting —
+// the optimal linear fusion for unbiased Gaussian estimates. It returns
+// the fused position and its variance.
+func Fuse(ests []Estimate) (Estimate, error) {
+	if len(ests) == 0 {
+		return Estimate{}, ErrInsufficient
+	}
+	var wx, wy, wsum float64
+	for _, e := range ests {
+		v := e.Var
+		if v <= 0 {
+			v = 1e-9
+		}
+		w := 1 / v
+		wx += w * e.Pos.X
+		wy += w * e.Pos.Y
+		wsum += w
+	}
+	return Estimate{Pos: geo.Pt(wx/wsum, wy/wsum), Var: 1 / wsum}, nil
+}

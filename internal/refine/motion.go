@@ -1,0 +1,465 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+
+	"sidq/internal/geo"
+	"sidq/internal/stats"
+	"sidq/internal/trajectory"
+)
+
+// Kalman is a constant-velocity Kalman filter over planar position
+// observations: state [x y vx vy], position-only measurements. It is
+// the canonical Bayes-filter instance of motion-based LR.
+type Kalman struct {
+	x *stats.Matrix // 4x1 state
+	p *stats.Matrix // 4x4 covariance
+	q float64       // process-noise intensity (acceleration PSD)
+	r float64       // measurement noise stddev (meters)
+}
+
+// NewKalman returns a filter initialized at pos with zero velocity,
+// the given process-noise intensity q (m/s^2 scale) and measurement
+// noise stddev r (meters).
+func NewKalman(pos geo.Point, q, r float64) *Kalman {
+	if q <= 0 {
+		q = 1
+	}
+	if r <= 0 {
+		r = 1
+	}
+	x := stats.NewMatrix(4, 1)
+	x.Set(0, 0, pos.X)
+	x.Set(1, 0, pos.Y)
+	p := stats.Identity(4).ScaleBy(100)
+	return &Kalman{x: x, p: p, q: q, r: r}
+}
+
+func cvTransition(dt float64) *stats.Matrix {
+	return stats.MatrixFrom(4, 4,
+		1, 0, dt, 0,
+		0, 1, 0, dt,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	)
+}
+
+func cvProcessNoise(dt, q float64) *stats.Matrix {
+	dt2 := dt * dt
+	dt3 := dt2 * dt / 3
+	half := dt2 / 2
+	return stats.MatrixFrom(4, 4,
+		dt3, 0, half, 0,
+		0, dt3, 0, half,
+		half, 0, dt, 0,
+		0, half, 0, dt,
+	).ScaleBy(q)
+}
+
+// Predict advances the state dt seconds without a measurement.
+func (k *Kalman) Predict(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	f := cvTransition(dt)
+	k.x = f.Mul(k.x)
+	k.p = f.Mul(k.p).Mul(f.Transpose()).Add(cvProcessNoise(dt, k.q))
+}
+
+// Update folds in a position observation.
+func (k *Kalman) Update(obs geo.Point) {
+	h := stats.MatrixFrom(2, 4,
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+	)
+	rm := stats.Identity(2).ScaleBy(k.r * k.r)
+	y := stats.MatrixFrom(2, 1, obs.X-k.x.At(0, 0), obs.Y-k.x.At(1, 0))
+	s := h.Mul(k.p).Mul(h.Transpose()).Add(rm)
+	sInv, err := s.Inverse()
+	if err != nil {
+		return // degenerate covariance: skip the update
+	}
+	gain := k.p.Mul(h.Transpose()).Mul(sInv)
+	k.x = k.x.Add(gain.Mul(y))
+	k.p = stats.Identity(4).Sub(gain.Mul(h)).Mul(k.p)
+}
+
+// Step performs Predict(dt) then Update(obs) and returns the position.
+func (k *Kalman) Step(dt float64, obs geo.Point) geo.Point {
+	k.Predict(dt)
+	k.Update(obs)
+	return k.Position()
+}
+
+// Position returns the current position estimate.
+func (k *Kalman) Position() geo.Point { return geo.Pt(k.x.At(0, 0), k.x.At(1, 0)) }
+
+// Velocity returns the current velocity estimate.
+func (k *Kalman) Velocity() geo.Point { return geo.Pt(k.x.At(2, 0), k.x.At(3, 0)) }
+
+// Innovation returns the distance between a prospective observation and
+// the predicted position dt seconds ahead, without mutating the filter.
+// Prediction-based outlier detection uses this as its test statistic.
+func (k *Kalman) Innovation(dt float64, obs geo.Point) float64 {
+	f := cvTransition(dt)
+	pred := f.Mul(k.x)
+	return obs.Dist(geo.Pt(pred.At(0, 0), pred.At(1, 0)))
+}
+
+// KalmanFilterTrajectory runs the filter forward over a trajectory and
+// returns the filtered (causal) trajectory.
+func KalmanFilterTrajectory(tr *trajectory.Trajectory, q, r float64) *trajectory.Trajectory {
+	out := &trajectory.Trajectory{ID: tr.ID}
+	if tr.Len() == 0 {
+		return out
+	}
+	k := NewKalman(tr.Points[0].Pos, q, r)
+	prevT := tr.Points[0].T
+	for i, p := range tr.Points {
+		if i == 0 {
+			k.Update(p.Pos)
+		} else {
+			k.Step(math.Max(p.T-prevT, 1e-9), p.Pos)
+		}
+		prevT = p.T
+		out.Points = append(out.Points, trajectory.Point{T: p.T, Pos: k.Position()})
+	}
+	return out
+}
+
+// KalmanSmoothTrajectory runs a forward pass followed by a
+// Rauch-Tung-Striebel backward smoother, producing the non-causal MAP
+// trajectory. This is the smoothing-based uncertainty eliminator built
+// on the same motion model.
+func KalmanSmoothTrajectory(tr *trajectory.Trajectory, q, r float64) *trajectory.Trajectory {
+	n := tr.Len()
+	out := &trajectory.Trajectory{ID: tr.ID}
+	if n == 0 {
+		return out
+	}
+	type step struct {
+		xPred, pPred *stats.Matrix
+		xFilt, pFilt *stats.Matrix
+		f            *stats.Matrix
+	}
+	steps := make([]step, n)
+	k := NewKalman(tr.Points[0].Pos, q, r)
+	prevT := tr.Points[0].T
+	for i, p := range tr.Points {
+		var f *stats.Matrix
+		if i == 0 {
+			f = stats.Identity(4)
+		} else {
+			dt := math.Max(p.T-prevT, 1e-9)
+			f = cvTransition(dt)
+			k.Predict(dt)
+		}
+		steps[i].xPred = k.x.Clone()
+		steps[i].pPred = k.p.Clone()
+		steps[i].f = f
+		k.Update(p.Pos)
+		steps[i].xFilt = k.x.Clone()
+		steps[i].pFilt = k.p.Clone()
+		prevT = p.T
+	}
+	// Backward RTS pass.
+	xs := make([]*stats.Matrix, n)
+	ps := make([]*stats.Matrix, n)
+	xs[n-1] = steps[n-1].xFilt
+	ps[n-1] = steps[n-1].pFilt
+	for i := n - 2; i >= 0; i-- {
+		predInv, err := steps[i+1].pPred.Inverse()
+		if err != nil {
+			xs[i] = steps[i].xFilt
+			ps[i] = steps[i].pFilt
+			continue
+		}
+		c := steps[i].pFilt.Mul(steps[i+1].f.Transpose()).Mul(predInv)
+		xs[i] = steps[i].xFilt.Add(c.Mul(xs[i+1].Sub(steps[i+1].xPred)))
+		ps[i] = steps[i].pFilt.Add(c.Mul(ps[i+1].Sub(steps[i+1].pPred)).Mul(c.Transpose()))
+	}
+	for i, p := range tr.Points {
+		out.Points = append(out.Points, trajectory.Point{
+			T:   p.T,
+			Pos: geo.Pt(xs[i].At(0, 0), xs[i].At(1, 0)),
+		})
+	}
+	return out
+}
+
+// ParticleFilter is a sequential Monte Carlo motion-based locator with
+// a random-walk-velocity dynamics model and Gaussian position
+// likelihood. It handles non-linear/non-Gaussian settings the Kalman
+// filter cannot.
+type ParticleFilter struct {
+	px, py, vx, vy []float64
+	w              []float64
+	q              float64 // velocity diffusion (m/s per sqrt(s))
+	r              float64 // measurement stddev (m)
+	rng            *rand.Rand
+}
+
+// NewParticleFilter returns a filter with n particles spread with
+// stddev spread around pos.
+func NewParticleFilter(n int, pos geo.Point, spread, q, r float64, seed int64) *ParticleFilter {
+	if n < 10 {
+		n = 10
+	}
+	if q <= 0 {
+		q = 1
+	}
+	if r <= 0 {
+		r = 1
+	}
+	pf := &ParticleFilter{
+		px: make([]float64, n), py: make([]float64, n),
+		vx: make([]float64, n), vy: make([]float64, n),
+		w: make([]float64, n),
+		q: q, r: r,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+	for i := 0; i < n; i++ {
+		pf.px[i] = pos.X + pf.rng.NormFloat64()*spread
+		pf.py[i] = pos.Y + pf.rng.NormFloat64()*spread
+		pf.w[i] = 1 / float64(n)
+	}
+	return pf
+}
+
+// Step propagates dt seconds, weights against obs, resamples, and
+// returns the posterior mean position.
+func (pf *ParticleFilter) Step(dt float64, obs geo.Point) geo.Point {
+	if dt <= 0 {
+		dt = 1e-3
+	}
+	sq := math.Sqrt(dt) * pf.q
+	var wsum float64
+	for i := range pf.px {
+		pf.vx[i] += pf.rng.NormFloat64() * sq
+		pf.vy[i] += pf.rng.NormFloat64() * sq
+		pf.px[i] += pf.vx[i] * dt
+		pf.py[i] += pf.vy[i] * dt
+		dx := pf.px[i] - obs.X
+		dy := pf.py[i] - obs.Y
+		pf.w[i] = math.Exp(-(dx*dx + dy*dy) / (2 * pf.r * pf.r))
+		wsum += pf.w[i]
+	}
+	if wsum <= 0 {
+		// All particles far away: reinitialize around the observation.
+		for i := range pf.px {
+			pf.px[i] = obs.X + pf.rng.NormFloat64()*pf.r
+			pf.py[i] = obs.Y + pf.rng.NormFloat64()*pf.r
+			pf.w[i] = 1 / float64(len(pf.w))
+		}
+		wsum = 1
+	}
+	var mx, my float64
+	for i := range pf.w {
+		pf.w[i] /= wsum
+		mx += pf.w[i] * pf.px[i]
+		my += pf.w[i] * pf.py[i]
+	}
+	pf.resample()
+	return geo.Pt(mx, my)
+}
+
+// resample performs systematic resampling.
+func (pf *ParticleFilter) resample() {
+	n := len(pf.w)
+	npx := make([]float64, n)
+	npy := make([]float64, n)
+	nvx := make([]float64, n)
+	nvy := make([]float64, n)
+	step := 1 / float64(n)
+	u := pf.rng.Float64() * step
+	var cum float64
+	j := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)*step
+		for cum+pf.w[j] < target && j < n-1 {
+			cum += pf.w[j]
+			j++
+		}
+		npx[i], npy[i] = pf.px[j], pf.py[j]
+		nvx[i], nvy[i] = pf.vx[j], pf.vy[j]
+	}
+	pf.px, pf.py, pf.vx, pf.vy = npx, npy, nvx, nvy
+	for i := range pf.w {
+		pf.w[i] = step
+	}
+}
+
+// ParticleFilterTrajectory runs the particle filter over a trajectory.
+func ParticleFilterTrajectory(tr *trajectory.Trajectory, n int, q, r float64, seed int64) *trajectory.Trajectory {
+	out := &trajectory.Trajectory{ID: tr.ID}
+	if tr.Len() == 0 {
+		return out
+	}
+	pf := NewParticleFilter(n, tr.Points[0].Pos, r, q, r, seed)
+	prevT := tr.Points[0].T
+	for i, p := range tr.Points {
+		dt := p.T - prevT
+		if i == 0 {
+			dt = 1e-3
+		}
+		pos := pf.Step(dt, p.Pos)
+		prevT = p.T
+		out.Points = append(out.Points, trajectory.Point{T: p.T, Pos: pos})
+	}
+	return out
+}
+
+// HMMGrid is a discrete Bayes (histogram) filter: the region is tiled
+// into cells, motion diffuses probability to neighboring cells, and
+// observations reweight by a Gaussian likelihood. It is the
+// probabilistic-graph-model representative of motion-based LR.
+type HMMGrid struct {
+	region     geo.Rect
+	cell       float64
+	nx, ny     int
+	probs      []float64
+	speedSigma float64 // motion diffusion, m/s
+	measSigma  float64
+}
+
+// NewHMMGrid returns a uniform-prior grid filter.
+func NewHMMGrid(region geo.Rect, cell, speedSigma, measSigma float64) *HMMGrid {
+	if cell <= 0 {
+		cell = 10
+	}
+	if speedSigma <= 0 {
+		speedSigma = 2
+	}
+	if measSigma <= 0 {
+		measSigma = 5
+	}
+	nx := int(math.Ceil(region.Width() / cell))
+	ny := int(math.Ceil(region.Height() / cell))
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	h := &HMMGrid{
+		region: region, cell: cell, nx: nx, ny: ny,
+		probs:      make([]float64, nx*ny),
+		speedSigma: speedSigma, measSigma: measSigma,
+	}
+	u := 1 / float64(nx*ny)
+	for i := range h.probs {
+		h.probs[i] = u
+	}
+	return h
+}
+
+func (h *HMMGrid) center(i int) geo.Point {
+	cx, cy := i%h.nx, i/h.nx
+	return geo.Pt(
+		h.region.Min.X+(float64(cx)+0.5)*h.cell,
+		h.region.Min.Y+(float64(cy)+0.5)*h.cell,
+	)
+}
+
+// Step advances the filter dt seconds and folds in an observation,
+// returning the posterior-mean position estimate.
+func (h *HMMGrid) Step(dt float64, obs geo.Point) geo.Point {
+	if dt > 0 {
+		h.diffuse(dt)
+	}
+	// Emission update.
+	var sum float64
+	for i := range h.probs {
+		d2 := h.center(i).DistSq(obs)
+		h.probs[i] *= math.Exp(-d2 / (2 * h.measSigma * h.measSigma))
+		sum += h.probs[i]
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(h.probs))
+		for i := range h.probs {
+			h.probs[i] = u
+		}
+		sum = 1
+	}
+	var mx, my float64
+	for i := range h.probs {
+		h.probs[i] /= sum
+		c := h.center(i)
+		mx += h.probs[i] * c.X
+		my += h.probs[i] * c.Y
+	}
+	return geo.Pt(mx, my)
+}
+
+// diffuse spreads probability to neighbors with a Gaussian kernel of
+// stddev speedSigma*dt, truncated at 3 sigma.
+func (h *HMMGrid) diffuse(dt float64) {
+	sigma := h.speedSigma * dt
+	radius := int(math.Ceil(3 * sigma / h.cell))
+	if radius < 1 {
+		radius = 1
+	}
+	if radius > 6 {
+		radius = 6
+	}
+	// Separable 1D kernel.
+	kernel := make([]float64, 2*radius+1)
+	var ksum float64
+	for k := -radius; k <= radius; k++ {
+		d := float64(k) * h.cell
+		kernel[k+radius] = math.Exp(-d * d / (2 * sigma * sigma))
+		ksum += kernel[k+radius]
+	}
+	for i := range kernel {
+		kernel[i] /= ksum
+	}
+	// Horizontal then vertical pass.
+	tmp := make([]float64, len(h.probs))
+	for y := 0; y < h.ny; y++ {
+		for x := 0; x < h.nx; x++ {
+			var v float64
+			for k := -radius; k <= radius; k++ {
+				xx := x + k
+				if xx < 0 || xx >= h.nx {
+					continue
+				}
+				v += h.probs[y*h.nx+xx] * kernel[k+radius]
+			}
+			tmp[y*h.nx+x] = v
+		}
+	}
+	for y := 0; y < h.ny; y++ {
+		for x := 0; x < h.nx; x++ {
+			var v float64
+			for k := -radius; k <= radius; k++ {
+				yy := y + k
+				if yy < 0 || yy >= h.ny {
+					continue
+				}
+				v += tmp[yy*h.nx+x] * kernel[k+radius]
+			}
+			h.probs[y*h.nx+x] = v
+		}
+	}
+}
+
+// HMMGridTrajectory runs the grid filter over a trajectory.
+func HMMGridTrajectory(tr *trajectory.Trajectory, region geo.Rect, cell, speedSigma, measSigma float64) *trajectory.Trajectory {
+	out := &trajectory.Trajectory{ID: tr.ID}
+	if tr.Len() == 0 {
+		return out
+	}
+	h := NewHMMGrid(region, cell, speedSigma, measSigma)
+	prevT := tr.Points[0].T
+	for i, p := range tr.Points {
+		dt := p.T - prevT
+		if i == 0 {
+			dt = 0
+		}
+		pos := h.Step(dt, p.Pos)
+		prevT = p.T
+		out.Points = append(out.Points, trajectory.Point{T: p.T, Pos: pos})
+	}
+	return out
+}

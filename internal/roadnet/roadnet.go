@@ -1,0 +1,303 @@
+// Package roadnet implements the road-network substrate used by
+// map-matching, route recovery, and network-constrained trajectory
+// compression: a directed graph embedded in the plane, shortest-path
+// search (Dijkstra and A*), nearest-edge snapping, and a deterministic
+// synthetic grid-city generator.
+package roadnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sidq/internal/geo"
+)
+
+// ErrNoPath is returned when no route exists between two nodes.
+var ErrNoPath = errors.New("roadnet: no path")
+
+// NodeID identifies a graph node.
+type NodeID int
+
+// EdgeID identifies a directed edge.
+type EdgeID int
+
+// Node is a road intersection (or dead end) embedded in the plane.
+type Node struct {
+	ID  NodeID
+	Pos geo.Point
+}
+
+// Edge is a directed road segment between two nodes.
+type Edge struct {
+	ID       EdgeID
+	From, To NodeID
+	Length   float64 // meters
+	SpeedCap float64 // free-flow speed, m/s
+}
+
+// TravelTime returns the free-flow traversal time of the edge.
+func (e Edge) TravelTime() float64 {
+	if e.SpeedCap <= 0 {
+		return math.Inf(1)
+	}
+	return e.Length / e.SpeedCap
+}
+
+// Graph is a directed road network.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+	out   [][]EdgeID // adjacency: outgoing edges per node
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode appends a node at pos and returns its id.
+func (g *Graph) AddNode(pos geo.Point) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Pos: pos})
+	g.out = append(g.out, nil)
+	return id
+}
+
+// AddEdge adds a directed edge from a to b with the given free-flow
+// speed; length is computed from the node embedding. It returns the new
+// edge id. It panics on out-of-range node ids (programming error).
+func (g *Graph) AddEdge(a, b NodeID, speedCap float64) EdgeID {
+	if int(a) >= len(g.nodes) || int(b) >= len(g.nodes) || a < 0 || b < 0 {
+		panic(fmt.Sprintf("roadnet: AddEdge bad nodes %d->%d (have %d)", a, b, len(g.nodes)))
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{
+		ID:       id,
+		From:     a,
+		To:       b,
+		Length:   g.nodes[a].Pos.Dist(g.nodes[b].Pos),
+		SpeedCap: speedCap,
+	})
+	g.out[a] = append(g.out[a], id)
+	return id
+}
+
+// AddBidirectional adds edges in both directions and returns both ids.
+func (g *Graph) AddBidirectional(a, b NodeID, speedCap float64) (EdgeID, EdgeID) {
+	return g.AddEdge(a, b, speedCap), g.AddEdge(b, a, speedCap)
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the directed-edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// OutEdges returns the outgoing edge ids of node id.
+func (g *Graph) OutEdges(id NodeID) []EdgeID { return g.out[id] }
+
+// Bounds returns the bounding rectangle of all node positions.
+func (g *Graph) Bounds() geo.Rect {
+	r := geo.EmptyRect()
+	for _, n := range g.nodes {
+		r = r.ExtendPoint(n.Pos)
+	}
+	return r
+}
+
+// Path is a shortest-path result.
+type Path struct {
+	Nodes []NodeID
+	Edges []EdgeID
+	Dist  float64 // meters
+}
+
+// Geometry returns the polyline through the path's node positions.
+func (g *Graph) Geometry(p Path) geo.Polyline {
+	pl := make(geo.Polyline, len(p.Nodes))
+	for i, id := range p.Nodes {
+		pl[i] = g.nodes[id].Pos
+	}
+	return pl
+}
+
+// ShortestPath returns the minimum-length path from a to b using
+// Dijkstra's algorithm.
+func (g *Graph) ShortestPath(a, b NodeID) (Path, error) {
+	return g.search(a, b, func(geo.Point) float64 { return 0 })
+}
+
+// AStar returns the minimum-length path from a to b using A* with the
+// Euclidean distance heuristic (admissible because edge lengths are
+// Euclidean node distances).
+func (g *Graph) AStar(a, b NodeID) (Path, error) {
+	goal := g.nodes[b].Pos
+	return g.search(a, b, func(p geo.Point) float64 { return p.Dist(goal) })
+}
+
+func (g *Graph) search(a, b NodeID, h func(geo.Point) float64) (Path, error) {
+	if int(a) >= len(g.nodes) || int(b) >= len(g.nodes) || a < 0 || b < 0 {
+		return Path{}, fmt.Errorf("roadnet: search bad nodes %d->%d: %w", a, b, ErrNoPath)
+	}
+	dist := make([]float64, len(g.nodes))
+	prevEdge := make([]EdgeID, len(g.nodes))
+	visited := make([]bool, len(g.nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[a] = 0
+	pq := &nodePQ{{node: a, priority: h(g.nodes[a].Pos)}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodePQItem)
+		if visited[cur.node] {
+			continue
+		}
+		visited[cur.node] = true
+		if cur.node == b {
+			break
+		}
+		for _, eid := range g.out[cur.node] {
+			e := g.edges[eid]
+			if visited[e.To] {
+				continue
+			}
+			nd := dist[cur.node] + e.Length
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prevEdge[e.To] = eid
+				heap.Push(pq, nodePQItem{node: e.To, priority: nd + h(g.nodes[e.To].Pos)})
+			}
+		}
+	}
+	if math.IsInf(dist[b], 1) {
+		return Path{}, fmt.Errorf("roadnet: %d -> %d: %w", a, b, ErrNoPath)
+	}
+	// Reconstruct.
+	var edges []EdgeID
+	nodes := []NodeID{b}
+	for cur := b; cur != a; {
+		eid := prevEdge[cur]
+		edges = append(edges, eid)
+		cur = g.edges[eid].From
+		nodes = append(nodes, cur)
+	}
+	reverseEdges(edges)
+	reverseNodes(nodes)
+	return Path{Nodes: nodes, Edges: edges, Dist: dist[b]}, nil
+}
+
+func reverseEdges(s []EdgeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func reverseNodes(s []NodeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+type nodePQItem struct {
+	node     NodeID
+	priority float64
+}
+
+type nodePQ []nodePQItem
+
+func (h nodePQ) Len() int            { return len(h) }
+func (h nodePQ) Less(i, j int) bool  { return h[i].priority < h[j].priority }
+func (h nodePQ) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodePQ) Push(x interface{}) { *h = append(*h, x.(nodePQItem)) }
+func (h *nodePQ) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// GridCityOptions configures the synthetic city generator.
+type GridCityOptions struct {
+	NX, NY     int     // intersections per axis (>= 2)
+	Spacing    float64 // meters between intersections
+	Jitter     float64 // positional jitter stddev in meters
+	RemoveFrac float64 // fraction of interior street segments removed
+	SpeedCap   float64 // uniform free-flow speed, m/s
+	Seed       int64
+}
+
+// GridCity generates a Manhattan-style street grid: NX x NY
+// intersections with jittered positions and a fraction of interior
+// segments removed to create non-trivial shortest paths. All streets
+// are bidirectional. The boundary ring is never removed, so the graph
+// stays strongly connected.
+func GridCity(opt GridCityOptions) *Graph {
+	if opt.NX < 2 {
+		opt.NX = 2
+	}
+	if opt.NY < 2 {
+		opt.NY = 2
+	}
+	if opt.Spacing <= 0 {
+		opt.Spacing = 100
+	}
+	if opt.SpeedCap <= 0 {
+		opt.SpeedCap = 13.9 // ~50 km/h
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	g := NewGraph()
+	ids := make([][]NodeID, opt.NX)
+	for x := 0; x < opt.NX; x++ {
+		ids[x] = make([]NodeID, opt.NY)
+		for y := 0; y < opt.NY; y++ {
+			jx := rng.NormFloat64() * opt.Jitter
+			jy := rng.NormFloat64() * opt.Jitter
+			ids[x][y] = g.AddNode(geo.Pt(float64(x)*opt.Spacing+jx, float64(y)*opt.Spacing+jy))
+		}
+	}
+	interior := func(x, y int, horizontal bool) bool {
+		if horizontal {
+			return y > 0 && y < opt.NY-1
+		}
+		return x > 0 && x < opt.NX-1
+	}
+	for x := 0; x < opt.NX; x++ {
+		for y := 0; y < opt.NY; y++ {
+			if x+1 < opt.NX {
+				if !(interior(x, y, true) && rng.Float64() < opt.RemoveFrac) {
+					g.AddBidirectional(ids[x][y], ids[x+1][y], opt.SpeedCap)
+				}
+			}
+			if y+1 < opt.NY {
+				if !(interior(x, y, false) && rng.Float64() < opt.RemoveFrac) {
+					g.AddBidirectional(ids[x][y], ids[x][y+1], opt.SpeedCap)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// NodeAt returns the id of the node nearest to p (linear scan; the
+// generator graphs are small). ok is false for an empty graph.
+func (g *Graph) NodeAt(p geo.Point) (NodeID, bool) {
+	if len(g.nodes) == 0 {
+		return 0, false
+	}
+	best, bestD := NodeID(0), math.Inf(1)
+	for _, n := range g.nodes {
+		if d := n.Pos.DistSq(p); d < bestD {
+			best, bestD = n.ID, d
+		}
+	}
+	return best, true
+}

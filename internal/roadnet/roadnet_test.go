@@ -1,0 +1,266 @@
+package roadnet
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sidq/internal/geo"
+)
+
+func simpleSquare() *Graph {
+	// 0 -- 1
+	// |    |
+	// 2 -- 3
+	g := NewGraph()
+	n0 := g.AddNode(geo.Pt(0, 100))
+	n1 := g.AddNode(geo.Pt(100, 100))
+	n2 := g.AddNode(geo.Pt(0, 0))
+	n3 := g.AddNode(geo.Pt(100, 0))
+	g.AddBidirectional(n0, n1, 10)
+	g.AddBidirectional(n0, n2, 10)
+	g.AddBidirectional(n1, n3, 10)
+	g.AddBidirectional(n2, n3, 10)
+	return g
+}
+
+func TestShortestPathSquare(t *testing.T) {
+	g := simpleSquare()
+	p, err := g.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Dist-200) > 1e-9 {
+		t.Fatalf("dist = %v", p.Dist)
+	}
+	if len(p.Nodes) != 3 || p.Nodes[0] != 0 || p.Nodes[2] != 3 {
+		t.Fatalf("nodes = %v", p.Nodes)
+	}
+	if len(p.Edges) != 2 {
+		t.Fatalf("edges = %v", p.Edges)
+	}
+	// Path edges must actually connect the nodes.
+	for i, eid := range p.Edges {
+		e := g.Edge(eid)
+		if e.From != p.Nodes[i] || e.To != p.Nodes[i+1] {
+			t.Fatalf("edge %d does not connect %v", i, p.Nodes)
+		}
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := simpleSquare()
+	p, err := g.ShortestPath(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dist != 0 || len(p.Nodes) != 1 {
+		t.Fatalf("self path: %+v", p)
+	}
+}
+
+func TestNoPath(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(geo.Pt(0, 0))
+	b := g.AddNode(geo.Pt(10, 0))
+	_, err := g.ShortestPath(a, b)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+	if _, err := g.ShortestPath(a, NodeID(99)); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("bad node id: %v", err)
+	}
+}
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	g := GridCity(GridCityOptions{NX: 12, NY: 12, Spacing: 100, Jitter: 10, RemoveFrac: 0.25, Seed: 5})
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		a := NodeID(rng.Intn(g.NumNodes()))
+		b := NodeID(rng.Intn(g.NumNodes()))
+		pd, errD := g.ShortestPath(a, b)
+		pa, errA := g.AStar(a, b)
+		if (errD == nil) != (errA == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, errD, errA)
+		}
+		if errD != nil {
+			continue
+		}
+		if math.Abs(pd.Dist-pa.Dist) > 1e-6 {
+			t.Fatalf("trial %d: dijkstra %v vs astar %v", trial, pd.Dist, pa.Dist)
+		}
+	}
+}
+
+func TestGridCityConnected(t *testing.T) {
+	g := GridCity(GridCityOptions{NX: 8, NY: 8, Spacing: 100, RemoveFrac: 0.4, Seed: 1})
+	// The boundary ring is preserved, so all corner-to-corner routes exist.
+	if _, err := g.ShortestPath(0, NodeID(g.NumNodes()-1)); err != nil {
+		t.Fatalf("grid city disconnected: %v", err)
+	}
+	if g.NumNodes() != 64 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Determinism.
+	g2 := GridCity(GridCityOptions{NX: 8, NY: 8, Spacing: 100, RemoveFrac: 0.4, Seed: 1})
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("generator not deterministic")
+	}
+}
+
+func TestGridCityDefaults(t *testing.T) {
+	g := GridCity(GridCityOptions{})
+	if g.NumNodes() != 4 {
+		t.Fatalf("default city nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("default city has no edges")
+	}
+}
+
+func TestEdgeTravelTime(t *testing.T) {
+	g := simpleSquare()
+	e := g.Edge(0)
+	if math.Abs(e.TravelTime()-10) > 1e-9 { // 100 m at 10 m/s
+		t.Fatalf("travel time = %v", e.TravelTime())
+	}
+	bad := Edge{Length: 10, SpeedCap: 0}
+	if !math.IsInf(bad.TravelTime(), 1) {
+		t.Fatal("zero speed should be +Inf")
+	}
+}
+
+func TestSnapperNearest(t *testing.T) {
+	g := simpleSquare()
+	s := NewSnapper(g, 50)
+	snap, ok := s.Nearest(geo.Pt(50, -10))
+	if !ok {
+		t.Fatal("no snap")
+	}
+	if math.Abs(snap.Dist-10) > 1e-9 {
+		t.Fatalf("snap dist = %v", snap.Dist)
+	}
+	if snap.Pos.Dist(geo.Pt(50, 0)) > 1e-9 {
+		t.Fatalf("snap pos = %v", snap.Pos)
+	}
+	e := g.Edge(snap.Edge)
+	if !(e.From == 2 && e.To == 3) && !(e.From == 3 && e.To == 2) {
+		t.Fatalf("snapped to wrong edge %v", e)
+	}
+}
+
+func TestSnapperMatchesBruteForce(t *testing.T) {
+	g := GridCity(GridCityOptions{NX: 10, NY: 10, Spacing: 100, Jitter: 15, RemoveFrac: 0.2, Seed: 7})
+	s := NewSnapper(g, 80)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		p := geo.Pt(rng.Float64()*900, rng.Float64()*900)
+		snap, ok := s.Nearest(p)
+		if !ok {
+			t.Fatal("no snap")
+		}
+		// Brute force.
+		best := math.Inf(1)
+		for i := 0; i < g.NumEdges(); i++ {
+			e := g.Edge(EdgeID(i))
+			seg := geo.Segment{A: g.Node(e.From).Pos, B: g.Node(e.To).Pos}
+			if d := seg.Dist(p); d < best {
+				best = d
+			}
+		}
+		if math.Abs(snap.Dist-best) > 1e-9 {
+			t.Fatalf("trial %d: snap %v vs brute %v", trial, snap.Dist, best)
+		}
+	}
+}
+
+func TestSnapperKNearest(t *testing.T) {
+	g := GridCity(GridCityOptions{NX: 6, NY: 6, Spacing: 100, Seed: 2})
+	s := NewSnapper(g, 60)
+	p := geo.Pt(250, 250)
+	snaps := s.KNearest(p, 5)
+	if len(snaps) != 5 {
+		t.Fatalf("got %d snaps", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Dist < snaps[i-1].Dist {
+			t.Fatal("snaps not sorted by distance")
+		}
+	}
+	seen := map[EdgeID]bool{}
+	for _, sn := range snaps {
+		if seen[sn.Edge] {
+			t.Fatal("duplicate edge in KNearest")
+		}
+		seen[sn.Edge] = true
+	}
+	// First snap must agree with Nearest.
+	n, _ := s.Nearest(p)
+	if math.Abs(snaps[0].Dist-n.Dist) > 1e-9 {
+		t.Fatalf("KNearest[0] %v != Nearest %v", snaps[0].Dist, n.Dist)
+	}
+	if s.KNearest(p, 0) != nil {
+		t.Fatal("k=0 should be nil")
+	}
+}
+
+func TestNetworkDist(t *testing.T) {
+	g := simpleSquare()
+	// Find the directed edge 2->3.
+	var e23 EdgeID = -1
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		if e.From == 2 && e.To == 3 {
+			e23 = e.ID
+		}
+	}
+	if e23 < 0 {
+		t.Fatal("edge 2->3 not found")
+	}
+	// Same edge forward: from 25% to 75% of a 100 m edge = 50 m.
+	d, err := g.NetworkDist(e23, 0.25, e23, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-50) > 1e-9 {
+		t.Fatalf("same-edge dist = %v", d)
+	}
+}
+
+func TestNodeAtAndGeometry(t *testing.T) {
+	g := simpleSquare()
+	id, ok := g.NodeAt(geo.Pt(95, 95))
+	if !ok || id != 1 {
+		t.Fatalf("NodeAt = %v %v", id, ok)
+	}
+	if _, ok := NewGraph().NodeAt(geo.Pt(0, 0)); ok {
+		t.Fatal("empty graph NodeAt should be !ok")
+	}
+	p, err := g.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := g.Geometry(p)
+	if len(pl) != len(p.Nodes) {
+		t.Fatal("geometry length mismatch")
+	}
+	if math.Abs(pl.Length()-p.Dist) > 1e-9 {
+		t.Fatalf("geometry length %v != path dist %v", pl.Length(), p.Dist)
+	}
+}
+
+func TestPointAlongEdge(t *testing.T) {
+	g := simpleSquare()
+	var e EdgeID = -1
+	for i := 0; i < g.NumEdges(); i++ {
+		ed := g.Edge(EdgeID(i))
+		if ed.From == 2 && ed.To == 3 {
+			e = ed.ID
+		}
+	}
+	mid := g.PointAlongEdge(e, 0.5)
+	if mid.Dist(geo.Pt(50, 0)) > 1e-9 {
+		t.Fatalf("mid = %v", mid)
+	}
+}

@@ -1,0 +1,230 @@
+package roadnet
+
+import (
+	"math"
+
+	"sidq/internal/geo"
+)
+
+// Snap is the result of projecting a point onto the road network.
+type Snap struct {
+	Edge  EdgeID
+	Param float64   // position along the edge in [0, 1]
+	Pos   geo.Point // snapped position
+	Dist  float64   // distance from the query point to Pos
+}
+
+// Snapper answers nearest-edge queries against a graph using a uniform
+// grid over edge bounding rectangles. Build once, query many times.
+type Snapper struct {
+	g        *Graph
+	cellSize float64
+	bounds   geo.Rect
+	nx, ny   int
+	cells    [][]EdgeID
+}
+
+// NewSnapper builds a snapper with the given grid cell size (meters).
+// A non-positive cell size defaults to 100 m.
+func NewSnapper(g *Graph, cellSize float64) *Snapper {
+	if cellSize <= 0 {
+		cellSize = 100
+	}
+	bounds := g.Bounds().Expand(cellSize)
+	s := &Snapper{g: g, cellSize: cellSize, bounds: bounds}
+	s.nx = int(math.Ceil(bounds.Width()/cellSize)) + 1
+	s.ny = int(math.Ceil(bounds.Height()/cellSize)) + 1
+	if s.nx < 1 {
+		s.nx = 1
+	}
+	if s.ny < 1 {
+		s.ny = 1
+	}
+	s.cells = make([][]EdgeID, s.nx*s.ny)
+	for _, e := range g.edges {
+		a := g.nodes[e.From].Pos
+		b := g.nodes[e.To].Pos
+		r := geo.RectFromPoints(a, b)
+		lox, loy := s.cellOf(r.Min)
+		hix, hiy := s.cellOf(r.Max)
+		for cy := loy; cy <= hiy; cy++ {
+			for cx := lox; cx <= hix; cx++ {
+				i := cy*s.nx + cx
+				s.cells[i] = append(s.cells[i], e.ID)
+			}
+		}
+	}
+	return s
+}
+
+func (s *Snapper) cellOf(p geo.Point) (int, int) {
+	cx := int((p.X - s.bounds.Min.X) / s.cellSize)
+	cy := int((p.Y - s.bounds.Min.Y) / s.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= s.nx {
+		cx = s.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= s.ny {
+		cy = s.ny - 1
+	}
+	return cx, cy
+}
+
+// Nearest returns the snap of p onto the nearest edge. ok is false for
+// a graph with no edges.
+func (s *Snapper) Nearest(p geo.Point) (Snap, bool) {
+	if s.g.NumEdges() == 0 {
+		return Snap{}, false
+	}
+	cx, cy := s.cellOf(p)
+	best := Snap{Dist: math.Inf(1)}
+	maxRing := s.nx
+	if s.ny > maxRing {
+		maxRing = s.ny
+	}
+	seen := map[EdgeID]bool{}
+	for ring := 0; ring <= maxRing; ring++ {
+		if !math.IsInf(best.Dist, 1) {
+			minPossible := (float64(ring) - 1) * s.cellSize
+			if minPossible > best.Dist {
+				break
+			}
+		}
+		s.visitRing(cx, cy, ring, func(eid EdgeID) {
+			if seen[eid] {
+				return
+			}
+			seen[eid] = true
+			e := s.g.edges[eid]
+			seg := geo.Segment{A: s.g.nodes[e.From].Pos, B: s.g.nodes[e.To].Pos}
+			t := seg.ClosestParam(p)
+			pos := seg.Interpolate(t)
+			if d := pos.Dist(p); d < best.Dist {
+				best = Snap{Edge: eid, Param: t, Pos: pos, Dist: d}
+			}
+		})
+	}
+	return best, !math.IsInf(best.Dist, 1)
+}
+
+// KNearest returns up to k snaps onto distinct edges, ordered by
+// increasing distance. It is used by map-matching to form candidate
+// sets.
+func (s *Snapper) KNearest(p geo.Point, k int) []Snap {
+	if k <= 0 || s.g.NumEdges() == 0 {
+		return nil
+	}
+	// Collect candidate snaps by expanding rings until enough distinct
+	// edges have been seen and the ring lower bound exceeds the k-th
+	// best distance.
+	var snaps []Snap
+	seen := map[EdgeID]bool{}
+	cx, cy := s.cellOf(p)
+	maxRing := s.nx
+	if s.ny > maxRing {
+		maxRing = s.ny
+	}
+	kthDist := math.Inf(1)
+	for ring := 0; ring <= maxRing; ring++ {
+		if len(snaps) >= k {
+			minPossible := (float64(ring) - 1) * s.cellSize
+			if minPossible > kthDist {
+				break
+			}
+		}
+		s.visitRing(cx, cy, ring, func(eid EdgeID) {
+			if seen[eid] {
+				return
+			}
+			seen[eid] = true
+			e := s.g.edges[eid]
+			seg := geo.Segment{A: s.g.nodes[e.From].Pos, B: s.g.nodes[e.To].Pos}
+			t := seg.ClosestParam(p)
+			pos := seg.Interpolate(t)
+			snaps = append(snaps, Snap{Edge: eid, Param: t, Pos: pos, Dist: pos.Dist(p)})
+		})
+		sortSnaps(snaps)
+		if len(snaps) > 4*k {
+			snaps = snaps[:4*k] // keep a buffer beyond k for later rings
+		}
+		if len(snaps) >= k {
+			kthDist = snaps[k-1].Dist
+		}
+	}
+	if len(snaps) > k {
+		snaps = snaps[:k]
+	}
+	return snaps
+}
+
+// visitRing calls fn for each edge id stored in cells at Chebyshev
+// distance ring from (cx, cy).
+func (s *Snapper) visitRing(cx, cy, ring int, fn func(EdgeID)) {
+	if ring == 0 {
+		for _, eid := range s.cells[cy*s.nx+cx] {
+			fn(eid)
+		}
+		return
+	}
+	for dx := -ring; dx <= ring; dx++ {
+		var dys []int
+		if dx == -ring || dx == ring {
+			for dy := -ring; dy <= ring; dy++ {
+				dys = append(dys, dy)
+			}
+		} else {
+			dys = []int{-ring, ring}
+		}
+		for _, dy := range dys {
+			x, y := cx+dx, cy+dy
+			if x < 0 || x >= s.nx || y < 0 || y >= s.ny {
+				continue
+			}
+			for _, eid := range s.cells[y*s.nx+x] {
+				fn(eid)
+			}
+		}
+	}
+}
+
+func sortSnaps(s []Snap) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Dist < s[j-1].Dist; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// PointAlongEdge returns the position at parameter t in [0,1] along an
+// edge's straight-line embedding.
+func (g *Graph) PointAlongEdge(eid EdgeID, t float64) geo.Point {
+	e := g.edges[eid]
+	return geo.Segment{A: g.nodes[e.From].Pos, B: g.nodes[e.To].Pos}.Interpolate(t)
+}
+
+// NetworkDist returns the shortest network distance between a position
+// on edge ea (at parameter ta) and a position on edge eb (at parameter
+// tb), routing through the edge endpoints. Same-edge forward movement
+// is measured along the edge.
+func (g *Graph) NetworkDist(ea EdgeID, ta float64, eb EdgeID, tb float64) (float64, error) {
+	if ea == eb {
+		e := g.edges[ea]
+		if tb >= ta {
+			return (tb - ta) * e.Length, nil
+		}
+		// Backward on a directed edge: must loop around via endpoints.
+	}
+	a := g.edges[ea]
+	b := g.edges[eb]
+	// Distance = remaining length of a + shortest(a.To -> b.From) + offset into b.
+	p, err := g.ShortestPath(a.To, b.From)
+	if err != nil {
+		return 0, err
+	}
+	return (1-ta)*a.Length + p.Dist + tb*b.Length, nil
+}

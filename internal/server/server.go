@@ -1,0 +1,175 @@
+// Package server exposes the sidq quality middleware over HTTP — the
+// paper's "quality management middleware for SID" open issue as a
+// runnable service. Endpoints accept the same CSV formats as the CLI
+// tools and return JSON assessments or cleaned CSV:
+//
+//	POST /v1/assess           trajectory CSV -> JSON quality assessment
+//	POST /v1/clean            trajectory CSV -> cleaned CSV (plan in headers)
+//	POST /v1/readings/assess  readings CSV   -> JSON quality assessment
+//	POST /v1/readings/clean   readings CSV   -> cleaned CSV
+//	GET  /v1/taxonomy         Figure-2 coverage matrix (text)
+//	GET  /v1/healthz          liveness probe
+//
+// Query parameters on the trajectory endpoints: maxspeed (m/s,
+// default 20) and interval (s, default 1) feed the assessment context;
+// the planner uses the default quality targets.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"sidq/internal/core"
+	"sidq/internal/quality"
+	"sidq/internal/stid"
+	"sidq/internal/trajectory"
+)
+
+// New returns the middleware service handler.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", handleHealth)
+	mux.HandleFunc("/v1/taxonomy", handleTaxonomy)
+	mux.HandleFunc("/v1/assess", handleAssess)
+	mux.HandleFunc("/v1/clean", handleClean)
+	mux.HandleFunc("/v1/readings/assess", handleReadingsAssess)
+	mux.HandleFunc("/v1/readings/clean", handleReadingsClean)
+	return mux
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func handleTaxonomy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, core.RenderFigure2())
+}
+
+// trajectoryDataset parses the request body and assessment parameters.
+func trajectoryDataset(r *http.Request) (*core.Dataset, error) {
+	trs, err := trajectory.ReadCSV(r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parse trajectory csv: %w", err)
+	}
+	ds := &core.Dataset{
+		Trajectories:     trs,
+		MaxSpeed:         queryFloat(r, "maxspeed", 20),
+		ExpectedInterval: queryFloat(r, "interval", 1),
+	}
+	return ds, nil
+}
+
+func queryFloat(r *http.Request, key string, def float64) float64 {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return def
+	}
+	return v
+}
+
+// assessmentJSON renders an Assessment as a stable JSON object.
+func assessmentJSON(a quality.Assessment) map[string]float64 {
+	out := map[string]float64{}
+	for _, d := range quality.AllDimensions() {
+		if v, ok := a[d]; ok {
+			out[d.String()] = v
+		}
+	}
+	return out
+}
+
+func handleAssess(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	ds, err := trajectoryDataset(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"trajectories": len(ds.Trajectories),
+		"assessment":   assessmentJSON(ds.Assess()),
+	})
+}
+
+func handleClean(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	ds, err := trajectoryDataset(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cleaned, stages, _ := core.PlanAndRunIterative(ds, core.DefaultTargets(), 3)
+	names := make([]string, len(stages))
+	for i, s := range stages {
+		names[i] = s.Name()
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("X-Sidq-Stages", strings.Join(names, ","))
+	if err := trajectory.WriteCSV(w, cleaned.Trajectories); err != nil {
+		// Headers are gone; nothing more we can do but log via the error
+		// path of the connection.
+		return
+	}
+}
+
+func handleReadingsAssess(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rs, err := stid.ReadCSV(r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("parse readings csv: %v", err), http.StatusBadRequest)
+		return
+	}
+	ds := &core.Dataset{Readings: rs}
+	_, rd := ds.AssessParts()
+	writeJSON(w, map[string]interface{}{
+		"readings":   len(rs),
+		"assessment": assessmentJSON(rd),
+	})
+}
+
+func handleReadingsClean(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rs, err := stid.ReadCSV(r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("parse readings csv: %v", err), http.StatusBadRequest)
+		return
+	}
+	ds := &core.Dataset{Readings: rs}
+	p := core.NewPipeline(core.DeduplicateStage{CellSize: 1, TimeBucket: 1}, core.ThematicRepairStage{})
+	cleaned, _ := p.Run(ds)
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("X-Sidq-Stages", "deduplicate,thematic-repair")
+	_ = stid.WriteCSV(w, cleaned.Readings)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sidq/internal/geo"
+	"sidq/internal/simulate"
+	"sidq/internal/stid"
+	"sidq/internal/trajectory"
+)
+
+func trajectoryCSV(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	region := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	truth := simulate.RandomWalk("veh-0", region, 300, 2, 1, 1)
+	dirty := simulate.AddGaussianNoise(truth, 8, 2)
+	dirty, _ = simulate.InjectOutliers(dirty, 0.05, 120, 3)
+	var buf bytes.Buffer
+	if err := trajectory.WriteCSV(&buf, []*trajectory.Trajectory{dirty}); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func readingsCSV(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	f := simulate.NewField(simulate.FieldOptions{Seed: 4})
+	_, rs := simulate.SensorNetwork(f, simulate.SensorNetworkOptions{
+		NumSensors: 15, Interval: 300, Duration: 3600, NoiseSigma: 1, Seed: 5,
+	})
+	rs, _ = simulate.InjectValueOutliers(rs, 0.05, 60, 6)
+	var buf bytes.Buffer
+	if err := stid.WriteCSV(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestHealthAndTaxonomy(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/v1/taxonomy")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("taxonomy: %v", err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if !strings.Contains(sb.String(), "pre-processing layer") {
+		t.Fatal("taxonomy content missing")
+	}
+}
+
+func TestAssessEndpoint(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/assess?maxspeed=10", "text/csv", trajectoryCSV(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Trajectories int                `json:"trajectories"`
+		Assessment   map[string]float64 `json:"assessment"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trajectories != 1 {
+		t.Fatalf("trajectories = %d", out.Trajectories)
+	}
+	if out.Assessment["consistency"] >= 0.99 {
+		t.Fatalf("dirty data assessed clean: %v", out.Assessment)
+	}
+	if out.Assessment["data_volume"] <= 0 {
+		t.Fatal("no volume")
+	}
+}
+
+func TestCleanEndpointImprovesData(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/clean?maxspeed=10", "text/csv", trajectoryCSV(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	stages := resp.Header.Get("X-Sidq-Stages")
+	if !strings.Contains(stages, "outlier-removal") {
+		t.Fatalf("stages = %q", stages)
+	}
+	trs, err := trajectory.ReadCSV(resp.Body)
+	if err != nil || len(trs) != 1 {
+		t.Fatalf("cleaned csv: %v (%d)", err, len(trs))
+	}
+	// Re-assess the cleaned output through the service.
+	var buf bytes.Buffer
+	if err := trajectory.WriteCSV(&buf, trs); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(srv.URL+"/v1/assess?maxspeed=10", "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out struct {
+		Assessment map[string]float64 `json:"assessment"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Assessment["consistency"] < 0.99 {
+		t.Fatalf("cleaned consistency = %v", out.Assessment["consistency"])
+	}
+}
+
+func TestReadingsEndpoints(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/readings/assess", "text/csv", readingsCSV(t))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("assess: %v %v", err, resp.StatusCode)
+	}
+	var out struct {
+		Readings   int                `json:"readings"`
+		Assessment map[string]float64 `json:"assessment"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.Readings == 0 || out.Assessment["consistency"] >= 0.999 {
+		t.Fatalf("assess result: %+v", out)
+	}
+	resp, err = http.Post(srv.URL+"/v1/readings/clean", "text/csv", readingsCSV(t))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean: %v", err)
+	}
+	cleaned, err := stid.ReadCSV(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(cleaned) == 0 {
+		t.Fatalf("cleaned readings: %v (%d)", err, len(cleaned))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	// Wrong method.
+	resp, _ := http.Get(srv.URL + "/v1/clean")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET clean status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Garbage body.
+	resp, _ = http.Post(srv.URL+"/v1/assess", "text/csv", strings.NewReader("not,a,csv"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Post(srv.URL+"/v1/readings/assess", "text/csv", strings.NewReader("x"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage readings status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Bad query params fall back to defaults instead of failing.
+	resp, _ = http.Post(srv.URL+"/v1/assess?maxspeed=banana", "text/csv", trajectoryCSV(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bad param status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,160 @@
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sidq/internal/geo"
+)
+
+// POI is a point of interest with a category.
+type POI struct {
+	ID       string
+	Pos      geo.Point
+	Category string
+}
+
+// CheckIn is one user visit event. Candidates holds the POI ids the
+// positioning system considered possible for the visit with their
+// probabilities (uncertain check-ins); the first candidate is the
+// system's top guess, TruePOI is the actual venue.
+type CheckIn struct {
+	UserID     string
+	T          float64
+	TruePOI    string
+	Candidates []POICandidate
+}
+
+// POICandidate is an uncertain check-in alternative.
+type POICandidate struct {
+	POI  string
+	Prob float64
+}
+
+// CheckInOptions configures the check-in stream generator.
+type CheckInOptions struct {
+	Bounds      geo.Rect
+	NumPOIs     int     // default 30
+	NumUsers    int     // default 10
+	VisitsEach  int     // check-ins per user (default 50)
+	Uncertainty float64 // probability mass leaked to nearby wrong POIs
+	Seed        int64
+}
+
+// Categories used by the generator; user preference is a distribution
+// over these.
+var Categories = []string{"food", "shop", "work", "home", "leisure"}
+
+// CheckIns generates POIs and per-user check-in sequences with a
+// Markovian category habit (e.g. home -> work -> food), positional
+// uncertainty over nearby POIs, and deterministic seeding. It returns
+// the POI set and the event stream ordered by time.
+func CheckIns(opt CheckInOptions) ([]POI, []CheckIn) {
+	if opt.NumPOIs <= 0 {
+		opt.NumPOIs = 30
+	}
+	if opt.NumUsers <= 0 {
+		opt.NumUsers = 10
+	}
+	if opt.VisitsEach <= 0 {
+		opt.VisitsEach = 50
+	}
+	if opt.Bounds.IsEmpty() || opt.Bounds.Area() == 0 {
+		opt.Bounds = geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(2000, 2000)}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	pois := make([]POI, opt.NumPOIs)
+	byCat := map[string][]int{}
+	for i := range pois {
+		cat := Categories[rng.Intn(len(Categories))]
+		pois[i] = POI{
+			ID:       fmt.Sprintf("poi%d", i),
+			Category: cat,
+			Pos: geo.Pt(
+				opt.Bounds.Min.X+rng.Float64()*opt.Bounds.Width(),
+				opt.Bounds.Min.Y+rng.Float64()*opt.Bounds.Height(),
+			),
+		}
+		byCat[cat] = append(byCat[cat], i)
+	}
+	// Category transition matrix: strong self- and cyclic structure so
+	// next-POI prediction has learnable regularity.
+	next := map[string][]string{
+		"home":    {"work", "work", "food", "shop"},
+		"work":    {"food", "food", "work", "leisure"},
+		"food":    {"work", "home", "leisure", "shop"},
+		"shop":    {"home", "food", "leisure", "shop"},
+		"leisure": {"home", "home", "food", "shop"},
+	}
+	var events []CheckIn
+	for u := 0; u < opt.NumUsers; u++ {
+		cat := Categories[rng.Intn(len(Categories))]
+		t := rng.Float64() * 3600
+		for v := 0; v < opt.VisitsEach; v++ {
+			choices := byCat[cat]
+			if len(choices) == 0 {
+				cat = Categories[rng.Intn(len(Categories))]
+				continue
+			}
+			trueIdx := choices[rng.Intn(len(choices))]
+			ci := CheckIn{
+				UserID:  fmt.Sprintf("u%d", u),
+				T:       t,
+				TruePOI: pois[trueIdx].ID,
+			}
+			ci.Candidates = uncertainCandidates(pois, trueIdx, opt.Uncertainty, rng)
+			events = append(events, ci)
+			t += 1800 + rng.Float64()*5400
+			opts := next[cat]
+			cat = opts[rng.Intn(len(opts))]
+		}
+	}
+	// Order by time for stream consumers.
+	sortCheckIns(events)
+	return pois, events
+}
+
+// uncertainCandidates distributes probability between the true POI and
+// its two nearest neighbors according to the uncertainty level.
+func uncertainCandidates(pois []POI, trueIdx int, uncertainty float64, rng *rand.Rand) []POICandidate {
+	if uncertainty <= 0 {
+		return []POICandidate{{POI: pois[trueIdx].ID, Prob: 1}}
+	}
+	// Find the two nearest other POIs.
+	type cand struct {
+		idx int
+		d   float64
+	}
+	var nearest []cand
+	for i := range pois {
+		if i == trueIdx {
+			continue
+		}
+		nearest = append(nearest, cand{i, pois[i].Pos.DistSq(pois[trueIdx].Pos)})
+	}
+	for i := 0; i < 2 && i < len(nearest); i++ {
+		min := i
+		for j := i + 1; j < len(nearest); j++ {
+			if nearest[j].d < nearest[min].d {
+				min = j
+			}
+		}
+		nearest[i], nearest[min] = nearest[min], nearest[i]
+	}
+	leak := uncertainty * (0.5 + 0.5*rng.Float64())
+	out := []POICandidate{{POI: pois[trueIdx].ID, Prob: 1 - leak}}
+	share := leak
+	for i := 0; i < 2 && i < len(nearest); i++ {
+		p := share / 2
+		if i == 1 {
+			p = share - share/2
+		}
+		out = append(out, POICandidate{POI: pois[nearest[i].idx].ID, Prob: p})
+	}
+	return out
+}
+
+func sortCheckIns(events []CheckIn) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+}

@@ -1,0 +1,131 @@
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sidq/internal/geo"
+)
+
+// Beacon is a fixed radio anchor (WiFi AP / BLE beacon) with known
+// position and transmit power.
+type Beacon struct {
+	ID      string
+	Pos     geo.Point
+	TxPower float64 // RSSI at 1 m, dBm
+}
+
+// RadioEnv models a log-distance path-loss radio environment. RSSI at
+// distance d from a beacon is TxPower - 10*n*log10(d) + noise, the
+// standard model used by WiFi fingerprinting literature.
+type RadioEnv struct {
+	Beacons  []Beacon
+	PathLoss float64 // path-loss exponent n (typical 2-4)
+	Sigma    float64 // shadowing noise stddev, dB
+}
+
+// NewRadioEnv places numBeacons beacons on a jittered grid inside
+// bounds. Grid placement guarantees coverage; jitter avoids degenerate
+// symmetry.
+func NewRadioEnv(bounds geo.Rect, numBeacons int, pathLoss, sigma float64, seed int64) *RadioEnv {
+	if numBeacons <= 0 {
+		numBeacons = 9
+	}
+	if pathLoss <= 0 {
+		pathLoss = 2.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := int(math.Ceil(math.Sqrt(float64(numBeacons))))
+	env := &RadioEnv{PathLoss: pathLoss, Sigma: sigma}
+	for i := 0; i < numBeacons; i++ {
+		gx := i % side
+		gy := i / side
+		cellW := bounds.Width() / float64(side)
+		cellH := bounds.Height() / float64(side)
+		env.Beacons = append(env.Beacons, Beacon{
+			ID: fmt.Sprintf("b%d", i),
+			Pos: geo.Pt(
+				bounds.Min.X+(float64(gx)+0.25+0.5*rng.Float64())*cellW,
+				bounds.Min.Y+(float64(gy)+0.25+0.5*rng.Float64())*cellH,
+			),
+			TxPower: -40,
+		})
+	}
+	return env
+}
+
+// TrueRSSI returns the noise-free RSSI of beacon b observed at p.
+func (env *RadioEnv) TrueRSSI(b Beacon, p geo.Point) float64 {
+	d := math.Max(b.Pos.Dist(p), 1)
+	return b.TxPower - 10*env.PathLoss*math.Log10(d)
+}
+
+// Observe returns one RSSI vector (indexed like env.Beacons) measured
+// at p with shadowing noise from rng.
+func (env *RadioEnv) Observe(p geo.Point, rng *rand.Rand) []float64 {
+	out := make([]float64, len(env.Beacons))
+	for i, b := range env.Beacons {
+		out[i] = env.TrueRSSI(b, p) + rng.NormFloat64()*env.Sigma
+	}
+	return out
+}
+
+// Fingerprint is one labeled radio observation: the RSSI vector
+// measured at a known position, used to build WkNN fingerprint maps.
+type Fingerprint struct {
+	Pos  geo.Point
+	RSSI []float64
+}
+
+// FingerprintMap builds a survey database: a grid of labeled RSSI
+// observations at the given spacing, each averaged over nAvg noisy
+// observations (site surveys average multiple scans per point).
+func (env *RadioEnv) FingerprintMap(bounds geo.Rect, spacing float64, nAvg int, seed int64) []Fingerprint {
+	if spacing <= 0 {
+		spacing = 10
+	}
+	if nAvg <= 0 {
+		nAvg = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []Fingerprint
+	for y := bounds.Min.Y; y <= bounds.Max.Y; y += spacing {
+		for x := bounds.Min.X; x <= bounds.Max.X; x += spacing {
+			p := geo.Pt(x, y)
+			acc := make([]float64, len(env.Beacons))
+			for k := 0; k < nAvg; k++ {
+				obs := env.Observe(p, rng)
+				for i, v := range obs {
+					acc[i] += v
+				}
+			}
+			for i := range acc {
+				acc[i] /= float64(nAvg)
+			}
+			out = append(out, Fingerprint{Pos: p, RSSI: acc})
+		}
+	}
+	return out
+}
+
+// RangingObservation is a distance measurement to an anchor, as
+// produced by time-of-flight or RSSI ranging. Used by multilateration.
+type RangingObservation struct {
+	Anchor geo.Point
+	Range  float64 // measured distance, meters
+}
+
+// ObserveRanges returns noisy distance measurements from p to every
+// beacon (stddev sigma meters, floored at 0.1 m).
+func (env *RadioEnv) ObserveRanges(p geo.Point, sigma float64, rng *rand.Rand) []RangingObservation {
+	out := make([]RangingObservation, len(env.Beacons))
+	for i, b := range env.Beacons {
+		r := b.Pos.Dist(p) + rng.NormFloat64()*sigma
+		if r < 0.1 {
+			r = 0.1
+		}
+		out[i] = RangingObservation{Anchor: b.Pos, Range: r}
+	}
+	return out
+}

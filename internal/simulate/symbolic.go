@@ -1,0 +1,96 @@
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sidq/internal/geo"
+)
+
+// Reader is a proximity sensor (RFID antenna, BLE gate, infrared cell)
+// with a circular detection zone.
+type Reader struct {
+	ID    string
+	Pos   geo.Point
+	Range float64
+}
+
+// Detection is one raw symbolic observation: reader r saw object o at
+// epoch time t.
+type Detection struct {
+	ReaderID string
+	ObjectID string
+	T        float64
+}
+
+// SymbolicOptions configures the RFID-style tracking simulator.
+type SymbolicOptions struct {
+	NumReaders int     // readers in the corridor (default 10)
+	Spacing    float64 // meters between readers (default 20)
+	Range      float64 // detection radius (default 8)
+	Epoch      float64 // detection epoch seconds (default 1)
+	Speed      float64 // object speed m/s (default 2)
+	FalseNeg   float64 // probability an in-range read is missed
+	FalsePos   float64 // probability an adjacent reader cross-reads
+	Seed       int64
+}
+
+// SymbolicWorld is a generated corridor deployment plus one object's
+// pass through it: the raw (faulty) detections and the ground-truth
+// reader sequence.
+type SymbolicWorld struct {
+	Readers    []Reader
+	Detections []Detection        // observed, with FN/FP faults
+	Truth      map[float64]string // epoch time -> true reader id ("" when in no zone)
+	Epochs     []float64          // ordered epoch times
+}
+
+// Symbolic simulates one object walking a corridor of readers, applying
+// false-negative and false-positive faults to the raw detections. This
+// mirrors the RFID cleansing setting of the surveyed SIGMOD'10/'16
+// work: FNs drop in-zone reads, FPs add cross-reads from neighbors.
+func Symbolic(objectID string, opt SymbolicOptions) SymbolicWorld {
+	if opt.NumReaders <= 0 {
+		opt.NumReaders = 10
+	}
+	if opt.Spacing <= 0 {
+		opt.Spacing = 20
+	}
+	if opt.Range <= 0 {
+		opt.Range = 8
+	}
+	if opt.Epoch <= 0 {
+		opt.Epoch = 1
+	}
+	if opt.Speed <= 0 {
+		opt.Speed = 2
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	w := SymbolicWorld{Truth: map[float64]string{}}
+	for i := 0; i < opt.NumReaders; i++ {
+		w.Readers = append(w.Readers, Reader{
+			ID:    fmt.Sprintf("r%d", i),
+			Pos:   geo.Pt(float64(i)*opt.Spacing, 0),
+			Range: opt.Range,
+		})
+	}
+	corridorLen := float64(opt.NumReaders-1) * opt.Spacing
+	for t := 0.0; t*opt.Speed <= corridorLen; t += opt.Epoch {
+		pos := geo.Pt(t*opt.Speed, 0)
+		w.Epochs = append(w.Epochs, t)
+		w.Truth[t] = ""
+		for _, r := range w.Readers {
+			inZone := r.Pos.Dist(pos) <= r.Range
+			if inZone {
+				w.Truth[t] = r.ID
+				if rng.Float64() >= opt.FalseNeg {
+					w.Detections = append(w.Detections, Detection{ReaderID: r.ID, ObjectID: objectID, T: t})
+				}
+			} else if r.Pos.Dist(pos) <= 2.5*r.Range && rng.Float64() < opt.FalsePos {
+				// Cross-read from a nearby (but wrong) reader.
+				w.Detections = append(w.Detections, Detection{ReaderID: r.ID, ObjectID: objectID, T: t})
+			}
+		}
+	}
+	return w
+}

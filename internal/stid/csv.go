@@ -1,0 +1,71 @@
+package stid
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"sidq/internal/geo"
+)
+
+// WriteCSV encodes readings as CSV rows "sensor,t,x,y,value" with a
+// header, in input order.
+func WriteCSV(w io.Writer, readings []Reading) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sensor", "t", "x", "y", "value"}); err != nil {
+		return fmt.Errorf("stid: write csv header: %w", err)
+	}
+	for _, r := range readings {
+		rec := []string{
+			r.SensorID,
+			strconv.FormatFloat(r.T, 'g', -1, 64),
+			strconv.FormatFloat(r.Pos.X, 'g', -1, 64),
+			strconv.FormatFloat(r.Pos.Y, 'g', -1, 64),
+			strconv.FormatFloat(r.Value, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("stid: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes readings written by WriteCSV, preserving order.
+func ReadCSV(r io.Reader) ([]Reading, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("stid: read csv header: %w", err)
+	}
+	if header[0] != "sensor" {
+		return nil, fmt.Errorf("stid: unexpected csv header %v", header)
+	}
+	var out []Reading
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stid: read csv row: %w", err)
+		}
+		vals := make([]float64, 4)
+		for i, s := range rec[1:] {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stid: bad field %q: %w", s, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, Reading{
+			SensorID: rec[0],
+			T:        vals[0],
+			Pos:      geo.Pt(vals[1], vals[2]),
+			Value:    vals[3],
+		})
+	}
+	return out, nil
+}

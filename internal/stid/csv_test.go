@@ -1,0 +1,43 @@
+package stid
+
+import (
+	"bytes"
+	"testing"
+
+	"sidq/internal/geo"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := []Reading{
+		{SensorID: "s1", Pos: geo.Pt(1.5, -2.25), T: 100, Value: 42.125},
+		{SensorID: "s2", Pos: geo.Pt(0, 0), T: 0, Value: -1},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("row %d: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("bad,header,x,y,z\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("sensor,t,x,y,value\ns1,oops,0,0,0\n")); err == nil {
+		t.Fatal("bad float accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

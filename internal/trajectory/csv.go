@@ -1,0 +1,88 @@
+package trajectory
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"sidq/internal/geo"
+)
+
+// WriteCSV encodes trajectories as CSV rows "id,t,x,y" with a header.
+// Points are written in trajectory order.
+func WriteCSV(w io.Writer, trs []*Trajectory) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "t", "x", "y"}); err != nil {
+		return fmt.Errorf("trajectory: write csv header: %w", err)
+	}
+	for _, tr := range trs {
+		for _, p := range tr.Points {
+			rec := []string{
+				tr.ID,
+				strconv.FormatFloat(p.T, 'g', -1, 64),
+				strconv.FormatFloat(p.Pos.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Pos.Y, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("trajectory: write csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes trajectories written by WriteCSV. Rows are grouped by
+// id; each group is returned time-sorted. Group order is by first
+// appearance, then id for ties, making the output deterministic.
+func ReadCSV(r io.Reader) ([]*Trajectory, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trajectory: read csv header: %w", err)
+	}
+	if header[0] != "id" {
+		return nil, fmt.Errorf("trajectory: unexpected csv header %v", header)
+	}
+	groups := map[string][]Point{}
+	order := map[string]int{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: read csv row: %w", err)
+		}
+		t, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: bad t %q: %w", rec[1], err)
+		}
+		x, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: bad x %q: %w", rec[2], err)
+		}
+		y, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: bad y %q: %w", rec[3], err)
+		}
+		id := rec[0]
+		if _, seen := order[id]; !seen {
+			order[id] = len(order)
+		}
+		groups[id] = append(groups[id], Point{T: t, Pos: geo.Pt(x, y)})
+	}
+	ids := make([]string, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return order[ids[i]] < order[ids[j]] })
+	out := make([]*Trajectory, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, New(id, groups[id]))
+	}
+	return out, nil
+}

@@ -1,0 +1,249 @@
+// Package trajectory defines the core moving-object data model used
+// throughout sidq: timestamped location sequences, kinematic
+// derivations (speed, heading), resampling and thinning, stay-point
+// detection, and trajectory similarity measures.
+//
+// Time is represented as float64 seconds since an arbitrary epoch; all
+// generators and cleaners in this repository use the same convention,
+// which keeps the math simple and the tests deterministic.
+package trajectory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sidq/internal/geo"
+)
+
+// ErrTooShort is returned by operations that need a minimum number of points.
+var ErrTooShort = errors.New("trajectory: too few points")
+
+// Point is one timestamped location sample of a moving object.
+type Point struct {
+	T   float64   // seconds since epoch
+	Pos geo.Point // planar meters
+}
+
+// Trajectory is a time-ordered sequence of location samples for one object.
+type Trajectory struct {
+	ID     string
+	Points []Point
+}
+
+// New returns a trajectory with the given id and points, sorted by time.
+func New(id string, pts []Point) *Trajectory {
+	tr := &Trajectory{ID: id, Points: append([]Point(nil), pts...)}
+	sort.SliceStable(tr.Points, func(i, j int) bool { return tr.Points[i].T < tr.Points[j].T })
+	return tr
+}
+
+// Len returns the number of samples.
+func (tr *Trajectory) Len() int { return len(tr.Points) }
+
+// Clone returns a deep copy of the trajectory.
+func (tr *Trajectory) Clone() *Trajectory {
+	return &Trajectory{ID: tr.ID, Points: append([]Point(nil), tr.Points...)}
+}
+
+// Duration returns the covered time span in seconds (0 if < 2 points).
+func (tr *Trajectory) Duration() float64 {
+	if len(tr.Points) < 2 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].T - tr.Points[0].T
+}
+
+// Length returns the total traveled planar distance in meters.
+func (tr *Trajectory) Length() float64 {
+	var sum float64
+	for i := 1; i < len(tr.Points); i++ {
+		sum += tr.Points[i-1].Pos.Dist(tr.Points[i].Pos)
+	}
+	return sum
+}
+
+// Polyline returns the spatial footprint of the trajectory.
+func (tr *Trajectory) Polyline() geo.Polyline {
+	pl := make(geo.Polyline, len(tr.Points))
+	for i, p := range tr.Points {
+		pl[i] = p.Pos
+	}
+	return pl
+}
+
+// Bounds returns the minimal bounding rectangle of the trajectory.
+func (tr *Trajectory) Bounds() geo.Rect { return tr.Polyline().Bounds() }
+
+// TimeBounds returns the first and last sample times. ok is false for
+// an empty trajectory.
+func (tr *Trajectory) TimeBounds() (t0, t1 float64, ok bool) {
+	if len(tr.Points) == 0 {
+		return 0, 0, false
+	}
+	return tr.Points[0].T, tr.Points[len(tr.Points)-1].T, true
+}
+
+// Speeds returns the per-segment speeds in m/s: element i is the speed
+// between points i and i+1. Segments with non-increasing timestamps
+// report +Inf speed so constraint checks can flag them.
+func (tr *Trajectory) Speeds() []float64 {
+	if len(tr.Points) < 2 {
+		return nil
+	}
+	out := make([]float64, len(tr.Points)-1)
+	for i := 1; i < len(tr.Points); i++ {
+		dt := tr.Points[i].T - tr.Points[i-1].T
+		d := tr.Points[i-1].Pos.Dist(tr.Points[i].Pos)
+		if dt <= 0 {
+			out[i-1] = math.Inf(1)
+		} else {
+			out[i-1] = d / dt
+		}
+	}
+	return out
+}
+
+// LocationAt returns the linearly interpolated position at time t.
+// Times outside the covered span clamp to the endpoints. ok is false
+// for an empty trajectory.
+func (tr *Trajectory) LocationAt(t float64) (geo.Point, bool) {
+	n := len(tr.Points)
+	if n == 0 {
+		return geo.Point{}, false
+	}
+	if t <= tr.Points[0].T {
+		return tr.Points[0].Pos, true
+	}
+	if t >= tr.Points[n-1].T {
+		return tr.Points[n-1].Pos, true
+	}
+	// Binary search for the surrounding pair.
+	i := sort.Search(n, func(i int) bool { return tr.Points[i].T >= t })
+	a, b := tr.Points[i-1], tr.Points[i]
+	if b.T == a.T {
+		return b.Pos, true
+	}
+	f := (t - a.T) / (b.T - a.T)
+	return a.Pos.Lerp(b.Pos, f), true
+}
+
+// Slice returns the sub-trajectory with sample times in [t0, t1].
+func (tr *Trajectory) Slice(t0, t1 float64) *Trajectory {
+	out := &Trajectory{ID: tr.ID}
+	for _, p := range tr.Points {
+		if p.T >= t0 && p.T <= t1 {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// Resample returns a new trajectory sampled every dt seconds across the
+// covered span using linear interpolation. The last original timestamp
+// is always included.
+func (tr *Trajectory) Resample(dt float64) (*Trajectory, error) {
+	if len(tr.Points) < 2 {
+		return nil, ErrTooShort
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("trajectory: non-positive resample interval %v", dt)
+	}
+	t0, t1, _ := tr.TimeBounds()
+	out := &Trajectory{ID: tr.ID}
+	for t := t0; t < t1; t += dt {
+		pos, _ := tr.LocationAt(t)
+		out.Points = append(out.Points, Point{T: t, Pos: pos})
+	}
+	last := tr.Points[len(tr.Points)-1]
+	out.Points = append(out.Points, last)
+	return out, nil
+}
+
+// Thin returns a copy keeping every k-th point (and always the last),
+// simulating low-sampling-rate collection.
+func (tr *Trajectory) Thin(k int) *Trajectory {
+	if k <= 1 || len(tr.Points) == 0 {
+		return tr.Clone()
+	}
+	out := &Trajectory{ID: tr.ID}
+	for i := 0; i < len(tr.Points); i += k {
+		out.Points = append(out.Points, tr.Points[i])
+	}
+	if lastKept := out.Points[len(out.Points)-1]; lastKept.T != tr.Points[len(tr.Points)-1].T {
+		out.Points = append(out.Points, tr.Points[len(tr.Points)-1])
+	}
+	return out
+}
+
+// StayPoint is a detected dwell: the object stayed within Radius meters
+// of Center between Start and End.
+type StayPoint struct {
+	Center     geo.Point
+	Start, End float64
+	Count      int // number of samples merged
+}
+
+// Duration returns the dwell duration in seconds.
+func (s StayPoint) Duration() float64 { return s.End - s.Start }
+
+// StayPoints detects dwells: maximal runs of samples that stay within
+// radius meters of the run's anchor and last at least minDuration
+// seconds. This is the classic stay-point detection used by semantic
+// trajectory annotation.
+func (tr *Trajectory) StayPoints(radius, minDuration float64) []StayPoint {
+	var out []StayPoint
+	pts := tr.Points
+	i := 0
+	for i < len(pts) {
+		j := i + 1
+		for j < len(pts) && pts[i].Pos.Dist(pts[j].Pos) <= radius {
+			j++
+		}
+		// Run is pts[i:j].
+		if dur := pts[j-1].T - pts[i].T; j-i >= 2 && dur >= minDuration {
+			var cx, cy float64
+			for _, p := range pts[i:j] {
+				cx += p.Pos.X
+				cy += p.Pos.Y
+			}
+			n := float64(j - i)
+			out = append(out, StayPoint{
+				Center: geo.Pt(cx/n, cy/n),
+				Start:  pts[i].T,
+				End:    pts[j-1].T,
+				Count:  j - i,
+			})
+			i = j
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// MeanSampleInterval returns the mean time gap between consecutive
+// samples (0 if < 2 points).
+func (tr *Trajectory) MeanSampleInterval() float64 {
+	if len(tr.Points) < 2 {
+		return 0
+	}
+	return tr.Duration() / float64(len(tr.Points)-1)
+}
+
+// MaxSpeed returns the maximum finite per-segment speed, and whether
+// any segment had a non-increasing timestamp (reported separately so
+// callers can distinguish data faults from fast motion).
+func (tr *Trajectory) MaxSpeed() (maxSpeed float64, hasBadTimestamps bool) {
+	for _, s := range tr.Speeds() {
+		if math.IsInf(s, 1) {
+			hasBadTimestamps = true
+			continue
+		}
+		if s > maxSpeed {
+			maxSpeed = s
+		}
+	}
+	return maxSpeed, hasBadTimestamps
+}

@@ -1,0 +1,142 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sidq/internal/geo"
+	"sidq/internal/simulate"
+	"sidq/internal/stid"
+)
+
+func TestCoTrainingBeatsSingleViewWithFewLabels(t *testing.T) {
+	f := simulate.NewField(simulate.FieldOptions{Seed: 30})
+	// Only 8 labeled sensors, but a long history each (the temporal
+	// view's strength) spread over the region (the spatial view's).
+	_, labeled := simulate.SensorNetwork(f, simulate.SensorNetworkOptions{
+		NumSensors: 8, Interval: 300, Duration: 7200, NoiseSigma: 0.5, Seed: 31,
+	})
+	rng := rand.New(rand.NewSource(32))
+	var queries []stid.Reading
+	var truth []float64
+	for i := 0; i < 120; i++ {
+		q := stid.Reading{
+			Pos: geo.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			T:   rng.Float64() * 7200,
+		}
+		queries = append(queries, q)
+		truth = append(truth, f.Value(q.Pos, q.T))
+	}
+	ct := CoTraining{Rounds: 4, AddPerRound: 10}
+	est, ok := ct.Estimate(labeled, queries)
+	baseline := GaussianKernel{Readings: labeled, SpaceSigma: 150, TimeSigma: 900}
+	var ctErr, baseErr float64
+	var n int
+	for i := range queries {
+		bv, bok := baseline.Estimate(queries[i].Pos, queries[i].T)
+		if !ok[i] || !bok {
+			continue
+		}
+		ctErr += math.Abs(est[i] - truth[i])
+		baseErr += math.Abs(bv - truth[i])
+		n++
+	}
+	if n < len(queries)/2 {
+		t.Fatalf("answered only %d queries", n)
+	}
+	// Co-training must not be much worse than the single view, and the
+	// pseudo-labeling must answer everything the baseline can.
+	if ctErr > baseErr*1.15 {
+		t.Fatalf("co-training %v much worse than single view %v", ctErr/float64(n), baseErr/float64(n))
+	}
+}
+
+func TestCoTrainingAnswersAllReachableQueries(t *testing.T) {
+	labeled := []stid.Reading{{SensorID: "a", Pos: geo.Pt(0, 0), T: 0, Value: 10}}
+	queries := []stid.Reading{{Pos: geo.Pt(10, 0), T: 100}}
+	est, ok := CoTraining{}.Estimate(labeled, queries)
+	if !ok[0] {
+		t.Fatal("reachable query unanswered")
+	}
+	if math.Abs(est[0]-10) > 1 {
+		t.Fatalf("estimate = %v", est[0])
+	}
+	// No labels at all -> nothing answered.
+	_, ok = CoTraining{}.Estimate(nil, queries)
+	if ok[0] {
+		t.Fatal("label-free estimate should fail")
+	}
+}
+
+func TestTransferTrendBeatsTargetOnly(t *testing.T) {
+	// Source city: strong planar gradient, densely sensed. Target city:
+	// same physics (same gradient) plus a level offset, 4 sensors only.
+	gradient := func(p geo.Point) float64 { return 0.05*p.X + 0.02*p.Y }
+	rng := rand.New(rand.NewSource(33))
+	var source []stid.Reading
+	for i := 0; i < 80; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		source = append(source, stid.Reading{Pos: p, T: 0, Value: gradient(p) + rng.NormFloat64()*0.3})
+	}
+	const offset = 12.0
+	var target []stid.Reading
+	for i := 0; i < 4; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		target = append(target, stid.Reading{Pos: p, T: 0, Value: gradient(p) + offset + rng.NormFloat64()*0.3})
+	}
+	transfer := NewTransferTrend(source, target, 200)
+	targetOnly := GaussianKernel{Readings: target, SpaceSigma: 200}
+	var trErr, toErr float64
+	const probes = 80
+	for i := 0; i < probes; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		truth := gradient(p) + offset
+		if v, ok := transfer.Estimate(p, 0); ok {
+			trErr += math.Abs(v - truth)
+		}
+		if v, ok := targetOnly.Estimate(p, 0); ok {
+			toErr += math.Abs(v - truth)
+		}
+	}
+	if trErr >= toErr*0.6 {
+		t.Fatalf("transfer %v should clearly beat target-only %v", trErr/probes, toErr/probes)
+	}
+}
+
+func TestMultiTaskTrendHelpsDataPoorTask(t *testing.T) {
+	// Two correlated tasks over the same gradient; task B has only a
+	// handful of sensors while A is rich.
+	gradient := func(p geo.Point) float64 { return 0.05*p.X + 0.02*p.Y }
+	rng := rand.New(rand.NewSource(50))
+	var taskA, taskB []stid.Reading
+	for i := 0; i < 80; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		taskA = append(taskA, stid.Reading{Pos: p, T: 0, Value: gradient(p) + rng.NormFloat64()*0.3})
+	}
+	for i := 0; i < 5; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		taskB = append(taskB, stid.Reading{Pos: p, T: 0, Value: 2*gradient(p) + 5 + rng.NormFloat64()*0.3})
+	}
+	joint := NewMultiTaskTrend(map[string][]stid.Reading{"A": taskA, "B": taskB}, 200)
+	bAlone := GaussianKernel{Readings: taskB, SpaceSigma: 200}
+	var jointErr, aloneErr float64
+	const probes = 80
+	for i := 0; i < probes; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		truth := 2*gradient(p) + 5
+		if v, ok := joint.EstimateTask("B", p, 0); ok {
+			jointErr += math.Abs(v - truth)
+		}
+		if v, ok := bAlone.Estimate(p, 0); ok {
+			aloneErr += math.Abs(v - truth)
+		}
+	}
+	if jointErr >= aloneErr*0.7 {
+		t.Fatalf("multi-task %v should clearly beat B-alone %v", jointErr/probes, aloneErr/probes)
+	}
+	// Unknown task fails cleanly.
+	if _, ok := joint.EstimateTask("nope", geo.Pt(0, 0), 0); ok {
+		t.Fatal("unknown task answered")
+	}
+}

@@ -1,0 +1,137 @@
+package uncertain
+
+import (
+	"math"
+
+	"sidq/internal/roadnet"
+	"sidq/internal/trajectory"
+)
+
+// OnlineMatcher performs streaming HMM map matching with a fixed
+// decision lag: points are pushed one at a time, and once the Viterbi
+// lattice is lag steps deep the matcher commits the oldest point's
+// snap (decoded from the current best path). This is the online
+// variant of MapMatch for edge deployments where trajectories arrive
+// as streams and bounded-latency output is required.
+type OnlineMatcher struct {
+	g       *roadnet.Graph
+	snapper *roadnet.Snapper
+	opt     MatchOptions
+	lag     int
+
+	pts   []trajectory.Point
+	cands [][]roadnet.Snap
+	logp  [][]float64
+	back  [][]int
+}
+
+// NewOnlineMatcher returns a matcher that commits each point after
+// seeing lag further points (lag >= 0; 0 commits greedily).
+func NewOnlineMatcher(g *roadnet.Graph, snapper *roadnet.Snapper, opt MatchOptions, lag int) *OnlineMatcher {
+	if opt.Candidates <= 0 {
+		opt.Candidates = 4
+	}
+	if opt.EmissionSigma <= 0 {
+		opt.EmissionSigma = 10
+	}
+	if opt.TransitionBeta <= 0 {
+		opt.TransitionBeta = 30
+	}
+	if lag < 0 {
+		lag = 0
+	}
+	return &OnlineMatcher{g: g, snapper: snapper, opt: opt, lag: lag}
+}
+
+// Matched is one committed output point.
+type Matched struct {
+	Point trajectory.Point
+	Snap  roadnet.Snap
+}
+
+// Push feeds the next point and returns any snaps committed by it
+// (zero or one under normal operation). Points with no road candidates
+// are skipped silently.
+func (m *OnlineMatcher) Push(p trajectory.Point) []Matched {
+	cs := m.snapper.KNearest(p.Pos, m.opt.Candidates)
+	if len(cs) == 0 {
+		return nil
+	}
+	sigma2 := 2 * m.opt.EmissionSigma * m.opt.EmissionSigma
+	row := make([]float64, len(cs))
+	backRow := make([]int, len(cs))
+	if len(m.pts) == 0 {
+		for j, c := range cs {
+			row[j] = -c.Dist * c.Dist / sigma2
+		}
+	} else {
+		prev := m.pts[len(m.pts)-1]
+		straight := prev.Pos.Dist(p.Pos)
+		prevRow := m.logp[len(m.logp)-1]
+		prevCands := m.cands[len(m.cands)-1]
+		for j, cj := range cs {
+			em := -cj.Dist * cj.Dist / sigma2
+			best, bestK := math.Inf(-1), 0
+			for k, ck := range prevCands {
+				trans := transitionLogProb(m.g, ck, cj, straight, m.opt.TransitionBeta)
+				if v := prevRow[k] + trans; v > best {
+					best, bestK = v, k
+				}
+			}
+			row[j] = best + em
+			backRow[j] = bestK
+		}
+	}
+	m.pts = append(m.pts, p)
+	m.cands = append(m.cands, cs)
+	m.logp = append(m.logp, row)
+	m.back = append(m.back, backRow)
+	if len(m.pts) > m.lag {
+		return []Matched{m.commitOldest()}
+	}
+	return nil
+}
+
+// commitOldest decodes the best current path and emits the oldest
+// lattice column, then drops it.
+func (m *OnlineMatcher) commitOldest() Matched {
+	// Backtrack from the best terminal state to the oldest column.
+	last := len(m.logp) - 1
+	bestJ, bestV := 0, math.Inf(-1)
+	for j, v := range m.logp[last] {
+		if v > bestV {
+			bestJ, bestV = j, v
+		}
+	}
+	j := bestJ
+	for i := last; i > 0; i-- {
+		j = m.back[i][j]
+	}
+	out := Matched{Point: m.pts[0], Snap: m.cands[0][j]}
+	// Re-root the lattice at column 1: keep only the paths passing
+	// through the committed state.
+	if len(m.pts) > 1 {
+		for k := range m.logp[1] {
+			if m.back[1][k] != j {
+				m.logp[1][k] = math.Inf(-1)
+			}
+		}
+	}
+	m.pts = m.pts[1:]
+	m.cands = m.cands[1:]
+	m.logp = m.logp[1:]
+	m.back = m.back[1:]
+	return out
+}
+
+// Flush commits all buffered points in order.
+func (m *OnlineMatcher) Flush() []Matched {
+	var out []Matched
+	for len(m.pts) > 0 {
+		out = append(out, m.commitOldest())
+	}
+	return out
+}
+
+// Pending returns the number of buffered (uncommitted) points.
+func (m *OnlineMatcher) Pending() int { return len(m.pts) }

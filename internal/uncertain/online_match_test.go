@@ -1,0 +1,86 @@
+package uncertain
+
+import (
+	"testing"
+
+	"sidq/internal/roadnet"
+	"sidq/internal/simulate"
+	"sidq/internal/trajectory"
+)
+
+func TestOnlineMatcherMatchesOfflineQuality(t *testing.T) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 10, NY: 10, Spacing: 120, Jitter: 8, RemoveFrac: 0.2, Seed: 3})
+	snapper := roadnet.NewSnapper(g, 100)
+	trips := simulate.TripsWithRoutes(g, simulate.TripOptions{NumObjects: 3, MinHops: 10, Speed: 12, SampleInterval: 2, Seed: 4})
+	for _, trip := range trips {
+		noisy := simulate.AddGaussianNoise(trip.Truth.Thin(4), 10, 5)
+		// Offline baseline.
+		offline, err := MapMatch(g, snapper, noisy, MatchOptions{EmissionSigma: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Online with a 5-point lag.
+		m := NewOnlineMatcher(g, snapper, MatchOptions{EmissionSigma: 12}, 5)
+		var matched []Matched
+		for _, p := range noisy.Points {
+			matched = append(matched, m.Push(p)...)
+		}
+		matched = append(matched, m.Flush()...)
+		if len(matched) != noisy.Len() {
+			t.Fatalf("committed %d of %d points", len(matched), noisy.Len())
+		}
+		// Output preserves input order and timing.
+		for i, mm := range matched {
+			if mm.Point.T != noisy.Points[i].T {
+				t.Fatalf("point %d out of order", i)
+			}
+		}
+		// Online snapped positions track the offline ones closely.
+		var onErr, offErr float64
+		for i := range matched {
+			tp, _ := trip.Truth.LocationAt(matched[i].Point.T)
+			onErr += matched[i].Snap.Pos.Dist(tp)
+			offErr += offline.Snaps[i].Pos.Dist(tp)
+		}
+		n := float64(len(matched))
+		if onErr/n > offErr/n*1.5+3 {
+			t.Fatalf("online error %.1f much worse than offline %.1f", onErr/n, offErr/n)
+		}
+	}
+}
+
+func TestOnlineMatcherLagSemantics(t *testing.T) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 6, NY: 6, Spacing: 100, Seed: 6})
+	snapper := roadnet.NewSnapper(g, 100)
+	trip := simulate.Trips(g, simulate.TripOptions{NumObjects: 1, MinHops: 8, Speed: 10, SampleInterval: 1, Seed: 7})[0]
+	m := NewOnlineMatcher(g, snapper, MatchOptions{}, 3)
+	committed := 0
+	for i, p := range trip.Points {
+		out := m.Push(p)
+		committed += len(out)
+		// Nothing commits until the lag fills.
+		if i < 3 && committed != 0 {
+			t.Fatalf("committed before lag filled at %d", i)
+		}
+		if m.Pending() > 4 {
+			t.Fatalf("pending exceeded lag+1: %d", m.Pending())
+		}
+	}
+	committed += len(m.Flush())
+	if committed != trip.Len() {
+		t.Fatalf("committed %d of %d", committed, trip.Len())
+	}
+	if m.Pending() != 0 {
+		t.Fatal("pending after flush")
+	}
+}
+
+func TestOnlineMatcherZeroLagGreedy(t *testing.T) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 5, NY: 5, Spacing: 100, Seed: 8})
+	snapper := roadnet.NewSnapper(g, 100)
+	m := NewOnlineMatcher(g, snapper, MatchOptions{}, 0)
+	out := m.Push(trajectory.Point{T: 0, Pos: g.Node(0).Pos})
+	if len(out) != 1 {
+		t.Fatalf("zero lag should commit immediately: %d", len(out))
+	}
+}

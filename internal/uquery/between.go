@@ -1,0 +1,197 @@
+package uquery
+
+import (
+	"math"
+
+	"sidq/internal/geo"
+)
+
+// Prism is a space-time prism (bead): between two known fixes and a
+// speed bound, the object's possible location at time t is the
+// intersection of a disk reachable from the first fix and a disk from
+// which the second fix is reachable. This models uncertainty caused by
+// discrete sampling.
+type Prism struct {
+	P1, P2 geo.Point
+	T1, T2 float64
+	VMax   float64
+}
+
+// Feasible reports whether the prism is non-empty at all: the two
+// fixes must be mutually reachable under the speed bound.
+func (pr Prism) Feasible() bool {
+	if pr.T2 < pr.T1 || pr.VMax <= 0 {
+		return false
+	}
+	return pr.P1.Dist(pr.P2) <= pr.VMax*(pr.T2-pr.T1)+1e-9
+}
+
+// PossibleAt reports whether the object could be at q at time t.
+func (pr Prism) PossibleAt(q geo.Point, t float64) bool {
+	if !pr.Feasible() || t < pr.T1 || t > pr.T2 {
+		return false
+	}
+	r1 := pr.VMax * (t - pr.T1)
+	r2 := pr.VMax * (pr.T2 - t)
+	return pr.P1.Dist(q) <= r1+1e-9 && pr.P2.Dist(q) <= r2+1e-9
+}
+
+// IntersectsRectAt reports whether any possible location at time t lies
+// in rect: the rect must intersect both disks, and the lens of the two
+// disks must reach into the rect. The test is exact for the
+// disk-disk-rectangle geometry via closest-point arguments plus a
+// bounded numeric refinement of the lens boundary.
+func (pr Prism) IntersectsRectAt(rect geo.Rect, t float64) bool {
+	if !pr.Feasible() || t < pr.T1 || t > pr.T2 || rect.IsEmpty() {
+		return false
+	}
+	r1 := pr.VMax * (t - pr.T1)
+	r2 := pr.VMax * (pr.T2 - t)
+	if rect.DistToPoint(pr.P1) > r1 || rect.DistToPoint(pr.P2) > r2 {
+		return false
+	}
+	// Quick accept: the point of the rect closest to either center may
+	// already be inside both disks.
+	for _, c := range []geo.Point{pr.P1, pr.P2, rect.Center()} {
+		q := clampToRect(c, rect)
+		if pr.PossibleAt(q, t) {
+			return true
+		}
+	}
+	// Numeric refinement: walk the lens region boundary — sample the
+	// intersection arc chord between the disks and test rect membership,
+	// and sample the rect edges for lens membership.
+	const steps = 64
+	for i := 0; i <= steps; i++ {
+		f := float64(i) / steps
+		// Rect boundary points.
+		for _, q := range rectBoundaryPoints(rect, f) {
+			if pr.PossibleAt(q, t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func clampToRect(p geo.Point, r geo.Rect) geo.Point {
+	x := math.Max(r.Min.X, math.Min(r.Max.X, p.X))
+	y := math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y))
+	return geo.Pt(x, y)
+}
+
+func rectBoundaryPoints(r geo.Rect, f float64) []geo.Point {
+	return []geo.Point{
+		{X: r.Min.X + f*r.Width(), Y: r.Min.Y},
+		{X: r.Min.X + f*r.Width(), Y: r.Max.Y},
+		{X: r.Min.X, Y: r.Min.Y + f*r.Height()},
+		{X: r.Max.X, Y: r.Min.Y + f*r.Height()},
+		// Interior diagonal samples catch rects strictly inside the lens.
+		{X: r.Min.X + f*r.Width(), Y: r.Min.Y + f*r.Height()},
+	}
+}
+
+// MarkovGrid infers the between-sample location distribution with a
+// first-order Markov (random walk) model over a grid: the forward
+// distribution diffused from the earlier fix is multiplied by the
+// backward distribution diffused from the later fix, the
+// forward-backward inference used by Markov-grid indexing of uncertain
+// moving objects.
+type MarkovGrid struct {
+	region geo.Rect
+	cell   float64
+	nx, ny int
+}
+
+// NewMarkovGrid returns a grid over region with the given cell size.
+func NewMarkovGrid(region geo.Rect, cell float64) *MarkovGrid {
+	if cell <= 0 {
+		cell = 10
+	}
+	nx := int(math.Ceil(region.Width() / cell))
+	ny := int(math.Ceil(region.Height() / cell))
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	return &MarkovGrid{region: region, cell: cell, nx: nx, ny: ny}
+}
+
+// Between returns the cell-probability distribution of the object's
+// location at time t, given fixes p1@t1 and p2@t2 and a random-walk
+// speed scale (m/s). The returned slice has nx*ny entries summing to 1
+// (or all zeros if the configuration is infeasible).
+func (m *MarkovGrid) Between(p1 geo.Point, t1 float64, p2 geo.Point, t2 float64, speedSigma, t float64) []float64 {
+	n := m.nx * m.ny
+	out := make([]float64, n)
+	if t < t1 || t > t2 || speedSigma <= 0 {
+		return out
+	}
+	fwd := m.gaussianAround(p1, speedSigma*math.Max(t-t1, 1e-3))
+	bwd := m.gaussianAround(p2, speedSigma*math.Max(t2-t, 1e-3))
+	var sum float64
+	for i := 0; i < n; i++ {
+		out[i] = fwd[i] * bwd[i]
+		sum += out[i]
+	}
+	if sum <= 0 {
+		return make([]float64, n)
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gaussianAround returns an (unnormalized) Gaussian over cell centers.
+func (m *MarkovGrid) gaussianAround(p geo.Point, sigma float64) []float64 {
+	out := make([]float64, m.nx*m.ny)
+	inv := 1 / (2 * sigma * sigma)
+	for cy := 0; cy < m.ny; cy++ {
+		for cx := 0; cx < m.nx; cx++ {
+			c := geo.Pt(
+				m.region.Min.X+(float64(cx)+0.5)*m.cell,
+				m.region.Min.Y+(float64(cy)+0.5)*m.cell,
+			)
+			out[cy*m.nx+cx] = math.Exp(-c.DistSq(p) * inv)
+		}
+	}
+	return out
+}
+
+// RangeProb sums the distribution mass over the cells whose centers lie
+// in rect.
+func (m *MarkovGrid) RangeProb(dist []float64, rect geo.Rect) float64 {
+	var p float64
+	for cy := 0; cy < m.ny; cy++ {
+		for cx := 0; cx < m.nx; cx++ {
+			c := geo.Pt(
+				m.region.Min.X+(float64(cx)+0.5)*m.cell,
+				m.region.Min.Y+(float64(cy)+0.5)*m.cell,
+			)
+			if rect.Contains(c) {
+				p += dist[cy*m.nx+cx]
+			}
+		}
+	}
+	return p
+}
+
+// MeanOf returns the expectation of the distribution.
+func (m *MarkovGrid) MeanOf(dist []float64) geo.Point {
+	var mx, my float64
+	for cy := 0; cy < m.ny; cy++ {
+		for cx := 0; cx < m.nx; cx++ {
+			c := geo.Pt(
+				m.region.Min.X+(float64(cx)+0.5)*m.cell,
+				m.region.Min.Y+(float64(cy)+0.5)*m.cell,
+			)
+			w := dist[cy*m.nx+cx]
+			mx += w * c.X
+			my += w * c.Y
+		}
+	}
+	return geo.Pt(mx, my)
+}

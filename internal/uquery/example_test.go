@@ -1,0 +1,41 @@
+package uquery_test
+
+import (
+	"fmt"
+
+	"sidq/internal/geo"
+	"sidq/internal/uquery"
+)
+
+// ExampleProbRange asks which uncertain objects are inside a rectangle
+// with at least 90% probability.
+func ExampleProbRange() {
+	objs := []uquery.UncertainObject{
+		uquery.GaussianObject{ID: "inside", Mean: geo.Pt(50, 50), Sigma: 2},
+		uquery.GaussianObject{ID: "boundary", Mean: geo.Pt(80, 50), Sigma: 15},
+		uquery.GaussianObject{ID: "far", Mean: geo.Pt(500, 500), Sigma: 2},
+	}
+	rect := geo.RectFromCenter(geo.Pt(50, 50), 40, 40)
+	results, stats := uquery.ProbRange(objs, rect, 0.9)
+	for _, r := range results {
+		fmt.Printf("%s P=%.2f\n", r.ID, r.Prob)
+	}
+	fmt.Printf("pruned %d of %d without integration\n", stats.Pruned, stats.Candidates)
+	// Output:
+	// inside P=1.00
+	// pruned 2 of 3 without integration
+}
+
+// ExamplePrism checks whether a detour was physically possible between
+// two fixes — the alibi-style query over sampling uncertainty.
+func ExamplePrism() {
+	pr := uquery.Prism{
+		P1: geo.Pt(0, 0), P2: geo.Pt(100, 0),
+		T1: 0, T2: 20, VMax: 10,
+	}
+	fmt.Println("near detour possible:", pr.PossibleAt(geo.Pt(50, 60), 10))
+	fmt.Println("far detour possible: ", pr.PossibleAt(geo.Pt(50, 95), 10))
+	// Output:
+	// near detour possible: true
+	// far detour possible:  false
+}

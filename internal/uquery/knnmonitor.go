@@ -1,0 +1,121 @@
+package uquery
+
+import (
+	"math"
+	"sort"
+
+	"sidq/internal/geo"
+)
+
+// KNNMonitor maintains a continuous k-nearest-neighbor query over
+// moving objects with safe-region communication suppression: each
+// object's safe region is a circle whose radius is half the gap
+// between the k-th and (k+1)-th distances at the last full evaluation
+// (objects in the result and the runner-up band share the slack).
+// While every object stays inside its region, the result set cannot
+// change, so no object needs to report — the kNN analogue of the
+// safe-region range query.
+type KNNMonitor struct {
+	query geo.Point
+	k     int
+
+	last    map[string]geo.Point
+	radius  map[string]float64
+	result  []string
+	reports int
+	updates int
+	evals   int
+}
+
+// NewKNNMonitor returns a monitor for the k nearest objects to query.
+func NewKNNMonitor(query geo.Point, k int) *KNNMonitor {
+	if k < 1 {
+		k = 1
+	}
+	return &KNNMonitor{
+		query:  query,
+		k:      k,
+		last:   map[string]geo.Point{},
+		radius: map[string]float64{},
+	}
+}
+
+// Update processes one object's true position at a tick; it returns
+// whether the object communicated. Whenever any object leaves its safe
+// region, the monitor re-evaluates the kNN over the reported positions
+// and reassigns every region.
+func (m *KNNMonitor) Update(id string, pos geo.Point) (communicated bool) {
+	m.updates++
+	lastPos, known := m.last[id]
+	if known && pos.Dist(lastPos) <= m.radius[id] {
+		return false
+	}
+	m.reports++
+	m.last[id] = pos
+	m.reevaluate()
+	return true
+}
+
+// reevaluate recomputes the kNN over last-known positions and assigns
+// safe radii from the boundary slack.
+func (m *KNNMonitor) reevaluate() {
+	m.evals++
+	type od struct {
+		id string
+		d  float64
+	}
+	all := make([]od, 0, len(m.last))
+	for id, p := range m.last {
+		all = append(all, od{id, p.Dist(m.query)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].id < all[j].id
+	})
+	k := m.k
+	if k > len(all) {
+		k = len(all)
+	}
+	m.result = m.result[:0]
+	for i := 0; i < k; i++ {
+		m.result = append(m.result, all[i].id)
+	}
+	// Slack between the k-th and (k+1)-th distances is shared: if every
+	// object moves less than slack/2, the order across the boundary
+	// cannot flip.
+	slack := math.Inf(1)
+	if k < len(all) && k > 0 {
+		slack = (all[k].d - all[k-1].d) / 2
+	}
+	if math.IsInf(slack, 1) {
+		slack = math.MaxFloat64 / 4
+	}
+	if slack < 0 {
+		slack = 0
+	}
+	for _, o := range all {
+		m.radius[o.id] = slack
+	}
+}
+
+// Result returns the current kNN ids ordered by distance at the last
+// evaluation.
+func (m *KNNMonitor) Result() []string {
+	return append([]string(nil), m.result...)
+}
+
+// Stats returns the communication counters: reports received, total
+// updates observed, and full re-evaluations performed.
+func (m *KNNMonitor) Stats() (reports, updates, evals int) {
+	return m.reports, m.updates, m.evals
+}
+
+// Savings returns the fraction of updates suppressed.
+func (m *KNNMonitor) Savings() float64 {
+	if m.updates == 0 {
+		return 0
+	}
+	return 1 - float64(m.reports)/float64(m.updates)
+}

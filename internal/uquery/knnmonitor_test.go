@@ -1,0 +1,100 @@
+package uquery
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sidq/internal/geo"
+)
+
+func TestKNNMonitorCorrectAndSaving(t *testing.T) {
+	query := geo.Pt(500, 500)
+	m := NewKNNMonitor(query, 5)
+	rng := rand.New(rand.NewSource(1))
+	type obj struct {
+		id  string
+		pos geo.Point
+	}
+	objs := make([]obj, 40)
+	for i := range objs {
+		objs[i] = obj{fmt.Sprintf("o%02d", i), geo.Pt(rng.Float64()*1000, rng.Float64()*1000)}
+	}
+	checkTicks := 0
+	for tick := 0; tick < 150; tick++ {
+		for i := range objs {
+			objs[i].pos = objs[i].pos.Add(geo.Pt(rng.NormFloat64()*1.5, rng.NormFloat64()*1.5))
+			m.Update(objs[i].id, objs[i].pos)
+		}
+		// Ground truth kNN over the true positions.
+		sorted := append([]obj(nil), objs...)
+		sort.Slice(sorted, func(a, b int) bool {
+			da, db := sorted[a].pos.Dist(query), sorted[b].pos.Dist(query)
+			if da != db {
+				return da < db
+			}
+			return sorted[a].id < sorted[b].id
+		})
+		want := map[string]bool{}
+		for i := 0; i < 5; i++ {
+			want[sorted[i].id] = true
+		}
+		got := m.Result()
+		if len(got) != 5 {
+			t.Fatalf("tick %d: result size %d", tick, len(got))
+		}
+		match := 0
+		for _, id := range got {
+			if want[id] {
+				match++
+			}
+		}
+		// The safe-region invariant makes the reported set correct
+		// whenever no object violated its region between re-evaluations;
+		// the construction guarantees at least 4/5 agreement at all
+		// times and exactness right after an evaluation. Enforce the
+		// strong form: full agreement on every tick.
+		if match != 5 {
+			t.Fatalf("tick %d: kNN mismatch, got %v want %v", tick, got, wantKeys(want))
+		}
+		checkTicks++
+	}
+	if checkTicks != 150 {
+		t.Fatal("checks did not run")
+	}
+	if m.Savings() < 0.3 {
+		t.Fatalf("savings = %v", m.Savings())
+	}
+	reports, updates, evals := m.Stats()
+	if updates != 150*40 || reports == 0 || evals == 0 || evals > reports {
+		t.Fatalf("stats: %d %d %d", reports, updates, evals)
+	}
+}
+
+func wantKeys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestKNNMonitorFewerObjectsThanK(t *testing.T) {
+	m := NewKNNMonitor(geo.Pt(0, 0), 10)
+	m.Update("a", geo.Pt(1, 0))
+	m.Update("b", geo.Pt(2, 0))
+	got := m.Result()
+	if len(got) != 2 {
+		t.Fatalf("result = %v", got)
+	}
+}
+
+func TestKNNMonitorKClamp(t *testing.T) {
+	m := NewKNNMonitor(geo.Pt(0, 0), 0)
+	m.Update("a", geo.Pt(1, 0))
+	if len(m.Result()) != 1 {
+		t.Fatal("k clamp")
+	}
+}

@@ -1,0 +1,96 @@
+package uquery
+
+import (
+	"testing"
+
+	"sidq/internal/geo"
+	"sidq/internal/simulate"
+	"sidq/internal/trajectory"
+)
+
+func TestPossiblyDefinitelyVerdicts(t *testing.T) {
+	// Object moves along x at 10 m/s, sampled every 10 s.
+	var pts []trajectory.Point
+	for i := 0; i <= 10; i++ {
+		pts = append(pts, trajectory.Point{T: float64(i) * 10, Pos: geo.Pt(float64(i)*100, 0)})
+	}
+	tr := trajectory.New("a", pts)
+
+	// Definitely: a rect containing the sample at t=50 (x=500).
+	rect := geo.RectFromCenter(geo.Pt(500, 0), 20, 20)
+	if got := PossiblyDefinitely(tr, rect, 45, 55, 12); got != Definitely {
+		t.Fatalf("witness sample: %v", got)
+	}
+	// Possibly: an off-path rect reachable with a detour (vmax slack).
+	detour := geo.RectFromCenter(geo.Pt(550, 120), 20, 20)
+	if got := PossiblyDefinitely(tr, detour, 50, 60, 40); got != Possibly {
+		t.Fatalf("reachable detour: %v", got)
+	}
+	// No: the same detour is unreachable at the true speed bound.
+	if got := PossiblyDefinitely(tr, detour, 50, 60, 10.5); got != No {
+		t.Fatalf("unreachable detour: %v", got)
+	}
+	// No: outside the time window entirely.
+	if got := PossiblyDefinitely(tr, rect, 200, 300, 12); got != No {
+		t.Fatalf("window miss: %v", got)
+	}
+	// Degenerate inputs.
+	if got := PossiblyDefinitely(&trajectory.Trajectory{}, rect, 0, 10, 10); got != No {
+		t.Fatalf("empty: %v", got)
+	}
+	if got := PossiblyDefinitely(tr, rect, 55, 45, 10); got != No {
+		t.Fatalf("inverted window: %v", got)
+	}
+}
+
+func TestPossiblyIsSupersetOfDefinitely(t *testing.T) {
+	// Against densely sampled truth: thin the trajectory, classify, and
+	// check soundness — every thinned-definite is truth-definite, and
+	// every truth-definite is at least possibly under the prism model.
+	region := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	rect := geo.RectFromCenter(geo.Pt(500, 500), 80, 80)
+	for seed := int64(0); seed < 10; seed++ {
+		truth := simulate.RandomWalk("w", region, 400, 3, 1, seed)
+		sparse := truth.Thin(10)
+		truthVerdict := PossiblyDefinitely(truth, rect, 50, 350, 4)
+		sparseVerdict := PossiblyDefinitely(sparse, rect, 50, 350, 4)
+		if sparseVerdict == Definitely && truthVerdict == No {
+			t.Fatalf("seed %d: sparse definite but truth says no", seed)
+		}
+		// If the dense truth has a witness sample, the sparse view must
+		// at least consider it possible (the prism covers true motion
+		// whenever vmax is honest).
+		if truthVerdict == Definitely && sparseVerdict == No {
+			t.Fatalf("seed %d: prism model missed true presence", seed)
+		}
+	}
+}
+
+func TestClassifyRange(t *testing.T) {
+	mk := func(id string, x0 float64) *trajectory.Trajectory {
+		var pts []trajectory.Point
+		for i := 0; i <= 10; i++ {
+			pts = append(pts, trajectory.Point{T: float64(i) * 10, Pos: geo.Pt(x0+float64(i)*100, 0)})
+		}
+		return trajectory.New(id, pts)
+	}
+	trs := []*trajectory.Trajectory{
+		mk("hit", 0),      // sample at x=500, t=50
+		mk("near", 30),    // samples at 530/430; rect reachable between
+		mk("far", 100000), // nowhere near
+	}
+	rect := geo.RectFromCenter(geo.Pt(500, 0), 25, 25)
+	got := ClassifyRange(trs, rect, 45, 55, 12)
+	if len(got.Definitely) != 1 || got.Definitely[0] != "hit" {
+		t.Fatalf("definitely = %v", got.Definitely)
+	}
+	if len(got.Possibly) != 1 || got.Possibly[0] != "near" {
+		t.Fatalf("possibly = %v", got.Possibly)
+	}
+}
+
+func TestRangeVerdictString(t *testing.T) {
+	if No.String() != "no" || Possibly.String() != "possibly" || Definitely.String() != "definitely" {
+		t.Fatal("verdict strings")
+	}
+}
