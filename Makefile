@@ -1,0 +1,29 @@
+# Tier-1 verification plus the resilience gates.
+#
+#   make check   build + vet + full test suite (the tier-1 gate)
+#   make race    vet + race-detector run over the whole module
+#   make chaos   the chaos-injection harness under -race (runner,
+#                fault injectors, hardened server)
+#   make bench   compile-and-run the benchmark suite briefly
+
+GO ?= go
+
+.PHONY: check vet test race chaos bench
+
+check: vet test
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos ./internal/core ./internal/server
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -4,27 +4,75 @@
 //	sidqserve -addr :8080
 //	curl -s localhost:8080/v1/taxonomy
 //	sidqsim -n 5 | curl -s --data-binary @- localhost:8080/v1/assess
+//
+// Resilience flags: -max-body caps request bodies, -max-inflight
+// bounds concurrent requests (excess load is shed with 503),
+// -request-timeout bounds per-request handling, and -grace is how
+// long a SIGINT/SIGTERM shutdown waits for in-flight requests after
+// flipping /v1/readyz to 503.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sidq/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxBody     = flag.Int64("max-body", 32<<20, "request body cap in bytes")
+		maxInFlight = flag.Int("max-inflight", 64, "max concurrent requests before shedding with 503")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
+		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown drain period")
+	)
 	flag.Parse()
+
+	svc := server.NewService(server.Config{
+		MaxBodyBytes:   *maxBody,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(),
+		Handler:           svc,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("sidqserve: listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("sidqserve: listening on %s (max-body=%d max-inflight=%d request-timeout=%s)",
+		*addr, *maxBody, *maxInFlight, *reqTimeout)
+
+	select {
+	case err := <-errCh:
 		log.Fatalf("sidqserve: %v", err)
+	case <-ctx.Done():
 	}
+
+	// Drain: fail readiness first so load balancers stop sending
+	// traffic, then give in-flight requests the grace period.
+	log.Printf("sidqserve: shutdown signal received, draining for up to %s", *grace)
+	svc.SetReady(false)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("sidqserve: forced shutdown: %v", err)
+		_ = srv.Close()
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("sidqserve: %v", err)
+	}
+	log.Printf("sidqserve: stopped")
 }

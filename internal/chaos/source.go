@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"sidq/internal/stream"
+)
+
+// SourceOptions configures a FaultySource. Probabilities are evaluated
+// per event in the order drop, straggle, duplicate; corruption is
+// drawn independently for every delivered copy.
+type SourceOptions[T any] struct {
+	Seed          int64
+	DropProb      float64 // event is lost entirely
+	DupProb       float64 // event is delivered twice
+	StragglerProb float64 // event is withheld and delivered late
+	StragglerHold int     // deliveries a straggler is held behind (default 3)
+	CorruptProb   float64 // a delivered copy is passed through Corrupt
+	Corrupt       func(T) T
+}
+
+// FaultySource replays an event-time-ordered stream the way an
+// unreliable device fleet would deliver it: some events are dropped,
+// some duplicated, some arrive late (out of order), and some are
+// corrupted. The arrival sequence is fixed at construction from the
+// seed, so every run of a test sees the same chaos.
+type FaultySource[T any] struct {
+	out []stream.Event[T]
+	pos int
+
+	input      int
+	dropped    int
+	duplicated int
+	straggled  int
+	corrupted  int
+}
+
+// NewFaultySource builds the faulty arrival sequence for events (which
+// must be in event-time order, as a well-behaved device would send
+// them).
+func NewFaultySource[T any](events []stream.Event[T], opts SourceOptions[T]) *FaultySource[T] {
+	hold := opts.StragglerHold
+	if hold <= 0 {
+		hold = 3
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	s := &FaultySource[T]{input: len(events)}
+
+	type held struct {
+		e       stream.Event[T]
+		release int // deliver once this many events have been emitted
+	}
+	var pending []held
+	deliver := func(e stream.Event[T]) {
+		if opts.CorruptProb > 0 && opts.Corrupt != nil && rng.Float64() < opts.CorruptProb {
+			e.Value = opts.Corrupt(e.Value)
+			s.corrupted++
+		}
+		s.out = append(s.out, e)
+	}
+	flushDue := func() {
+		for len(pending) > 0 && pending[0].release <= len(s.out) {
+			h := pending[0]
+			pending = pending[1:]
+			deliver(h.e)
+		}
+	}
+	for _, e := range events {
+		u := rng.Float64()
+		switch {
+		case u < opts.DropProb:
+			s.dropped++
+		case u < opts.DropProb+opts.StragglerProb:
+			s.straggled++
+			pending = append(pending, held{e: e, release: len(s.out) + hold})
+		case u < opts.DropProb+opts.StragglerProb+opts.DupProb:
+			s.duplicated++
+			deliver(e)
+			deliver(e)
+		default:
+			deliver(e)
+		}
+		flushDue()
+	}
+	for _, h := range pending {
+		deliver(h.e)
+	}
+	return s
+}
+
+// Next returns the next arriving event, or false when the stream is
+// exhausted.
+func (s *FaultySource[T]) Next() (stream.Event[T], bool) {
+	if s.pos >= len(s.out) {
+		var zero stream.Event[T]
+		return zero, false
+	}
+	e := s.out[s.pos]
+	s.pos++
+	return e, true
+}
+
+// Input returns the number of events in the pristine stream.
+func (s *FaultySource[T]) Input() int { return s.input }
+
+// Delivered returns the number of events the source will deliver
+// (input - dropped + duplicated).
+func (s *FaultySource[T]) Delivered() int { return len(s.out) }
+
+// Dropped returns the number of events lost entirely.
+func (s *FaultySource[T]) Dropped() int { return s.dropped }
+
+// Duplicated returns the number of events delivered twice.
+func (s *FaultySource[T]) Duplicated() int { return s.duplicated }
+
+// Straggled returns the number of events delivered out of order.
+func (s *FaultySource[T]) Straggled() int { return s.straggled }
+
+// Corrupted returns the number of delivered copies that were corrupted.
+func (s *FaultySource[T]) Corrupted() int { return s.corrupted }
+
+// Drain feeds the source's whole arrival sequence through the
+// reorderer and returns the in-order output including the final flush.
+// Combined with the source's counters and the reorderer's
+// LateCount/Emitted accessors this gives exact drop accounting:
+// Delivered == Emitted + LateCount after a drain.
+func Drain[T any](s *FaultySource[T], r *stream.Reorderer[T]) []stream.Event[T] {
+	var out []stream.Event[T]
+	for {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r.Push(e)...)
+	}
+	out = append(out, r.Flush()...)
+	return out
+}

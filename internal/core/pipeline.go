@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"sidq/internal/quality"
 	"sidq/internal/roadnet"
@@ -26,24 +28,51 @@ func (s RouteRecoverStage) Task() Task { return UncertaintyElimination }
 
 // Apply implements Stage.
 func (s RouteRecoverStage) Apply(ds *Dataset) {
+	_ = s.ApplyContext(context.Background(), ds)
+}
+
+// ApplyContext implements FallibleStage. Trajectories whose map-match
+// fails keep their raw points; the failure count is surfaced as a
+// PartialError instead of being swallowed.
+func (s RouteRecoverStage) ApplyContext(ctx context.Context, ds *Dataset) error {
 	if s.Graph == nil || s.Snapper == nil {
-		return
+		return nil
 	}
+	failed := 0
+	var last error
 	for i, tr := range ds.Trajectories {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res, err := uncertain.MapMatch(s.Graph, s.Snapper, tr, s.Options)
 		if err != nil {
+			failed++
+			last = err
 			continue
 		}
 		ds.Trajectories[i] = res.Recovered
 	}
+	if failed > 0 {
+		return &PartialError{Stage: s.Name(), Failed: failed, Total: len(ds.Trajectories), Last: last}
+	}
+	return nil
 }
 
-// StageReport records the quality movement caused by one stage.
+// StageReport records the quality movement caused by one stage,
+// together with the runner's execution record for it.
 type StageReport struct {
 	Stage  string
 	Task   Task
 	Before quality.Assessment
 	After  quality.Assessment
+
+	// Execution record (populated by the Runner).
+	Err        error          // stage error (PartialError for degraded success)
+	Attempts   int            // attempts consumed (1 = first try)
+	Skipped    bool           // stage failed and its work was discarded
+	RolledBack bool           // stage succeeded but regressed quality and was reverted
+	Duration   time.Duration  // wall time across all attempts
+	Meta       map[string]int // stage counters (e.g. partial-failure accounting)
 }
 
 // Pipeline is an ordered list of cleaning stages.
@@ -56,30 +85,41 @@ func NewPipeline(stages ...Stage) *Pipeline { return &Pipeline{Stages: stages} }
 
 // Run clones the dataset, applies every stage in order, and returns the
 // cleaned dataset together with per-stage before/after assessments.
+// It executes on the default Runner: a panicking or failing stage is
+// skipped (recorded in its report) instead of killing the run.
 func (p *Pipeline) Run(ds *Dataset) (*Dataset, []StageReport) {
-	cur := ds.Clone()
-	reports := make([]StageReport, 0, len(p.Stages))
-	before := cur.Assess()
-	for _, st := range p.Stages {
-		st.Apply(cur)
-		after := cur.Assess()
-		reports = append(reports, StageReport{
-			Stage:  st.Name(),
-			Task:   st.Task(),
-			Before: before,
-			After:  after,
-		})
-		before = after
+	out, reports, _ := DefaultRunner().Run(context.Background(), p, ds)
+	return out, reports
+}
+
+// RunContext executes the pipeline on the given runner, exposing
+// cancellation, deadlines, retries, and failure policies to callers
+// that need them.
+func (p *Pipeline) RunContext(ctx context.Context, r *Runner, ds *Dataset) (*Dataset, []StageReport, error) {
+	if r == nil {
+		r = DefaultRunner()
 	}
-	return cur, reports
+	return r.Run(ctx, p, ds)
 }
 
 // RenderReports formats stage reports as an aligned table of the
-// dimensions that moved.
+// dimensions that moved, annotated with the runner's execution record.
 func RenderReports(reports []StageReport) string {
 	var b strings.Builder
 	for _, r := range reports {
-		fmt.Fprintf(&b, "stage %-22s (%s)\n", r.Stage, r.Task)
+		fmt.Fprintf(&b, "stage %-22s (%s)", r.Stage, r.Task)
+		if r.Attempts > 1 {
+			fmt.Fprintf(&b, " [attempts=%d]", r.Attempts)
+		}
+		switch {
+		case r.Skipped:
+			fmt.Fprintf(&b, " [skipped: %v]", r.Err)
+		case r.RolledBack:
+			b.WriteString(" [rolled back: quality regression]")
+		case r.Err != nil:
+			fmt.Fprintf(&b, " [degraded: %v]", r.Err)
+		}
+		b.WriteString("\n")
 		for _, d := range quality.AllDimensions() {
 			bv, okB := r.Before[d]
 			av, okA := r.After[d]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -69,11 +70,19 @@ func (s OutlierRemovalStage) Task() Task { return OutlierRemoval }
 
 // Apply implements Stage.
 func (s OutlierRemovalStage) Apply(ds *Dataset) {
+	_ = s.ApplyContext(context.Background(), ds)
+}
+
+// ApplyContext implements FallibleStage.
+func (s OutlierRemovalStage) ApplyContext(ctx context.Context, ds *Dataset) error {
 	maxSpeed := s.MaxSpeed
 	if maxSpeed <= 0 {
 		maxSpeed = ds.MaxSpeed
 	}
 	for i, tr := range ds.Trajectories {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		speedFlags := outlier.SpeedConstraint(tr, maxSpeed)
 		statFlags := outlier.Statistical(tr, outlier.StatisticalOptions{})
 		merged := make([]bool, tr.Len())
@@ -86,6 +95,7 @@ func (s OutlierRemovalStage) Apply(ds *Dataset) {
 		flags := outlier.Temporal(ds.Readings, outlier.TemporalOptions{})
 		ds.Readings = outlier.RemoveReadings(ds.Readings, flags)
 	}
+	return nil
 }
 
 // SmoothingStage applies RTS Kalman smoothing to every trajectory.
@@ -102,11 +112,19 @@ func (s SmoothingStage) Task() Task { return UncertaintyElimination }
 
 // Apply implements Stage.
 func (s SmoothingStage) Apply(ds *Dataset) {
+	_ = s.ApplyContext(context.Background(), ds)
+}
+
+// ApplyContext implements FallibleStage.
+func (s SmoothingStage) ApplyContext(ctx context.Context, ds *Dataset) error {
 	q := s.ProcessNoise
 	if q <= 0 {
 		q = 1
 	}
 	for i, tr := range ds.Trajectories {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r := s.MeasNoise
 		if r <= 0 {
 			// Estimate the noise level from the data itself.
@@ -118,6 +136,7 @@ func (s SmoothingStage) Apply(ds *Dataset) {
 		}
 		ds.Trajectories[i] = refine.KalmanSmoothTrajectory(tr, q, r)
 	}
+	return nil
 }
 
 // quality2Precision estimates a trajectory's noise via local roughness
@@ -152,7 +171,15 @@ func (s PredictionRepairStage) Task() Task { return OutlierRemoval }
 
 // Apply implements Stage.
 func (s PredictionRepairStage) Apply(ds *Dataset) {
+	_ = s.ApplyContext(context.Background(), ds)
+}
+
+// ApplyContext implements FallibleStage.
+func (s PredictionRepairStage) ApplyContext(ctx context.Context, ds *Dataset) error {
 	for i, tr := range ds.Trajectories {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		repaired, _ := outlier.Prediction(tr, outlier.PredictionOptions{
 			MeasNoise: s.MeasNoise,
 			Threshold: s.Threshold,
@@ -160,6 +187,7 @@ func (s PredictionRepairStage) Apply(ds *Dataset) {
 		})
 		ds.Trajectories[i] = repaired
 	}
+	return nil
 }
 
 // TimestampRepairStage repairs per-trajectory timestamp sequences to
@@ -176,19 +204,36 @@ func (s TimestampRepairStage) Task() Task { return FaultCorrection }
 
 // Apply implements Stage.
 func (s TimestampRepairStage) Apply(ds *Dataset) {
+	_ = s.ApplyContext(context.Background(), ds)
+}
+
+// ApplyContext implements FallibleStage. Unrepairable trajectories keep
+// their raw timestamps and are counted in the PartialError.
+func (s TimestampRepairStage) ApplyContext(ctx context.Context, ds *Dataset) error {
+	failed := 0
+	var last error
 	for _, tr := range ds.Trajectories {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ts := make([]float64, tr.Len())
 		for i, p := range tr.Points {
 			ts[i] = p.T
 		}
 		repaired, err := faults.RepairTimestamps(ts, s.MinGap, s.MaxGap)
 		if err != nil {
+			failed++
+			last = err
 			continue
 		}
 		for i := range tr.Points {
 			tr.Points[i].T = repaired[i]
 		}
 	}
+	if failed > 0 {
+		return &PartialError{Stage: s.Name(), Failed: failed, Total: len(ds.Trajectories), Last: last}
+	}
+	return nil
 }
 
 // DeduplicateStage removes exact duplicate trajectory points and
@@ -206,7 +251,15 @@ func (s DeduplicateStage) Task() Task { return DataIntegration }
 
 // Apply implements Stage.
 func (s DeduplicateStage) Apply(ds *Dataset) {
+	_ = s.ApplyContext(context.Background(), ds)
+}
+
+// ApplyContext implements FallibleStage.
+func (s DeduplicateStage) ApplyContext(ctx context.Context, ds *Dataset) error {
 	for i, tr := range ds.Trajectories {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		out := &trajectory.Trajectory{ID: tr.ID}
 		seen := make(map[trajectory.Point]bool, tr.Len())
 		for _, p := range tr.Points {
@@ -221,6 +274,7 @@ func (s DeduplicateStage) Apply(ds *Dataset) {
 	if len(ds.Readings) > 0 {
 		ds.Readings = integrate.Deduplicate(ds.Readings, s.CellSize, s.TimeBucket)
 	}
+	return nil
 }
 
 // ImputeStage resamples each trajectory at the dataset's expected
@@ -239,18 +293,27 @@ func (s ImputeStage) Task() Task { return UncertaintyElimination }
 
 // Apply implements Stage.
 func (s ImputeStage) Apply(ds *Dataset) {
+	_ = s.ApplyContext(context.Background(), ds)
+}
+
+// ApplyContext implements FallibleStage.
+func (s ImputeStage) ApplyContext(ctx context.Context, ds *Dataset) error {
 	dt := s.Interval
 	if dt <= 0 {
 		dt = ds.ExpectedInterval
 	}
 	if dt <= 0 {
-		return
+		return nil
 	}
 	for i, tr := range ds.Trajectories {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if rs, err := tr.Resample(dt); err == nil {
 			ds.Trajectories[i] = rs
 		}
 	}
+	return nil
 }
 
 // ThematicRepairStage detects STID value outliers temporally and
@@ -267,8 +330,16 @@ func (s ThematicRepairStage) Task() Task { return FaultCorrection }
 
 // Apply implements Stage.
 func (s ThematicRepairStage) Apply(ds *Dataset) {
+	_ = s.ApplyContext(context.Background(), ds)
+}
+
+// ApplyContext implements FallibleStage.
+func (s ThematicRepairStage) ApplyContext(ctx context.Context, ds *Dataset) error {
 	if len(ds.Readings) == 0 {
-		return
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	flags := outlier.Temporal(ds.Readings, outlier.TemporalOptions{})
 	ss := s.SpaceSigma
@@ -280,6 +351,7 @@ func (s ThematicRepairStage) Apply(ds *Dataset) {
 		ts = 600
 	}
 	ds.Readings, _ = faults.RepairThematic(ds.Readings, flags, ss, ts)
+	return nil
 }
 
 // SmoothReadingsStage is referenced by the planner when precision is
@@ -297,12 +369,20 @@ func (s SmoothReadingsStage) Task() Task { return UncertaintyElimination }
 
 // Apply implements Stage.
 func (s SmoothReadingsStage) Apply(ds *Dataset) {
+	_ = s.ApplyContext(context.Background(), ds)
+}
+
+// ApplyContext implements FallibleStage.
+func (s SmoothReadingsStage) ApplyContext(ctx context.Context, ds *Dataset) error {
 	w := s.Window
 	if w <= 0 {
 		w = 2
 	}
 	series := groupReadingIdx(ds)
 	for _, idxs := range series {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		vals := make([]float64, len(idxs))
 		for i, idx := range idxs {
 			vals[i] = ds.Readings[idx].Value
@@ -319,6 +399,7 @@ func (s SmoothReadingsStage) Apply(ds *Dataset) {
 			ds.Readings[idx].Value = medianOf(window)
 		}
 	}
+	return nil
 }
 
 func groupReadingIdx(ds *Dataset) map[string][]int {
@@ -368,10 +449,19 @@ func (s CalibrationStage) Task() Task { return UncertaintyElimination }
 
 // Apply implements Stage.
 func (s CalibrationStage) Apply(ds *Dataset) {
+	_ = s.ApplyContext(context.Background(), ds)
+}
+
+// ApplyContext implements FallibleStage.
+func (s CalibrationStage) ApplyContext(ctx context.Context, ds *Dataset) error {
 	if len(s.Anchors) == 0 {
-		return
+		return nil
 	}
 	for i, tr := range ds.Trajectories {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ds.Trajectories[i] = uncertain.CalibrateToAnchors(tr, s.Anchors, s.Radius, s.Alpha)
 	}
+	return nil
 }

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withRecovery converts handler panics into 500s instead of letting
+// them kill the connection (and, under http.Server's default behavior,
+// spam the log with stacks while aborting the response mid-write).
+func (s *Service) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.logf("request %s: panic recovered: %v", requestID(r), p)
+				// Best effort: if the handler already wrote, this is a no-op.
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withRequestID assigns every request a unique ID (honouring an
+// inbound X-Request-ID), echoes it on the response, and writes one
+// access-log line per request.
+func (s *Service) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		}
+		r = r.WithContext(withRequestIDContext(r.Context(), id))
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.logf("%s %s %s -> %d (%s)", id, r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// withBodyLimit caps request bodies; a reader crossing the limit makes
+// the CSV parsers fail, which the handlers surface as 400s, and the
+// net/http machinery additionally flags the connection to close.
+func (s *Service) withBodyLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			if r.ContentLength > s.cfg.MaxBodyBytes {
+				http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+				return
+			}
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withConcurrencyLimit bounds the number of in-flight requests;
+// excess load is shed with 503 + Retry-After rather than queued
+// without bound.
+func (s *Service) withConcurrencyLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "too many in-flight requests", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// withTimeout bounds each request's total handling time with 503 on
+// expiry (http.TimeoutHandler buffers the response, which is fine for
+// this service's payload sizes).
+func (s *Service) withTimeout(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	return http.TimeoutHandler(next, s.cfg.RequestTimeout, "request timed out")
+}
+
+func (s *Service) logf(format string, args ...interface{}) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// DiscardLogger silences the access log (tests use it).
+func DiscardLogger() *log.Logger { return log.New(discard{}, "", 0) }
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -9,18 +9,29 @@
 //	POST /v1/readings/clean   readings CSV   -> cleaned CSV
 //	GET  /v1/taxonomy         Figure-2 coverage matrix (text)
 //	GET  /v1/healthz          liveness probe
+//	GET  /v1/readyz           readiness probe (503 while draining)
 //
 // Query parameters on the trajectory endpoints: maxspeed (m/s,
 // default 20) and interval (s, default 1) feed the assessment context;
 // the planner uses the default quality targets.
+//
+// Every request passes through the hardening middleware stack:
+// panic recovery, X-Request-ID assignment + access logging, a body
+// cap (MaxBodyBytes), an in-flight concurrency limiter shedding load
+// with 503, and a per-request timeout.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"sidq/internal/core"
 	"sidq/internal/quality"
@@ -28,21 +39,119 @@ import (
 	"sidq/internal/trajectory"
 )
 
-// New returns the middleware service handler.
-func New() http.Handler {
+// Config tunes the service's resilience limits. Zero fields take the
+// defaults noted on each field.
+type Config struct {
+	MaxBodyBytes   int64         // request body cap (default 32 MiB)
+	MaxInFlight    int           // concurrent requests before 503 (default 64)
+	RequestTimeout time.Duration // per-request deadline (default 30s; <0 disables)
+	Logger         *log.Logger   // access/panic log (default log.Default())
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
+
+// Service is the hardened middleware service: the HTTP handler plus
+// the readiness switch used for graceful shutdown.
+type Service struct {
+	cfg      Config
+	handler  http.Handler
+	ready    atomic.Bool
+	inflight chan struct{}
+	reqSeq   atomic.Uint64
+}
+
+// NewService builds the service with the given limits. It starts
+// ready.
+func NewService(cfg Config) *Service {
+	s := &Service{cfg: cfg.withDefaults()}
+	s.inflight = make(chan struct{}, s.cfg.MaxInFlight)
+	s.ready.Store(true)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealth)
+	mux.HandleFunc("/v1/readyz", s.handleReady)
 	mux.HandleFunc("/v1/taxonomy", handleTaxonomy)
 	mux.HandleFunc("/v1/assess", handleAssess)
 	mux.HandleFunc("/v1/clean", handleClean)
 	mux.HandleFunc("/v1/readings/assess", handleReadingsAssess)
 	mux.HandleFunc("/v1/readings/clean", handleReadingsClean)
-	return mux
+
+	// Innermost first: limits apply around the handlers; recovery and
+	// request IDs wrap everything so even limiter rejections are
+	// logged and tagged. Probes bypass the limiter and timeout so a
+	// saturated service still answers its orchestrator.
+	limited := s.withTimeout(s.withConcurrencyLimit(s.withBodyLimit(mux)))
+	probes := http.NewServeMux()
+	probes.HandleFunc("/v1/healthz", handleHealth)
+	probes.HandleFunc("/v1/readyz", s.handleReady)
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/healthz", "/v1/readyz":
+			probes.ServeHTTP(w, r)
+		default:
+			limited.ServeHTTP(w, r)
+		}
+	})
+	s.handler = s.withRecovery(s.withRequestID(root))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// SetReady flips the readiness probe; SetReady(false) makes /v1/readyz
+// return 503 so load balancers drain the instance ahead of shutdown.
+func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
+
+// New returns the middleware service handler with default limits
+// (kept for existing callers; NewService exposes the limits and the
+// readiness switch).
+func New() http.Handler {
+	return NewService(Config{Logger: DiscardLogger()})
+}
+
+// requestIDKey carries the request ID through the context.
+type requestIDKey struct{}
+
+func withRequestIDContext(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// requestID returns the request's assigned ID ("" outside the
+// middleware stack).
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
 }
 
 func handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
 }
 
 func handleTaxonomy(w http.ResponseWriter, r *http.Request) {
@@ -91,6 +200,17 @@ func assessmentJSON(a quality.Assessment) map[string]float64 {
 	return out
 }
 
+// bodyError maps a parse failure to the right status: 413 when the
+// body cap was hit, 400 otherwise.
+func bodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) || strings.Contains(err.Error(), "request body too large") {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
 func handleAssess(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -98,7 +218,7 @@ func handleAssess(w http.ResponseWriter, r *http.Request) {
 	}
 	ds, err := trajectoryDataset(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		bodyError(w, err)
 		return
 	}
 	writeJSON(w, map[string]interface{}{
@@ -114,7 +234,7 @@ func handleClean(w http.ResponseWriter, r *http.Request) {
 	}
 	ds, err := trajectoryDataset(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		bodyError(w, err)
 		return
 	}
 	cleaned, stages, _ := core.PlanAndRunIterative(ds, core.DefaultTargets(), 3)
@@ -138,7 +258,7 @@ func handleReadingsAssess(w http.ResponseWriter, r *http.Request) {
 	}
 	rs, err := stid.ReadCSV(r.Body)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("parse readings csv: %v", err), http.StatusBadRequest)
+		bodyError(w, fmt.Errorf("parse readings csv: %w", err))
 		return
 	}
 	ds := &core.Dataset{Readings: rs}
@@ -156,7 +276,7 @@ func handleReadingsClean(w http.ResponseWriter, r *http.Request) {
 	}
 	rs, err := stid.ReadCSV(r.Body)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("parse readings csv: %v", err), http.StatusBadRequest)
+		bodyError(w, fmt.Errorf("parse readings csv: %w", err))
 		return
 	}
 	ds := &core.Dataset{Readings: rs}

@@ -3,10 +3,12 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"sidq/internal/geo"
 	"sidq/internal/simulate"
@@ -192,4 +194,196 @@ func TestBadRequests(t *testing.T) {
 		t.Fatalf("bad param status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
+}
+
+func newTestService(cfg Config) *Service {
+	cfg.Logger = DiscardLogger()
+	return NewService(cfg)
+}
+
+func TestReadyz(t *testing.T) {
+	svc := newTestService(Config{})
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while ready: %v %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	svc.SetReady(false)
+	resp, err = http.Get(srv.URL + "/v1/readyz")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %v %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Liveness is unaffected by draining.
+	resp, err = http.Get(srv.URL + "/v1/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %v %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	svc := newTestService(Config{MaxBodyBytes: 64})
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	big := strings.Repeat("veh-0,0,1,2\n", 100)
+	// Known Content-Length over the cap: rejected before reading.
+	resp, err := http.Post(srv.URL+"/v1/assess", "text/csv", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("content-length cap status = %d", resp.StatusCode)
+	}
+	// Chunked body (unknown length): the MaxBytesReader trips mid-parse.
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/assess", io.LimitReader(neverEnding('a'), 10_000))
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge && resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("chunked cap status = %d", resp.StatusCode)
+	}
+	// A small request still works.
+	resp, err = http.Post(srv.URL+"/v1/assess", "text/csv", strings.NewReader("id,t,x,y\nveh-0,0,1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body status = %d", resp.StatusCode)
+	}
+}
+
+type neverEnding byte
+
+func (b neverEnding) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(b)
+	}
+	return len(p), nil
+}
+
+func TestConcurrencyLimitSheds503(t *testing.T) {
+	svc := newTestService(Config{MaxInFlight: 1})
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	// Occupy the single slot with a request whose body never finishes.
+	pr, pw := io.Pipe()
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/assess", pr)
+	req.Header.Set("Content-Type", "text/csv")
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	if _, err := pw.Write([]byte("id,t,x,y\nveh-0,0,1,2\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the slot to actually be taken.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Post(srv.URL+"/v1/assess", "text/csv", strings.NewReader("id,t,x,y\nveh-0,0,1,2\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("503 without Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("limiter never engaged (last status %d)", resp.StatusCode)
+		}
+	}
+	// Probes bypass the limiter even at full capacity.
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under load: %v %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	pw.Close()
+	<-firstDone
+	// Slot released: traffic flows again.
+	resp, err = http.Post(srv.URL+"/v1/assess", "text/csv", strings.NewReader("id,t,x,y\nveh-0,0,1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status = %d", resp.StatusCode)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	svc := newTestService(Config{RequestTimeout: 50 * time.Millisecond})
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	pr, pw := io.Pipe()
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/assess", pr)
+	req.Header.Set("Content-Type", "text/csv")
+	go func() {
+		pw.Write([]byte("id,t,x,y\nveh-0,0,1,2\n"))
+		time.Sleep(500 * time.Millisecond) // outlive the request deadline
+		pw.Close()
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timeout status = %d", resp.StatusCode)
+	}
+}
+
+func TestRequestIDAssignedAndEchoed(t *testing.T) {
+	srv := httptest.NewServer(newTestService(Config{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("no X-Request-ID assigned")
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "caller-7" {
+		t.Fatalf("inbound id not honoured: %q", got)
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	svc := newTestService(Config{})
+	h := svc.withRecovery(svc.withRequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler exploded")
+	})))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/anything")
+	if err != nil {
+		t.Fatalf("connection died on panic: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic status = %d", resp.StatusCode)
+	}
 }

@@ -85,6 +85,11 @@ func (r *Reorderer[T]) Watermark() float64 { return r.watermark }
 // LateCount returns the number of events dropped as too late.
 func (r *Reorderer[T]) LateCount() int { return r.late }
 
+// Emitted returns the number of events released in order so far
+// (including flushed ones); every pushed event ends up counted by
+// exactly one of Emitted, LateCount, or Pending.
+func (r *Reorderer[T]) Emitted() int { return r.emitted }
+
 // Pending returns the number of buffered (not yet released) events.
 func (r *Reorderer[T]) Pending() int { return len(r.buf) }
 
