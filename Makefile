@@ -1,14 +1,17 @@
 # Tier-1 verification plus the resilience gates.
 #
-#   make check   build + vet + full test suite (the tier-1 gate)
-#   make race    vet + race-detector run over the whole module
-#   make chaos   the chaos-injection harness under -race (runner,
-#                fault injectors, hardened server)
-#   make bench   compile-and-run the benchmark suite briefly
+#   make check       build + vet + full test suite (the tier-1 gate)
+#   make race        vet + race-detector run over the whole module
+#   make chaos       the chaos-injection harness under -race (runner,
+#                    fault injectors, hardened server)
+#   make bench       compile-and-run the benchmark suite briefly
+#   make bench-json  run the benchmarks for real and write a dated
+#                    BENCH_<date>.json baseline (ns/op, B/op, allocs/op)
 
 GO ?= go
+BENCHTIME ?= 2x
 
-.PHONY: check vet test race chaos bench
+.PHONY: check vet test race chaos bench bench-json
 
 check: vet test
 
@@ -27,3 +30,8 @@ chaos:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
+	@echo wrote BENCH_$$(date +%F).json

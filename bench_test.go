@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"sidq/internal/core"
 	"sidq/internal/exp"
 	"sidq/internal/geo"
 	"sidq/internal/index"
@@ -18,6 +19,7 @@ import (
 	"sidq/internal/refine"
 	"sidq/internal/roadnet"
 	"sidq/internal/simulate"
+	"sidq/internal/trajectory"
 	"sidq/internal/uncertain"
 	"sidq/internal/uquery"
 )
@@ -148,6 +150,127 @@ func BenchmarkBulkLoadRTree(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		index.BulkLoadRTree(rects)
+	}
+}
+
+// benchPipelineDataset is a dirty many-trajectory dataset sized so the
+// parallel runner has real shards to hand out.
+func benchPipelineDataset(n int) *core.Dataset {
+	region := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	ds := &core.Dataset{
+		Truth:            map[string]*trajectory.Trajectory{},
+		Region:           region,
+		ExpectedInterval: 1,
+		MaxSpeed:         10,
+		Now:              300,
+	}
+	for i := 0; i < n; i++ {
+		truth := simulate.RandomWalk(fmt.Sprintf("v%d", i), region, 250, 2, 1, int64(i))
+		ds.Truth[truth.ID] = truth
+		dirty := simulate.AddGaussianNoise(truth, 6, int64(i)+100)
+		dirty = simulate.DuplicateSamples(dirty, 0.1, int64(i)+200)
+		ds.Trajectories = append(ds.Trajectories, dirty)
+	}
+	return ds
+}
+
+// BenchmarkPipelineParallel runs the planned cleaning pipeline over a
+// 32-trajectory dataset at several worker counts. Output is identical
+// at every count; the interesting numbers are wall-clock (scales with
+// physical cores) and allocs/op (drops via COW cloning).
+func BenchmarkPipelineParallel(b *testing.B) {
+	ds := benchPipelineDataset(32)
+	stages := func() []core.Stage {
+		return []core.Stage{
+			core.DeduplicateStage{},
+			core.OutlierRemovalStage{},
+			core.SmoothingStage{},
+			core.ImputeStage{},
+		}
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, _ := core.NewPipeline(stages()...).RunParallel(ds, w)
+				if len(out.Trajectories) != 32 {
+					b.Fatal("pipeline lost trajectories")
+				}
+			}
+		})
+	}
+}
+
+type benchNoopStage struct{ traited bool }
+
+func (s benchNoopStage) Name() string    { return "bench-noop" }
+func (s benchNoopStage) Task() core.Task { return core.FaultCorrection }
+func (s benchNoopStage) Apply(ds *core.Dataset) {
+	for i, tr := range ds.Trajectories {
+		ds.Trajectories[i] = tr
+	}
+}
+func (s benchNoopStage) Traits() core.StageTraits {
+	if s.traited {
+		return core.StageTraits{Shardable: true, ReplacesTrajectories: true}
+	}
+	return core.StageTraits{}
+}
+
+// BenchmarkRunnerCloneCOW isolates the per-attempt cloning cost the COW
+// rewrite removes: raw deep Clone vs CloneCOW, and a no-op stage run
+// through the runner with and without declared traits (deep-clone
+// attempt vs COW attempt).
+func BenchmarkRunnerCloneCOW(b *testing.B) {
+	ds := benchPipelineDataset(32)
+	b.Run("clone=deep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ds.Clone() == nil {
+				b.Fatal("nil clone")
+			}
+		}
+	})
+	b.Run("clone=cow", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ds.CloneCOW() == nil {
+				b.Fatal("nil clone")
+			}
+		}
+	})
+	for _, traited := range []bool{false, true} {
+		name := "runner=deep"
+		if traited {
+			name = "runner=cow"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			p := core.NewPipeline(benchNoopStage{traited: traited})
+			for i := 0; i < b.N; i++ {
+				out, _ := p.Run(ds)
+				if len(out.Trajectories) != 32 {
+					b.Fatal("runner lost trajectories")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBulkLoadRTreeParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	rects := make([]index.RectEntry, 30000)
+	for i := range rects {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		rects[i] = index.RectEntry{ID: fmt.Sprintf("r%d", i), Rect: geo.RectFromCenter(p, 2, 2)}
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				index.BulkLoadRTreeParallel(rects, w)
+			}
+		})
 	}
 }
 

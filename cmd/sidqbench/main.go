@@ -1,19 +1,25 @@
 // Command sidqbench regenerates the experiment tables documented in
 // DESIGN.md and EXPERIMENTS.md: the empirical Table 1 (T1), the
 // Figure-2 taxonomy coverage matrix (F2), and the taxonomy experiments
-// E1-E12.
+// E1-E14.
 //
 // Usage:
 //
-//	sidqbench                 # run everything
+//	sidqbench                 # run everything, serially
 //	sidqbench -exp E4,E7      # run selected experiments
 //	sidqbench -seed 7         # change the workload seed
+//	sidqbench -workers 4      # experiments + pipelines on 4 workers
+//	sidqbench -parallel       # shorthand for -workers <NumCPU>
+//
+// Tables are bit-identical for every worker count; parallelism changes
+// only wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"sidq/internal/exp"
@@ -21,10 +27,17 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "comma-separated experiment ids (T1, F2, E1a..E12) or 'all'")
-		seed  = flag.Int64("seed", 42, "workload seed")
+		which    = flag.String("exp", "all", "comma-separated experiment ids (T1, F2, E1a..E14) or 'all'")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		workers  = flag.Int("workers", 1, "worker count for experiments and pipeline stages (0 or negative: NumCPU)")
+		parallel = flag.Bool("parallel", false, "run on all CPUs (same as -workers 0)")
 	)
 	flag.Parse()
+
+	w := *workers
+	if *parallel || w <= 0 {
+		w = runtime.NumCPU()
+	}
 
 	want := map[string]bool{}
 	all := *which == "all"
@@ -44,12 +57,13 @@ func main() {
 		fmt.Println(exp.F2())
 		ran++
 	}
-	for _, e := range exp.All() {
-		if all || want[strings.ToUpper(e.ID)] {
-			tb := e.Run(*seed)
-			fmt.Println(tb.Render())
-			ran++
-		}
+	ids := want
+	if all {
+		ids = nil
+	}
+	for _, r := range exp.RunSelected(*seed, w, ids) {
+		fmt.Println(r.Text)
+		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "sidqbench: no experiment matched %q\n", *which)

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"time"
@@ -68,6 +69,13 @@ func (s *FlakyStage) Name() string { return "flaky(" + s.Inner.Name() + ")" }
 
 // Task implements Stage.
 func (s *FlakyStage) Task() core.Task { return s.Inner.Task() }
+
+// Traits implements core.TraitedStage by forwarding the inner stage's
+// declared traits: fault injection itself neither mutates trajectories
+// nor couples shards (the fault draw is mutex-serialized), so a
+// shardable inner stage stays shardable under chaos — which is exactly
+// what lets the harness exercise the parallel runner.
+func (s *FlakyStage) Traits() core.StageTraits { return core.TraitsOf(s.Inner) }
 
 // Attempts returns how many attempts have been made against the stage.
 func (s *FlakyStage) Attempts() int { s.mu.Lock(); defer s.mu.Unlock(); return s.attempts }
@@ -168,6 +176,61 @@ func (s CorruptStage) ApplyContext(ctx context.Context, ds *core.Dataset) error 
 			tr.Points[i].Pos.Y += rng.NormFloat64() * sigma
 		}
 	}
+	for i := range ds.Readings {
+		ds.Readings[i].Value += rng.NormFloat64() * sigma
+	}
+	return nil
+}
+
+// ShardedCorruptStage is CorruptStage's data-parallel twin: it derives
+// an independent RNG per trajectory (from the trajectory ID) and
+// replaces trajectory entries instead of mutating points in place, so
+// it is safe to run sharded and injects identical corruption at every
+// worker count — the shape the rollback guard must catch on the
+// parallel path.
+type ShardedCorruptStage struct {
+	Seed  int64
+	Sigma float64 // coordinate noise in meters (default 500)
+}
+
+// Name implements Stage.
+func (s ShardedCorruptStage) Name() string { return "chaos-corrupt-sharded" }
+
+// Task implements Stage.
+func (s ShardedCorruptStage) Task() core.Task { return core.FaultCorrection }
+
+// Traits implements core.TraitedStage: corruption is trajectory-local
+// (per-trajectory seeds, no cross-trajectory state) and replace-only.
+func (s ShardedCorruptStage) Traits() core.StageTraits {
+	return core.StageTraits{Shardable: true, ReplacesTrajectories: true}
+}
+
+// Apply implements Stage.
+func (s ShardedCorruptStage) Apply(ds *core.Dataset) {
+	_ = s.ApplyContext(context.Background(), ds)
+}
+
+// ApplyContext implements core.FallibleStage.
+func (s ShardedCorruptStage) ApplyContext(ctx context.Context, ds *core.Dataset) error {
+	sigma := s.Sigma
+	if sigma <= 0 {
+		sigma = 500
+	}
+	for i, tr := range ds.Trajectories {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(tr.ID))
+		rng := rand.New(rand.NewSource(s.Seed ^ int64(h.Sum64())))
+		out := tr.Clone()
+		for j := range out.Points {
+			out.Points[j].Pos.X += rng.NormFloat64() * sigma
+			out.Points[j].Pos.Y += rng.NormFloat64() * sigma
+		}
+		ds.Trajectories[i] = out
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
 	for i := range ds.Readings {
 		ds.Readings[i].Value += rng.NormFloat64() * sigma
 	}

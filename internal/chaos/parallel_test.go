@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"sidq/internal/core"
+)
+
+// TestParallelFlakyRetriesHoldPerShard injects transient failures into
+// a shardable stage running on the parallel worker pool: every shard
+// must keep the per-stage retry contract (bounded attempts, eventual
+// success) and the merged output must match a clean serial run exactly.
+func TestParallelFlakyRetriesHoldPerShard(t *testing.T) {
+	fs := NewFlakyStage(core.SmoothingStage{}, FlakyOptions{Seed: 5, FailFirst: 3})
+	r := &core.Runner{Policy: core.SkipStage, Workers: 3, Retry: core.RetryPolicy{MaxAttempts: 6}}
+	out, reports, err := r.Run(context.Background(), core.NewPipeline(fs), chaosDataset(11))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rep := reports[0]
+	if rep.Skipped {
+		t.Fatalf("stage skipped despite retries covering the injected failures: %+v", rep)
+	}
+	if rep.Attempts < 2 || rep.Attempts > 6 {
+		t.Fatalf("attempts = %d, want within (1, 6]", rep.Attempts)
+	}
+	if _, errs, _ := fs.Injected(); errs != 3 {
+		t.Fatalf("injected errors = %d, want 3", errs)
+	}
+
+	clean, _, err := core.DefaultRunner().Run(context.Background(),
+		core.NewPipeline(core.SmoothingStage{}), chaosDataset(11))
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if !reflect.DeepEqual(out.Trajectories, clean.Trajectories) {
+		t.Fatal("flaky parallel run diverged from the clean serial run after retries")
+	}
+}
+
+// TestParallelPanicSkipsWithoutDeadlock makes every shard attempt
+// panic: the panicking workers must cancel their siblings, the stage
+// must be skipped, and the run must finish promptly — no deadlocked
+// worker pool, no corrupted output.
+func TestParallelPanicSkipsWithoutDeadlock(t *testing.T) {
+	ds := chaosDataset(12)
+	fs := NewFlakyStage(core.DeduplicateStage{}, FlakyOptions{Seed: 9, PanicProb: 1})
+	r := &core.Runner{Policy: core.SkipStage, Workers: 4, Retry: core.RetryPolicy{MaxAttempts: 3}}
+
+	var out *core.Dataset
+	var reports []core.StageReport
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		out, reports, err = r.Run(context.Background(), core.NewPipeline(fs), ds)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("parallel runner deadlocked on panicking shards")
+	}
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !reports[0].Skipped {
+		t.Fatalf("all-panic stage not skipped: %+v", reports[0])
+	}
+	if !reflect.DeepEqual(out.Trajectories, ds.Trajectories) {
+		t.Fatal("skipped stage altered the dataset")
+	}
+}
+
+// TestShardedCorruptDeterministicAcrossWorkers pins the property the
+// parallel-corrupt-rollback scenario relies on: ShardedCorruptStage
+// injects byte-identical corruption at every worker count.
+func TestShardedCorruptDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *core.Dataset {
+		r := &core.Runner{Policy: core.SkipStage, Workers: workers}
+		out, _, err := r.Run(context.Background(),
+			core.NewPipeline(ShardedCorruptStage{Seed: 3, Sigma: 5}), chaosDataset(13))
+		if err != nil {
+			t.Fatalf("run(workers=%d): %v", workers, err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := run(w); !reflect.DeepEqual(got.Trajectories, serial.Trajectories) {
+			t.Fatalf("workers=%d corruption diverged from serial", w)
+		}
+	}
+}
+
+// TestParallelRollbackRevertsShardedCorruption runs active corruption
+// on the sharded path under RollbackStage: the merged (corrupted)
+// result must fail the quality guard and be rolled back, leaving the
+// output no worse than the input.
+func TestParallelRollbackRevertsShardedCorruption(t *testing.T) {
+	ds := chaosDataset(14)
+	r := &core.Runner{Policy: core.RollbackStage, GuardDims: DefaultGuardDims(), Workers: 4}
+	out, reports, err := r.Run(context.Background(),
+		core.NewPipeline(ShardedCorruptStage{Seed: 1}), ds)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !reports[0].RolledBack {
+		t.Fatalf("sharded corruption survived the rollback guard: %+v", reports[0])
+	}
+	beforeA, afterA := ds.Assess(), out.Assess()
+	for _, d := range DefaultGuardDims() {
+		if afterA[d] < beforeA[d]-1e-9 {
+			t.Fatalf("%v regressed despite rollback: %v -> %v", d, beforeA[d], afterA[d])
+		}
+	}
+}

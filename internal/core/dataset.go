@@ -15,6 +15,9 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"sidq/internal/geo"
 	"sidq/internal/quality"
 	"sidq/internal/stid"
@@ -51,6 +54,20 @@ func (ds *Dataset) Clone() *Dataset {
 	return &out
 }
 
+// CloneCOW returns a copy-on-write clone: the Trajectories and Readings
+// slices are fresh (entries can be replaced without touching ds), but
+// the trajectory pointers are shared with ds. It is safe exactly for
+// holders that replace ds.Trajectories[i] entries rather than mutating
+// a trajectory's points in place — the contract stages declare with
+// StageTraits.ReplacesTrajectories. Readings are value-copied, so their
+// fields may be edited freely.
+func (ds *Dataset) CloneCOW() *Dataset {
+	out := *ds
+	out.Trajectories = append([]*trajectory.Trajectory(nil), ds.Trajectories...)
+	out.Readings = append([]stid.Reading(nil), ds.Readings...)
+	return &out
+}
+
 // trajectoryContext builds the quality context for one trajectory.
 func (ds *Dataset) trajectoryContext(tr *trajectory.Trajectory) quality.TrajectoryContext {
 	ctx := quality.TrajectoryContext{
@@ -71,6 +88,13 @@ func (ds *Dataset) trajectoryContext(tr *trajectory.Trajectory) quality.Trajecto
 // DataVolume; both are also available individually via AssessParts).
 func (ds *Dataset) Assess() quality.Assessment {
 	trA, rdA := ds.AssessParts()
+	return mergeAssessments(trA, rdA)
+}
+
+// mergeAssessments combines the trajectory-side and readings-side
+// assessments (trajectory values win on conflicts except DataVolume,
+// which adds up).
+func mergeAssessments(trA, rdA quality.Assessment) quality.Assessment {
 	out := quality.Assessment{}
 	for k, v := range rdA {
 		out[k] = v
@@ -86,15 +110,72 @@ func (ds *Dataset) Assess() quality.Assessment {
 	return out
 }
 
+// AssessN measures quality like Assess but computes the per-trajectory
+// assessments across up to workers goroutines. The dimension-wise
+// reduction always folds per-trajectory results in trajectory order, so
+// the result is identical to Assess for every worker count (float
+// summation order never changes).
+func (ds *Dataset) AssessN(workers int) quality.Assessment {
+	if workers <= 1 || len(ds.Trajectories) < 2 {
+		return ds.Assess()
+	}
+	per := ds.assessEach(workers)
+	trA, rdA := ds.assessPartsFrom(per)
+	return mergeAssessments(trA, rdA)
+}
+
+// assessEach computes each trajectory's assessment, fanned out across a
+// bounded worker pool. Results are stored by index, so downstream
+// reductions see them in deterministic trajectory order.
+func (ds *Dataset) assessEach(workers int) []quality.Assessment {
+	per := make([]quality.Assessment, len(ds.Trajectories))
+	if workers > len(ds.Trajectories) {
+		workers = len(ds.Trajectories)
+	}
+	if workers <= 1 {
+		for i, tr := range ds.Trajectories {
+			per[i] = quality.AssessTrajectory(tr, ds.trajectoryContext(tr))
+		}
+		return per
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ds.Trajectories) {
+					return
+				}
+				tr := ds.Trajectories[i]
+				per[i] = quality.AssessTrajectory(tr, ds.trajectoryContext(tr))
+			}
+		}()
+	}
+	wg.Wait()
+	return per
+}
+
 // AssessParts returns the trajectory-side and readings-side assessments
 // separately.
 func (ds *Dataset) AssessParts() (quality.Assessment, quality.Assessment) {
-	var trA quality.Assessment
+	var per []quality.Assessment
 	if len(ds.Trajectories) > 0 {
+		per = ds.assessEach(1)
+	}
+	return ds.assessPartsFrom(per)
+}
+
+// assessPartsFrom folds precomputed per-trajectory assessments (in
+// trajectory order) with the readings-side assessment.
+func (ds *Dataset) assessPartsFrom(per []quality.Assessment) (quality.Assessment, quality.Assessment) {
+	var trA quality.Assessment
+	if len(per) > 0 {
 		sums := map[quality.Dimension]float64{}
 		counts := map[quality.Dimension]int{}
-		for _, tr := range ds.Trajectories {
-			a := quality.AssessTrajectory(tr, ds.trajectoryContext(tr))
+		for _, a := range per {
 			for k, v := range a {
 				sums[k] += v
 				counts[k]++

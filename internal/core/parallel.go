@@ -1,0 +1,251 @@
+package core
+
+// Data-parallel stage execution. A stage that declares
+// StageTraits.Shardable runs over disjoint contiguous trajectory shards
+// on a bounded worker pool; each shard keeps the full per-stage
+// retry/backoff contract, a hard shard failure cancels its siblings
+// (errgroup-style), and shard results merge back in trajectory order so
+// the output is byte-identical to the serial path for deterministic
+// stages. Readings travel with shard 0 only, mirroring the single
+// readings pass a serial stage performs.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"sidq/internal/quality"
+	"sidq/internal/trajectory"
+)
+
+// ParallelRunner returns a runner with the default skip-stage policy
+// that executes shardable stages and quality assessment across the
+// given number of workers (workers <= 0 selects runtime.NumCPU()).
+// For every worker count the run produces the same datasets, reports,
+// and rollback decisions as the serial DefaultRunner, as long as the
+// stages themselves are deterministic; only wall-clock time changes.
+func ParallelRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Runner{Policy: SkipStage, Workers: workers}
+}
+
+// workerCount resolves the runner's Workers setting: 0 and 1 mean
+// serial, negative selects runtime.NumCPU().
+func (r *Runner) workerCount() int {
+	switch {
+	case r.Workers < 0:
+		return runtime.NumCPU()
+	case r.Workers == 0:
+		return 1
+	}
+	return r.Workers
+}
+
+// shardable reports whether st should run sharded over cur: the runner
+// has a pool, the stage declared trajectory-locality, and there is more
+// than one trajectory to split.
+func (r *Runner) shardable(st Stage, cur *Dataset) bool {
+	return r.workerCount() > 1 && TraitsOf(st).Shardable && len(cur.Trajectories) >= 2
+}
+
+// cloneForStage returns the per-attempt working copy of ds for st: a
+// copy-on-write clone when the stage declares it only replaces
+// trajectory entries, a deep clone otherwise.
+func cloneForStage(ds *Dataset, st Stage) *Dataset {
+	if TraitsOf(st).ReplacesTrajectories {
+		return ds.CloneCOW()
+	}
+	return ds.Clone()
+}
+
+// shardDataset splits ds into up to k contiguous trajectory shards.
+// Every shard is a view: it shares trajectory pointers (and the
+// assessment context) with ds; stages only ever see per-attempt clones
+// of a shard, never the view itself. Readings ride on shard 0 alone so
+// a readings pass happens exactly once, as in the serial path.
+func shardDataset(ds *Dataset, k int) []*Dataset {
+	n := len(ds.Trajectories)
+	if k > n {
+		k = n
+	}
+	shards := make([]*Dataset, k)
+	base, rem := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		s := *ds
+		s.Trajectories = ds.Trajectories[lo : lo+size : lo+size]
+		if i != 0 {
+			s.Readings = nil
+		}
+		shards[i] = &s
+		lo += size
+	}
+	return shards
+}
+
+// runStageSharded executes one stage across trajectory shards on a
+// bounded worker pool, with per-shard retries. It mirrors runStage's
+// outcomes exactly: on success the merged dataset is returned with the
+// post-stage assessment (and the rollback guard applied to it); on any
+// hard shard failure the whole stage fails and the caller keeps cur,
+// just as a serial stage failure discards all of the stage's work.
+func (r *Runner) runStageSharded(ctx context.Context, st Stage, cur *Dataset, before quality.Assessment) (*Dataset, StageReport) {
+	rep := StageReport{
+		Stage:  st.Name(),
+		Task:   st.Task(),
+		Before: before,
+	}
+	start := time.Now()
+	defer func() { rep.Duration = time.Since(start) }()
+
+	shards := shardDataset(cur, r.workerCount())
+
+	// Per-shard jitter RNGs are derived before any worker starts so the
+	// parent RNG stream is consumed in a spawn-order-independent way.
+	rngs := make([]*rand.Rand, len(shards))
+	if r.Rand != nil {
+		for i := range rngs {
+			rngs[i] = rand.New(rand.NewSource(r.Rand.Int63()))
+		}
+	}
+
+	type shardOut struct {
+		ds       *Dataset
+		err      error // nil or *PartialError on success, hard error on failure
+		attempts int
+	}
+	outs := make([]shardOut, len(shards))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ds, attempts, err := r.runShard(runCtx, st, shards[i], rngs[i])
+			outs[i] = shardOut{ds: ds, err: err, attempts: attempts}
+			if err != nil && !isPartial(err) {
+				cancel() // a failed shard cancels its siblings
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range outs {
+		if outs[i].attempts > rep.Attempts {
+			rep.Attempts = outs[i].attempts
+		}
+	}
+
+	// A hard failure in any shard fails the stage as a whole (serial
+	// semantics: a failed stage contributes nothing). Prefer reporting a
+	// genuine failure over a sibling's cancellation echo.
+	var hardErr error
+	for i := range outs {
+		if e := outs[i].err; e != nil && !isPartial(e) {
+			if hardErr == nil {
+				hardErr = e
+			}
+			if !errors.Is(e, context.Canceled) {
+				hardErr = e
+				break
+			}
+		}
+	}
+	if hardErr != nil {
+		rep.Err = hardErr
+		if r.Policy == SkipStage || r.Policy == RollbackStage {
+			rep.Skipped = true
+			r.event(st.Name(), "skipped after %d attempts: %v", rep.Attempts, hardErr)
+		}
+		return cur, rep
+	}
+
+	// Merge deterministically: trajectories in shard (= original) order,
+	// readings from the shard that carried them.
+	merged := new(Dataset)
+	*merged = *cur
+	merged.Trajectories = make([]*trajectory.Trajectory, 0, len(cur.Trajectories))
+	for i := range outs {
+		merged.Trajectories = append(merged.Trajectories, outs[i].ds.Trajectories...)
+	}
+	merged.Readings = outs[0].ds.Readings
+
+	// Fold shard-level partial errors into one dataset-level one. All
+	// built-in partially-failing stages denominate Total in
+	// trajectories, so clean shards contribute their trajectory count —
+	// matching what the serial stage would have reported.
+	var failed, total int
+	var lastPartial error
+	sawPartial := false
+	for i := range outs {
+		if pe := (*PartialError)(nil); errors.As(outs[i].err, &pe) {
+			sawPartial = true
+			failed += pe.Failed
+			total += pe.Total
+			if pe.Last != nil {
+				lastPartial = pe.Last
+			}
+		} else {
+			total += len(outs[i].ds.Trajectories)
+		}
+	}
+	if sawPartial {
+		rep.Err = &PartialError{Stage: st.Name(), Failed: failed, Total: total, Last: lastPartial}
+		rep.Meta = map[string]int{"failed": failed, "total": total}
+	}
+
+	rep.After = merged.AssessN(r.workerCount())
+	if r.Policy == RollbackStage {
+		if worse := r.regressions(rep.After, before); len(worse) > 0 {
+			rep.RolledBack = true
+			r.event(st.Name(), "rolled back: regressed %v", worse)
+			return cur, rep
+		}
+	}
+	return merged, rep
+}
+
+// runShard runs the per-stage retry loop over one shard: every attempt
+// clones the shard (copy-on-write when the stage allows it), so a
+// failed attempt never leaks partial mutations. It returns the
+// post-stage shard on success (possibly with a PartialError), or nil
+// with the terminal error after retries are exhausted or the shard
+// context is cancelled by a sibling.
+func (r *Runner) runShard(ctx context.Context, st Stage, shard *Dataset, rng *rand.Rand) (*Dataset, int, error) {
+	attempts := r.Retry.attempts()
+	var lastErr error
+	taken := 0
+	for attempt := 1; attempt <= attempts; attempt++ {
+		taken = attempt
+		work := cloneForStage(shard, st)
+		err := r.attempt(ctx, st, work)
+		if err == nil || isPartial(err) {
+			return work, taken, err
+		}
+		lastErr = err
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			break // the shard group is cancelled; retrying cannot help
+		}
+		if attempt < attempts {
+			if d := r.Retry.Delay(attempt, rng); d > 0 {
+				sleep := r.Sleep
+				if sleep == nil {
+					sleep = time.Sleep
+				}
+				sleep(d)
+			}
+			r.event(st.Name(), "shard attempt %d/%d failed, retrying: %v", attempt, attempts, err)
+		}
+	}
+	return nil, taken, lastErr
+}

@@ -26,6 +26,10 @@ func (s RouteRecoverStage) Name() string { return "route-recovery" }
 // Task implements Stage.
 func (s RouteRecoverStage) Task() Task { return UncertaintyElimination }
 
+// Traits implements TraitedStage: each trajectory is map-matched
+// independently and replaced by its recovered path.
+func (s RouteRecoverStage) Traits() StageTraits { return dataParallel }
+
 // Apply implements Stage.
 func (s RouteRecoverStage) Apply(ds *Dataset) {
 	_ = s.ApplyContext(context.Background(), ds)
@@ -100,6 +104,15 @@ func (p *Pipeline) RunContext(ctx context.Context, r *Runner, ds *Dataset) (*Dat
 		r = DefaultRunner()
 	}
 	return r.Run(ctx, p, ds)
+}
+
+// RunParallel runs the pipeline like Run but executes shardable stages
+// (and per-stage quality assessment) across the given number of workers
+// (workers <= 0 selects runtime.NumCPU()). Output is identical to Run
+// for every worker count; see ParallelRunner for the guarantees.
+func (p *Pipeline) RunParallel(ds *Dataset, workers int) (*Dataset, []StageReport) {
+	out, reports, _ := ParallelRunner(workers).Run(context.Background(), p, ds)
+	return out, reports
 }
 
 // RenderReports formats stage reports as an aligned table of the

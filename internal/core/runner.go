@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"sidq/internal/quality"
@@ -128,6 +129,13 @@ type Runner struct {
 	Retry        RetryPolicy
 	StageTimeout time.Duration // per-attempt deadline (0 = none)
 
+	// Workers bounds the data-parallel worker pool: stages that declare
+	// StageTraits.Shardable run across disjoint trajectory shards, and
+	// per-stage quality assessment fans out per trajectory. 0 and 1 run
+	// serially; negative selects runtime.NumCPU(). Output is identical
+	// to the serial path for every worker count (see parallel.go).
+	Workers int
+
 	// GuardTol is the relative tolerance of the quality-regression
 	// guard used by RollbackStage (default 0.05 = 5%).
 	GuardTol float64
@@ -141,8 +149,12 @@ type Runner struct {
 	// Rand seeds backoff jitter (nil disables jitter).
 	Rand *rand.Rand
 	// OnEvent, when set, observes retry/skip/rollback decisions as
-	// human-readable messages (e.g. hook it to a logger).
+	// human-readable messages (e.g. hook it to a logger). Under Workers
+	// > 1 events from concurrent shards are serialized by the runner.
 	OnEvent func(stage, event string)
+
+	// evMu serializes OnEvent callbacks across shard workers.
+	evMu sync.Mutex
 }
 
 // DefaultRunner returns the runner Pipeline.Run uses: skip failing
@@ -151,6 +163,8 @@ func DefaultRunner() *Runner { return &Runner{Policy: SkipStage} }
 
 func (r *Runner) event(stage, format string, args ...interface{}) {
 	if r.OnEvent != nil {
+		r.evMu.Lock()
+		defer r.evMu.Unlock()
 		r.OnEvent(stage, fmt.Sprintf(format, args...))
 	}
 }
@@ -167,12 +181,18 @@ func (r *Runner) Run(ctx context.Context, p *Pipeline, ds *Dataset) (*Dataset, [
 	}
 	cur := ds.Clone()
 	reports := make([]StageReport, 0, len(p.Stages))
-	before := cur.Assess()
+	before := cur.AssessN(r.workerCount())
 	for _, st := range p.Stages {
 		if err := ctx.Err(); err != nil {
 			return cur, reports, fmt.Errorf("pipeline cancelled before stage %s: %w", st.Name(), err)
 		}
-		work, rep := r.runStage(ctx, st, cur, before)
+		var work *Dataset
+		var rep StageReport
+		if r.shardable(st, cur) {
+			work, rep = r.runStageSharded(ctx, st, cur, before)
+		} else {
+			work, rep = r.runStage(ctx, st, cur, before)
+		}
 		switch {
 		case rep.Err != nil && !rep.Skipped && !isPartial(rep.Err):
 			// FailFast: surface the error with the progress so far.
@@ -213,15 +233,17 @@ func (r *Runner) runStage(ctx context.Context, st Stage, cur *Dataset, before qu
 	for attempt := 1; attempt <= attempts; attempt++ {
 		rep.Attempts = attempt
 		// Each attempt works on its own clone so a failed or timed-out
-		// attempt can never leave cur half-mutated.
-		work := cur.Clone()
+		// attempt can never leave cur half-mutated. Stages that declare
+		// they only replace trajectories get a cheap copy-on-write clone
+		// instead of a deep copy of every point.
+		work := cloneForStage(cur, st)
 		err := r.attempt(ctx, st, work)
 		if err == nil || isPartial(err) {
 			rep.Err = err
 			if pe := (*PartialError)(nil); errors.As(err, &pe) {
 				rep.Meta = map[string]int{"failed": pe.Failed, "total": pe.Total}
 			}
-			rep.After = work.Assess()
+			rep.After = work.AssessN(r.workerCount())
 			if r.Policy == RollbackStage {
 				if worse := r.regressions(rep.After, before); len(worse) > 0 {
 					rep.RolledBack = true

@@ -68,6 +68,9 @@ func (s OutlierRemovalStage) Name() string { return "outlier-removal" }
 // Task implements Stage.
 func (s OutlierRemovalStage) Task() Task { return OutlierRemoval }
 
+// Traits implements TraitedStage: trajectory-local and replace-only.
+func (s OutlierRemovalStage) Traits() StageTraits { return dataParallel }
+
 // Apply implements Stage.
 func (s OutlierRemovalStage) Apply(ds *Dataset) {
 	_ = s.ApplyContext(context.Background(), ds)
@@ -109,6 +112,9 @@ func (s SmoothingStage) Name() string { return "kalman-smoothing" }
 
 // Task implements Stage.
 func (s SmoothingStage) Task() Task { return UncertaintyElimination }
+
+// Traits implements TraitedStage: trajectory-local and replace-only.
+func (s SmoothingStage) Traits() StageTraits { return dataParallel }
 
 // Apply implements Stage.
 func (s SmoothingStage) Apply(ds *Dataset) {
@@ -169,6 +175,9 @@ func (s PredictionRepairStage) Name() string { return "prediction-repair" }
 // Task implements Stage.
 func (s PredictionRepairStage) Task() Task { return OutlierRemoval }
 
+// Traits implements TraitedStage: trajectory-local and replace-only.
+func (s PredictionRepairStage) Traits() StageTraits { return dataParallel }
+
 // Apply implements Stage.
 func (s PredictionRepairStage) Apply(ds *Dataset) {
 	_ = s.ApplyContext(context.Background(), ds)
@@ -202,23 +211,28 @@ func (s TimestampRepairStage) Name() string { return "timestamp-repair" }
 // Task implements Stage.
 func (s TimestampRepairStage) Task() Task { return FaultCorrection }
 
+// Traits implements TraitedStage: trajectory-local and replace-only.
+func (s TimestampRepairStage) Traits() StageTraits { return dataParallel }
+
 // Apply implements Stage.
 func (s TimestampRepairStage) Apply(ds *Dataset) {
 	_ = s.ApplyContext(context.Background(), ds)
 }
 
 // ApplyContext implements FallibleStage. Unrepairable trajectories keep
-// their raw timestamps and are counted in the PartialError.
+// their raw timestamps and are counted in the PartialError. Repairs
+// replace the trajectory rather than editing its points in place, so
+// the stage is safe on copy-on-write clones.
 func (s TimestampRepairStage) ApplyContext(ctx context.Context, ds *Dataset) error {
 	failed := 0
 	var last error
-	for _, tr := range ds.Trajectories {
+	for i, tr := range ds.Trajectories {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		ts := make([]float64, tr.Len())
-		for i, p := range tr.Points {
-			ts[i] = p.T
+		for j, p := range tr.Points {
+			ts[j] = p.T
 		}
 		repaired, err := faults.RepairTimestamps(ts, s.MinGap, s.MaxGap)
 		if err != nil {
@@ -226,9 +240,11 @@ func (s TimestampRepairStage) ApplyContext(ctx context.Context, ds *Dataset) err
 			last = err
 			continue
 		}
-		for i := range tr.Points {
-			tr.Points[i].T = repaired[i]
+		out := tr.Clone()
+		for j := range out.Points {
+			out.Points[j].T = repaired[j]
 		}
+		ds.Trajectories[i] = out
 	}
 	if failed > 0 {
 		return &PartialError{Stage: s.Name(), Failed: failed, Total: len(ds.Trajectories), Last: last}
@@ -248,6 +264,9 @@ func (s DeduplicateStage) Name() string { return "deduplicate" }
 
 // Task implements Stage.
 func (s DeduplicateStage) Task() Task { return DataIntegration }
+
+// Traits implements TraitedStage: trajectory-local and replace-only.
+func (s DeduplicateStage) Traits() StageTraits { return dataParallel }
 
 // Apply implements Stage.
 func (s DeduplicateStage) Apply(ds *Dataset) {
@@ -291,6 +310,9 @@ func (s ImputeStage) Name() string { return "interpolation-impute" }
 // Task implements Stage.
 func (s ImputeStage) Task() Task { return UncertaintyElimination }
 
+// Traits implements TraitedStage: trajectory-local and replace-only.
+func (s ImputeStage) Traits() StageTraits { return dataParallel }
+
 // Apply implements Stage.
 func (s ImputeStage) Apply(ds *Dataset) {
 	_ = s.ApplyContext(context.Background(), ds)
@@ -327,6 +349,9 @@ func (s ThematicRepairStage) Name() string { return "thematic-repair" }
 
 // Task implements Stage.
 func (s ThematicRepairStage) Task() Task { return FaultCorrection }
+
+// Traits implements TraitedStage: trajectory-local and replace-only.
+func (s ThematicRepairStage) Traits() StageTraits { return dataParallel }
 
 // Apply implements Stage.
 func (s ThematicRepairStage) Apply(ds *Dataset) {
@@ -366,6 +391,9 @@ func (s SmoothReadingsStage) Name() string { return "readings-smoothing" }
 
 // Task implements Stage.
 func (s SmoothReadingsStage) Task() Task { return UncertaintyElimination }
+
+// Traits implements TraitedStage: trajectory-local and replace-only.
+func (s SmoothReadingsStage) Traits() StageTraits { return dataParallel }
 
 // Apply implements Stage.
 func (s SmoothReadingsStage) Apply(ds *Dataset) {
@@ -446,6 +474,9 @@ func (s CalibrationStage) Name() string { return "anchor-calibration" }
 
 // Task implements Stage.
 func (s CalibrationStage) Task() Task { return UncertaintyElimination }
+
+// Traits implements TraitedStage: trajectory-local and replace-only.
+func (s CalibrationStage) Traits() StageTraits { return dataParallel }
 
 // Apply implements Stage.
 func (s CalibrationStage) Apply(ds *Dataset) {

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// pipelineWorkers is the data-parallel worker count experiment
+// pipelines hand to core.Pipeline.RunParallel. Zero means serial. It
+// is process-global (experiments have a fixed Run(seed) signature) and
+// atomic so RunSelected may set it while experiments run concurrently.
+var pipelineWorkers atomic.Int32
+
+// SetPipelineWorkers sets the worker count experiment pipelines run
+// with: 0 or 1 is serial, negative selects runtime.NumCPU(). Tables
+// are bit-identical for every setting; only wall-clock time changes.
+func SetPipelineWorkers(n int) {
+	if n < 0 {
+		n = runtime.NumCPU()
+	}
+	pipelineWorkers.Store(int32(n))
+}
+
+// PipelineWorkers returns the current experiment worker count (minimum
+// 1, i.e. serial).
+func PipelineWorkers() int {
+	if n := int(pipelineWorkers.Load()); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// Rendered is one experiment's output, ready to print.
+type Rendered struct {
+	ID   string
+	Name string
+	Text string
+}
+
+// RunSelected runs the experiments whose upper-cased IDs appear in ids
+// (nil or empty selects all) across a pool of workerCount goroutines
+// (<= 0 selects runtime.NumCPU()), with the same worker count applied
+// to data parallelism inside each experiment's pipelines. Results come
+// back in All() order regardless of completion order, and each table
+// is bit-identical to a serial run: experiments share no mutable state
+// and every stage sharded inside a pipeline merges deterministically.
+func RunSelected(seed int64, workerCount int, ids map[string]bool) []Rendered {
+	if workerCount <= 0 {
+		workerCount = runtime.NumCPU()
+	}
+	SetPipelineWorkers(workerCount)
+
+	var selected []Experiment
+	for _, e := range All() {
+		if len(ids) == 0 || ids[strings.ToUpper(e.ID)] {
+			selected = append(selected, e)
+		}
+	}
+	out := make([]Rendered, len(selected))
+	sem := make(chan struct{}, workerCount)
+	var wg sync.WaitGroup
+	for i, e := range selected {
+		i, e := i, e
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tb := e.Run(seed)
+			out[i] = Rendered{ID: e.ID, Name: e.Name, Text: tb.Render()}
+		}()
+	}
+	wg.Wait()
+	return out
+}

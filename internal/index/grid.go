@@ -3,8 +3,33 @@
 // for rectangles, a point quadtree, and a time-bucketed spatio-temporal
 // index for trajectories.
 //
-// All structures are in-memory and single-writer; concurrent readers
-// are safe once loading has finished.
+// # Concurrency contract
+//
+// Every structure here is in-memory and follows the same build-then-
+// read discipline; none carries internal locking.
+//
+//   - Grid: Insert and Remove require exclusive access. Range and KNN
+//     are read-only and safe to call from any number of goroutines once
+//     no writer is active.
+//   - RTree: Insert requires exclusive access. Search and KNN are
+//     read-only and safe concurrently after loading. BulkLoadRTree and
+//     BulkLoadRTreeParallel return a fully-constructed tree with no
+//     retained references to internal state, so the returned tree may
+//     be shared across goroutines for reads immediately (parallel
+//     loading of one tree is internal to the call; callers never
+//     observe a partially-built tree).
+//   - Quadtree: Insert requires exclusive access; Range and Depth are
+//     concurrent-read safe after loading.
+//   - TrajectoryIndex: Add requires exclusive access; Get, Len, and
+//     RangeQuery are concurrent-read safe after loading.
+//
+// "Safe after loading" means the caller must establish a happens-before
+// edge between the last write and the first concurrent read (e.g. by
+// starting the reader goroutines after the build returns, or via
+// channel/WaitGroup handoff) — the structures add no synchronization of
+// their own. Mixing even one writer with readers requires external
+// locking. These invariants are exercised under the race detector in
+// concurrency_test.go.
 package index
 
 import (

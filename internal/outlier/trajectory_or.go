@@ -10,11 +10,26 @@ package outlier
 
 import (
 	"math"
+	"sync"
 
 	"sidq/internal/refine"
 	"sidq/internal/stats"
 	"sidq/internal/trajectory"
 )
+
+// floatPool recycles feature buffers across Statistical calls — the
+// detector runs once per trajectory per pipeline attempt, so the
+// buffers are the dominant steady-state garbage in cleaning loops.
+var floatPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getFloats(n int) *[]float64 {
+	p := floatPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
 
 // SpeedConstraint flags points that cannot be reached under the given
 // maximum speed: a point is an outlier when the speeds both into and
@@ -77,10 +92,15 @@ func Statistical(tr *trajectory.Trajectory, opt StatisticalOptions) []bool {
 	if opt.Threshold <= 0 {
 		opt.Threshold = 3.5
 	}
-	// Feature: median distance to the surrounding window's points.
-	feat := make([]float64, n)
+	// Feature: median distance to the surrounding window's points. The
+	// feature and window buffers are pooled/reused: this loop runs per
+	// trajectory per pipeline attempt and used to dominate allocations.
+	featP := getFloats(n)
+	defer floatPool.Put(featP)
+	feat := *featP
+	ds := make([]float64, 0, 2*opt.Window)
 	for i := range tr.Points {
-		var ds []float64
+		ds = ds[:0]
 		for w := -opt.Window; w <= opt.Window; w++ {
 			j := i + w
 			if j < 0 || j >= n || j == i {
@@ -88,7 +108,7 @@ func Statistical(tr *trajectory.Trajectory, opt StatisticalOptions) []bool {
 			}
 			ds = append(ds, tr.Points[i].Pos.Dist(tr.Points[j].Pos))
 		}
-		m, _ := stats.Median(ds)
+		m, _ := stats.MedianInPlace(ds)
 		feat[i] = m
 	}
 	med, _ := stats.Median(feat)

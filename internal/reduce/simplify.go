@@ -11,9 +11,27 @@ package reduce
 import (
 	"container/heap"
 	"math"
+	"sync"
 
 	"sidq/internal/trajectory"
 )
+
+// keepPool recycles the keep-flag buffer DouglasPeuckerSED needs per
+// call; compression sweeps run it across every trajectory at many
+// epsilons, so the buffer is hot.
+var keepPool = sync.Pool{New: func() any { return new([]bool) }}
+
+func getKeep(n int) *[]bool {
+	p := keepPool.Get().(*[]bool)
+	if cap(*p) < n {
+		*p = make([]bool, n)
+	}
+	*p = (*p)[:n]
+	for i := range *p {
+		(*p)[i] = false
+	}
+	return p
+}
 
 // DouglasPeuckerSED simplifies offline with the time-aware
 // Douglas-Peucker variant (TD-TR): recursively keep the point with the
@@ -29,7 +47,9 @@ func DouglasPeuckerSED(tr *trajectory.Trajectory, eps float64) *trajectory.Traje
 		out.Points = append(out.Points, tr.Points...)
 		return out
 	}
-	keep := make([]bool, n)
+	keepP := getKeep(n)
+	defer keepPool.Put(keepP)
+	keep := *keepP
 	keep[0], keep[n-1] = true, true
 	var rec func(lo, hi int)
 	rec = func(lo, hi int) {

@@ -3,6 +3,7 @@ package refine
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"sidq/internal/geo"
 	"sidq/internal/stats"
@@ -128,6 +129,55 @@ func KalmanFilterTrajectory(tr *trajectory.Trajectory, q, r float64) *trajectory
 	return out
 }
 
+// rtsStep is one time step of the forward Kalman pass retained for the
+// backward RTS smoother.
+type rtsStep struct {
+	xPred, pPred *stats.Matrix
+	xFilt, pFilt *stats.Matrix
+	f            *stats.Matrix
+}
+
+// The smoother's per-call scratch (one step record and two smoothed
+// state slots per point) is pooled: smoothing runs once per trajectory
+// per pipeline attempt. Entries are cleared on return so pooled slices
+// never pin matrices.
+var (
+	stepsPool = sync.Pool{New: func() any { return new([]rtsStep) }}
+	matsPool  = sync.Pool{New: func() any { return new([]*stats.Matrix) }}
+)
+
+func getSteps(n int) *[]rtsStep {
+	p := stepsPool.Get().(*[]rtsStep)
+	if cap(*p) < n {
+		*p = make([]rtsStep, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putSteps(p *[]rtsStep) {
+	for i := range *p {
+		(*p)[i] = rtsStep{}
+	}
+	stepsPool.Put(p)
+}
+
+func getMats(n int) *[]*stats.Matrix {
+	p := matsPool.Get().(*[]*stats.Matrix)
+	if cap(*p) < n {
+		*p = make([]*stats.Matrix, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putMats(p *[]*stats.Matrix) {
+	for i := range *p {
+		(*p)[i] = nil
+	}
+	matsPool.Put(p)
+}
+
 // KalmanSmoothTrajectory runs a forward pass followed by a
 // Rauch-Tung-Striebel backward smoother, producing the non-causal MAP
 // trajectory. This is the smoothing-based uncertainty eliminator built
@@ -138,12 +188,9 @@ func KalmanSmoothTrajectory(tr *trajectory.Trajectory, q, r float64) *trajectory
 	if n == 0 {
 		return out
 	}
-	type step struct {
-		xPred, pPred *stats.Matrix
-		xFilt, pFilt *stats.Matrix
-		f            *stats.Matrix
-	}
-	steps := make([]step, n)
+	stepsP := getSteps(n)
+	defer putSteps(stepsP)
+	steps := *stepsP
 	k := NewKalman(tr.Points[0].Pos, q, r)
 	prevT := tr.Points[0].T
 	for i, p := range tr.Points {
@@ -164,8 +211,10 @@ func KalmanSmoothTrajectory(tr *trajectory.Trajectory, q, r float64) *trajectory
 		prevT = p.T
 	}
 	// Backward RTS pass.
-	xs := make([]*stats.Matrix, n)
-	ps := make([]*stats.Matrix, n)
+	xsP, psP := getMats(n), getMats(n)
+	defer putMats(xsP)
+	defer putMats(psP)
+	xs, ps := *xsP, *psP
 	xs[n-1] = steps[n-1].xFilt
 	ps[n-1] = steps[n-1].pFilt
 	for i := n - 2; i >= 0; i-- {

@@ -90,6 +90,17 @@ func quantileSorted(sorted []float64, q float64) float64 {
 // Median returns the median of xs.
 func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
 
+// MedianInPlace returns the median of xs, sorting xs itself instead of
+// a copy — the allocation-free variant for hot loops that own a
+// scratch buffer.
+func MedianInPlace(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sort.Float64s(xs)
+	return quantileSorted(xs, 0.5), nil
+}
+
 // MAD returns the median absolute deviation of xs, scaled by 1.4826 so
 // that it estimates the standard deviation for Gaussian data.
 func MAD(xs []float64) (float64, error) {

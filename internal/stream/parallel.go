@@ -1,0 +1,55 @@
+package stream
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// FanOut partitions an event stream into lane sub-streams by a key
+// function (typically the source sensor or trajectory id), using an
+// FNV-1a hash so the lane assignment is a pure function of the key:
+// the same key always lands in the same lane, in every run and at
+// every lane count change of other keys. Within a lane, events keep
+// their arrival order, so per-key order — the only order a keyed
+// stream guarantees — is preserved exactly. lanes <= 0 selects 1.
+func FanOut[T any](events []Event[T], lanes int, key func(Event[T]) string) [][]Event[T] {
+	if lanes <= 0 {
+		lanes = 1
+	}
+	out := make([][]Event[T], lanes)
+	for _, e := range events {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(key(e)))
+		l := int(h.Sum32() % uint32(lanes))
+		out[l] = append(out[l], e)
+	}
+	return out
+}
+
+// ProcessLanes runs fn over every lane on a pool of at most workers
+// goroutines (workers <= 0 selects runtime.NumCPU()) and returns the
+// results indexed by lane — deterministic output order regardless of
+// which lane finishes first. fn must not touch other lanes' data; the
+// lanes produced by FanOut are disjoint, so any per-lane processor
+// (a Reorderer, a window operator, an aggregate) satisfies this.
+func ProcessLanes[T, R any](lanes [][]Event[T], workers int, fn func(lane int, events []Event[T]) R) []R {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	out := make([]R, len(lanes))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range lanes {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = fn(i, lanes[i])
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func keyedEvents(n, keys int) []Event[string] {
+	out := make([]Event[string], n)
+	for i := range out {
+		out[i] = Event[string]{Time: float64(i), Value: fmt.Sprintf("k%d", i%keys)}
+	}
+	return out
+}
+
+func TestFanOutPreservesPerKeyOrderAndIsDeterministic(t *testing.T) {
+	events := keyedEvents(1000, 13)
+	key := func(e Event[string]) string { return e.Value }
+	a := FanOut(events, 4, key)
+	b := FanOut(events, 4, key)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same input fanned out differently across runs")
+	}
+
+	// Every event lands in exactly one lane, same-key events share a
+	// lane, and each key's events keep their original (time) order.
+	total := 0
+	laneOf := map[string]int{}
+	for l, lane := range a {
+		total += len(lane)
+		lastPerKey := map[string]float64{}
+		for _, e := range lane {
+			if prev, ok := laneOf[e.Value]; ok && prev != l {
+				t.Fatalf("key %s split across lanes %d and %d", e.Value, prev, l)
+			}
+			laneOf[e.Value] = l
+			if last, ok := lastPerKey[e.Value]; ok && e.Time < last {
+				t.Fatalf("key %s reordered within lane %d", e.Value, l)
+			}
+			lastPerKey[e.Value] = e.Time
+		}
+	}
+	if total != len(events) {
+		t.Fatalf("fan-out lost events: %d of %d", total, len(events))
+	}
+	if len(laneOf) != 13 {
+		t.Fatalf("saw %d keys, want 13", len(laneOf))
+	}
+}
+
+func TestFanOutDegenerateLaneCounts(t *testing.T) {
+	events := keyedEvents(50, 5)
+	key := func(e Event[string]) string { return e.Value }
+	one := FanOut(events, 0, key)
+	if len(one) != 1 || !reflect.DeepEqual(one[0], events) {
+		t.Fatal("lanes <= 0 must collapse to the identity single lane")
+	}
+	many := FanOut(events, 64, key)
+	total := 0
+	for _, lane := range many {
+		total += len(lane)
+	}
+	if len(many) != 64 || total != len(events) {
+		t.Fatalf("64-lane fan-out: %d lanes, %d events", len(many), total)
+	}
+}
+
+// TestProcessLanesOrderedResults checks that lane results come back by
+// lane index regardless of worker count or completion order, and that
+// per-lane stream operators compose: reordering a disordered keyed
+// stream lane-by-lane in parallel equals doing it serially.
+func TestProcessLanesOrderedResults(t *testing.T) {
+	events := keyedEvents(600, 7)
+	// Disorder within each key's sequence deterministically.
+	for i := 0; i+3 < len(events); i += 4 {
+		events[i], events[i+3] = events[i+3], events[i]
+	}
+	lanes := FanOut(events, 5, func(e Event[string]) string { return e.Value })
+
+	process := func(workers int) [][]Event[string] {
+		return ProcessLanes(lanes, workers, func(_ int, in []Event[string]) []Event[string] {
+			re := NewReorderer[string](10)
+			var out []Event[string]
+			for _, e := range in {
+				out = append(out, re.Push(e)...)
+			}
+			out = append(out, re.Flush()...)
+			return out
+		})
+	}
+	serial := process(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := process(w); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d produced different lane results than serial", w)
+		}
+	}
+	for l, lane := range serial {
+		times := make([]float64, len(lane))
+		for i, e := range lane {
+			times[i] = e.Time
+		}
+		if !sort.Float64sAreSorted(times) {
+			t.Fatalf("lane %d not time-ordered after reordering", l)
+		}
+	}
+}
