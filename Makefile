@@ -1,19 +1,24 @@
 # Tier-1 verification plus the resilience gates.
 #
-#   make check       build + vet + full test suite (the tier-1 gate)
-#   make race        vet + race-detector run over the whole module
-#   make chaos       the chaos-injection harness under -race (runner,
-#                    fault injectors, hardened server)
-#   make bench       compile-and-run the benchmark suite briefly
-#   make bench-json  run the benchmarks for real and write a dated
-#                    BENCH_<date>.json baseline (ns/op, B/op, allocs/op)
+#   make check          build + vet + full test suite + bench-compare
+#                       (the tier-1 gate)
+#   make race           vet + race-detector run over the whole module
+#   make chaos          the chaos-injection harness under -race (runner,
+#                       fault injectors, hardened server)
+#   make bench          compile-and-run the benchmark suite briefly
+#   make bench-json     run the benchmarks for real and write a dated
+#                       BENCH_<date>.json baseline (ns/op, B/op,
+#                       allocs/op)
+#   make bench-compare  rerun the gated E1/E2 experiment benchmarks and
+#                       diff against the latest committed BENCH_*.json;
+#                       fails on a >20% ns/op or allocs/op regression
 
 GO ?= go
 BENCHTIME ?= 2x
 
-.PHONY: check vet test race chaos bench bench-json
+.PHONY: check vet test race chaos bench bench-json bench-compare
 
-check: vet test
+check: vet test bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -35,3 +40,11 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
 	@echo wrote BENCH_$$(date +%F).json
+
+# Best-of-N: benchcompare folds the -count repeats to their minimum,
+# so scheduler noise can't fail the gate (a real regression moves the
+# floor, noise only moves the ceiling).
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkE[12]_' -benchmem -benchtime $(BENCHTIME) -count 3 . \
+		| $(GO) run ./cmd/benchjson \
+		| $(GO) run ./cmd/benchcompare

@@ -274,6 +274,22 @@ func BenchmarkBulkLoadRTreeParallel(b *testing.B) {
 	}
 }
 
+func BenchmarkMapMatch(b *testing.B) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 12, NY: 12, Spacing: 120, Jitter: 8, RemoveFrac: 0.2, Seed: 17})
+	snapper := roadnet.NewSnapper(g, 100)
+	trips := simulate.Trips(g, simulate.TripOptions{NumObjects: 3, MinHops: 12, Speed: 12, SampleInterval: 1, Seed: 18})
+	noisy := make([]*trajectory.Trajectory, len(trips))
+	for i, tr := range trips {
+		noisy[i] = simulate.AddGaussianNoise(tr, 10, int64(19+i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range noisy {
+			_, _ = uncertain.MapMatch(g, snapper, tr, uncertain.MatchOptions{EmissionSigma: 12})
+		}
+	}
+}
+
 func BenchmarkOnlineMapMatch(b *testing.B) {
 	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 10, NY: 10, Spacing: 120, Seed: 10})
 	snapper := roadnet.NewSnapper(g, 100)

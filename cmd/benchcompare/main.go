@@ -1,0 +1,182 @@
+// Command benchcompare diffs a fresh benchmark run (benchjson output
+// on stdin) against a committed BENCH_<date>.json baseline and fails
+// when a gated benchmark regressed beyond the threshold.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkE[12]_' -benchmem . \
+//	    | go run ./cmd/benchjson \
+//	    | go run ./cmd/benchcompare
+//
+// With no -baseline flag the lexicographically-latest BENCH_*.json in
+// the working directory is used, so dated baselines supersede each
+// other naturally (see `make bench-json`). Every row shared between
+// the two documents is reported; only rows matching -gate (default:
+// the E1/E2 experiment rows) can fail the run, and only when ns/op or
+// allocs/op regressed by more than -threshold (default 20%).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+// Result mirrors cmd/benchjson's per-benchmark row.
+type Result struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Document mirrors cmd/benchjson's output document.
+type Document struct {
+	Date       string   `json:"date"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func latestBaseline() (string, error) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json baseline in %s", mustGetwd())
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+func mustGetwd() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	return wd
+}
+
+func loadDoc(path string) (Document, error) {
+	var d Document
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	return d, json.Unmarshal(b, &d)
+}
+
+func foldBest(rows []Result) []Result {
+	idx := make(map[string]int, len(rows))
+	var out []Result
+	for _, r := range rows {
+		i, seen := idx[r.Name]
+		if !seen {
+			idx[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsPerOp < out[i].NsPerOp {
+			out[i].NsPerOp = r.NsPerOp
+		}
+		if r.AllocsPerOp < out[i].AllocsPerOp {
+			out[i].AllocsPerOp = r.AllocsPerOp
+		}
+		if r.BPerOp < out[i].BPerOp {
+			out[i].BPerOp = r.BPerOp
+		}
+		out[i].Runs += r.Runs
+	}
+	return out
+}
+
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json (default: lexicographically latest in cwd)")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression in ns/op and allocs/op")
+	gate := flag.String("gate", `^BenchmarkE[12]_`, "regexp of benchmark names that can fail the comparison")
+	flag.Parse()
+
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+	path := *baseline
+	if path == "" {
+		path, err = latestBaseline()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	old, err := loadDoc(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: baseline %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	var fresh Document
+	if err := json.NewDecoder(os.Stdin).Decode(&fresh); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: stdin is not a benchjson document: %v\n", err)
+		os.Exit(2)
+	}
+
+	base := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		base[r.Name] = r
+	}
+	// Fold repeated rows (a `go test -count=N` run) to their best
+	// observation: min ns/op and min allocs/op. Comparing best-of-N
+	// against the baseline filters scheduler noise one-sidedly, which
+	// is what a regression gate wants — a real regression shifts the
+	// floor, noise only shifts the ceiling.
+	fresh.Benchmarks = foldBest(fresh.Benchmarks)
+	fmt.Printf("baseline: %s (%s)\n", path, old.Date)
+	var failures []string
+	compared := 0
+	for _, r := range fresh.Benchmarks {
+		b, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("  %-50s  new benchmark (no baseline row)\n", r.Name)
+			continue
+		}
+		compared++
+		nsDelta := pctDelta(b.NsPerOp, r.NsPerOp)
+		allocDelta := pctDelta(float64(b.AllocsPerOp), float64(r.AllocsPerOp))
+		gated := gateRe.MatchString(r.Name)
+		marker := " "
+		nsBad := b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+*threshold)
+		allocBad := b.AllocsPerOp > 0 && float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+*threshold)
+		if gated && (nsBad || allocBad) {
+			marker = "!"
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/op %.0f -> %.0f (%+.1f%%), allocs/op %d -> %d (%+.1f%%)",
+				r.Name, b.NsPerOp, r.NsPerOp, nsDelta, b.AllocsPerOp, r.AllocsPerOp, allocDelta))
+		}
+		fmt.Printf("%s %-50s  ns/op %12.0f -> %12.0f (%+7.1f%%)   allocs/op %8d -> %8d (%+7.1f%%)\n",
+			marker, r.Name, b.NsPerOp, r.NsPerOp, nsDelta, b.AllocsPerOp, r.AllocsPerOp, allocDelta)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: no overlapping benchmark rows with the baseline")
+		os.Exit(2)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchcompare: %d gated regression(s) beyond %.0f%%:\n", len(failures), *threshold*100)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcompare: %d rows compared, no gated regressions beyond %.0f%%\n", compared, *threshold*100)
+}

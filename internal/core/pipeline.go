@@ -42,6 +42,10 @@ func (s RouteRecoverStage) ApplyContext(ctx context.Context, ds *Dataset) error 
 	if s.Graph == nil || s.Snapper == nil {
 		return nil
 	}
+	// Prewarm the compiled query engine (CSR build + ALT tables) before
+	// matching, so data-parallel shards share one ready engine instead
+	// of serializing on its lazy first-use build.
+	s.Graph.Engine()
 	failed := 0
 	var last error
 	for i, tr := range ds.Trajectories {

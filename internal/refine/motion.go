@@ -13,11 +13,35 @@ import (
 // Kalman is a constant-velocity Kalman filter over planar position
 // observations: state [x y vx vy], position-only measurements. It is
 // the canonical Bayes-filter instance of motion-based LR.
+//
+// All per-step temporaries live in a scratch block allocated once with
+// the filter, so Predict/Update run allocation-free in steady state. A
+// Kalman value is not safe for concurrent use (create one per
+// trajectory, as the trajectory-level helpers do).
 type Kalman struct {
-	x *stats.Matrix // 4x1 state
-	p *stats.Matrix // 4x4 covariance
-	q float64       // process-noise intensity (acceleration PSD)
-	r float64       // measurement noise stddev (meters)
+	x   *stats.Matrix // 4x1 state
+	p   *stats.Matrix // 4x4 covariance
+	q   float64       // process-noise intensity (acceleration PSD)
+	r   float64       // measurement noise stddev (meters)
+	scr kalmanScratch
+}
+
+// kalmanScratch holds the constant model matrices and reusable
+// temporaries for one filter.
+type kalmanScratch struct {
+	f, ft      *stats.Matrix // 4x4 transition and its transpose
+	qn         *stats.Matrix // 4x4 process noise
+	i4         *stats.Matrix // 4x4 identity
+	t44a, t44b *stats.Matrix // 4x4 temporaries
+	h          *stats.Matrix // 2x4 measurement model (constant)
+	ht         *stats.Matrix // 4x2 its transpose (constant)
+	hp         *stats.Matrix // 2x4 h*p
+	pht, gain  *stats.Matrix // 4x2
+	rm         *stats.Matrix // 2x2 measurement noise (constant)
+	s, sInv    *stats.Matrix // 2x2 innovation covariance and inverse
+	t22        *stats.Matrix // 2x2 inversion workspace
+	y, gy      *stats.Matrix // 2x1 residual, 4x1 correction
+	x1         *stats.Matrix // 4x1 temporary
 }
 
 // NewKalman returns a filter initialized at pos with zero velocity,
@@ -34,28 +58,58 @@ func NewKalman(pos geo.Point, q, r float64) *Kalman {
 	x.Set(0, 0, pos.X)
 	x.Set(1, 0, pos.Y)
 	p := stats.Identity(4).ScaleBy(100)
-	return &Kalman{x: x, p: p, q: q, r: r}
+	k := &Kalman{x: x, p: p, q: q, r: r}
+	s := &k.scr
+	s.f = stats.NewMatrix(4, 4)
+	s.ft = stats.NewMatrix(4, 4)
+	s.qn = stats.NewMatrix(4, 4)
+	s.i4 = stats.Identity(4)
+	s.t44a = stats.NewMatrix(4, 4)
+	s.t44b = stats.NewMatrix(4, 4)
+	s.h = stats.MatrixFrom(2, 4,
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+	)
+	s.ht = s.h.Transpose()
+	s.hp = stats.NewMatrix(2, 4)
+	s.pht = stats.NewMatrix(4, 2)
+	s.gain = stats.NewMatrix(4, 2)
+	s.rm = stats.Identity(2).ScaleBy(r * r)
+	s.s = stats.NewMatrix(2, 2)
+	s.sInv = stats.NewMatrix(2, 2)
+	s.t22 = stats.NewMatrix(2, 2)
+	s.y = stats.NewMatrix(2, 1)
+	s.gy = stats.NewMatrix(4, 1)
+	s.x1 = stats.NewMatrix(4, 1)
+	return k
 }
 
-func cvTransition(dt float64) *stats.Matrix {
-	return stats.MatrixFrom(4, 4,
+// cvTransitionInto fills f with the constant-velocity transition for a
+// dt-second step.
+func cvTransitionInto(f *stats.Matrix, dt float64) {
+	copy(f.Data, []float64{
 		1, 0, dt, 0,
 		0, 1, 0, dt,
 		0, 0, 1, 0,
 		0, 0, 0, 1,
-	)
+	})
 }
 
-func cvProcessNoise(dt, q float64) *stats.Matrix {
+// cvProcessNoiseInto fills qn with the white-acceleration process
+// noise for a dt-second step at intensity q.
+func cvProcessNoiseInto(qn *stats.Matrix, dt, q float64) {
 	dt2 := dt * dt
 	dt3 := dt2 * dt / 3
 	half := dt2 / 2
-	return stats.MatrixFrom(4, 4,
+	copy(qn.Data, []float64{
 		dt3, 0, half, 0,
 		0, dt3, 0, half,
 		half, 0, dt, 0,
 		0, half, 0, dt,
-	).ScaleBy(q)
+	})
+	for i := range qn.Data {
+		qn.Data[i] *= q
+	}
 }
 
 // Predict advances the state dt seconds without a measurement.
@@ -63,27 +117,39 @@ func (k *Kalman) Predict(dt float64) {
 	if dt <= 0 {
 		return
 	}
-	f := cvTransition(dt)
-	k.x = f.Mul(k.x)
-	k.p = f.Mul(k.p).Mul(f.Transpose()).Add(cvProcessNoise(dt, k.q))
+	s := &k.scr
+	cvTransitionInto(s.f, dt)
+	stats.MulInto(s.x1, s.f, k.x)
+	k.x.CopyFrom(s.x1)
+	// p = f*p*f' + Q, evaluated in the same order as the allocating
+	// form so results stay bit-identical.
+	stats.MulInto(s.t44a, s.f, k.p)
+	stats.TransposeInto(s.ft, s.f)
+	stats.MulInto(s.t44b, s.t44a, s.ft)
+	cvProcessNoiseInto(s.qn, dt, k.q)
+	stats.AddInto(k.p, s.t44b, s.qn)
 }
 
 // Update folds in a position observation.
 func (k *Kalman) Update(obs geo.Point) {
-	h := stats.MatrixFrom(2, 4,
-		1, 0, 0, 0,
-		0, 1, 0, 0,
-	)
-	rm := stats.Identity(2).ScaleBy(k.r * k.r)
-	y := stats.MatrixFrom(2, 1, obs.X-k.x.At(0, 0), obs.Y-k.x.At(1, 0))
-	s := h.Mul(k.p).Mul(h.Transpose()).Add(rm)
-	sInv, err := s.Inverse()
-	if err != nil {
+	s := &k.scr
+	s.y.Data[0] = obs.X - k.x.At(0, 0)
+	s.y.Data[1] = obs.Y - k.x.At(1, 0)
+	stats.MulInto(s.hp, s.h, k.p)
+	stats.MulInto(s.s, s.hp, s.ht)
+	stats.AddInto(s.s, s.s, s.rm)
+	if err := stats.InverseInto(s.sInv, s.s, s.t22); err != nil {
 		return // degenerate covariance: skip the update
 	}
-	gain := k.p.Mul(h.Transpose()).Mul(sInv)
-	k.x = k.x.Add(gain.Mul(y))
-	k.p = stats.Identity(4).Sub(gain.Mul(h)).Mul(k.p)
+	stats.MulInto(s.pht, k.p, s.ht)
+	stats.MulInto(s.gain, s.pht, s.sInv)
+	stats.MulInto(s.gy, s.gain, s.y)
+	stats.AddInto(k.x, k.x, s.gy)
+	// p = (I - gain*h) * p
+	stats.MulInto(s.t44a, s.gain, s.h)
+	stats.SubInto(s.t44a, s.i4, s.t44a)
+	stats.MulInto(s.t44b, s.t44a, k.p)
+	k.p.CopyFrom(s.t44b)
 }
 
 // Step performs Predict(dt) then Update(obs) and returns the position.
@@ -103,8 +169,9 @@ func (k *Kalman) Velocity() geo.Point { return geo.Pt(k.x.At(2, 0), k.x.At(3, 0)
 // the predicted position dt seconds ahead, without mutating the filter.
 // Prediction-based outlier detection uses this as its test statistic.
 func (k *Kalman) Innovation(dt float64, obs geo.Point) float64 {
-	f := cvTransition(dt)
-	pred := f.Mul(k.x)
+	s := &k.scr
+	cvTransitionInto(s.f, dt)
+	pred := stats.MulInto(s.x1, s.f, k.x)
 	return obs.Dist(geo.Pt(pred.At(0, 0), pred.At(1, 0)))
 }
 
@@ -117,6 +184,7 @@ func KalmanFilterTrajectory(tr *trajectory.Trajectory, q, r float64) *trajectory
 	}
 	k := NewKalman(tr.Points[0].Pos, q, r)
 	prevT := tr.Points[0].T
+	out.Points = make([]trajectory.Point, 0, tr.Len())
 	for i, p := range tr.Points {
 		if i == 0 {
 			k.Update(p.Pos)
@@ -130,20 +198,22 @@ func KalmanFilterTrajectory(tr *trajectory.Trajectory, q, r float64) *trajectory
 }
 
 // rtsStep is one time step of the forward Kalman pass retained for the
-// backward RTS smoother.
+// backward RTS smoother. State and covariance snapshots are stored in
+// inline arrays (state dimension is fixed at 4), so retaining a step
+// allocates nothing beyond the pooled step slice itself.
 type rtsStep struct {
-	xPred, pPred *stats.Matrix
-	xFilt, pFilt *stats.Matrix
-	f            *stats.Matrix
+	xPred, xFilt [4]float64
+	pPred, pFilt [16]float64
+	f            [16]float64
 }
 
-// The smoother's per-call scratch (one step record and two smoothed
-// state slots per point) is pooled: smoothing runs once per trajectory
-// per pipeline attempt. Entries are cleared on return so pooled slices
-// never pin matrices.
+// The smoother's per-call scratch (one step record per point plus the
+// smoothed state/covariance buffers) is pooled: smoothing runs once
+// per trajectory per pipeline attempt. rtsStep holds no pointers, so
+// pooled slices pin nothing between uses.
 var (
-	stepsPool = sync.Pool{New: func() any { return new([]rtsStep) }}
-	matsPool  = sync.Pool{New: func() any { return new([]*stats.Matrix) }}
+	stepsPool  = sync.Pool{New: func() any { return new([]rtsStep) }}
+	floatsPool = sync.Pool{New: func() any { return new([]float64) }}
 )
 
 func getSteps(n int) *[]rtsStep {
@@ -156,27 +226,25 @@ func getSteps(n int) *[]rtsStep {
 }
 
 func putSteps(p *[]rtsStep) {
-	for i := range *p {
-		(*p)[i] = rtsStep{}
-	}
 	stepsPool.Put(p)
 }
 
-func getMats(n int) *[]*stats.Matrix {
-	p := matsPool.Get().(*[]*stats.Matrix)
+func getFloats(n int) *[]float64 {
+	p := floatsPool.Get().(*[]float64)
 	if cap(*p) < n {
-		*p = make([]*stats.Matrix, n)
+		*p = make([]float64, n)
 	}
 	*p = (*p)[:n]
 	return p
 }
 
-func putMats(p *[]*stats.Matrix) {
-	for i := range *p {
-		(*p)[i] = nil
-	}
-	matsPool.Put(p)
+func putFloats(p *[]float64) {
+	floatsPool.Put(p)
 }
+
+// mat41 and mat44 wrap a scratch slice as a fixed-shape matrix view.
+func mat41(d []float64) stats.Matrix { return stats.Matrix{Rows: 4, Cols: 1, Data: d} }
+func mat44(d []float64) stats.Matrix { return stats.Matrix{Rows: 4, Cols: 4, Data: d} }
 
 // KalmanSmoothTrajectory runs a forward pass followed by a
 // Rauch-Tung-Striebel backward smoother, producing the non-causal MAP
@@ -194,44 +262,80 @@ func KalmanSmoothTrajectory(tr *trajectory.Trajectory, q, r float64) *trajectory
 	k := NewKalman(tr.Points[0].Pos, q, r)
 	prevT := tr.Points[0].T
 	for i, p := range tr.Points {
-		var f *stats.Matrix
+		st := &steps[i]
 		if i == 0 {
-			f = stats.Identity(4)
+			f := mat44(st.f[:])
+			stats.IdentityInto(&f)
 		} else {
 			dt := math.Max(p.T-prevT, 1e-9)
-			f = cvTransition(dt)
+			f := mat44(st.f[:])
+			cvTransitionInto(&f, dt)
 			k.Predict(dt)
 		}
-		steps[i].xPred = k.x.Clone()
-		steps[i].pPred = k.p.Clone()
-		steps[i].f = f
+		copy(st.xPred[:], k.x.Data)
+		copy(st.pPred[:], k.p.Data)
 		k.Update(p.Pos)
-		steps[i].xFilt = k.x.Clone()
-		steps[i].pFilt = k.p.Clone()
+		copy(st.xFilt[:], k.x.Data)
+		copy(st.pFilt[:], k.p.Data)
 		prevT = p.T
 	}
-	// Backward RTS pass.
-	xsP, psP := getMats(n), getMats(n)
-	defer putMats(xsP)
-	defer putMats(psP)
+	// Backward RTS pass. Smoothed states/covariances live in pooled
+	// flat buffers viewed as 4x1 / 4x4 matrices; the loop temporaries
+	// are allocated once per call.
+	xsP, psP := getFloats(n*4), getFloats(n*16)
+	defer putFloats(xsP)
+	defer putFloats(psP)
 	xs, ps := *xsP, *psP
-	xs[n-1] = steps[n-1].xFilt
-	ps[n-1] = steps[n-1].pFilt
+	xrow := func(i int) []float64 { return xs[i*4 : (i+1)*4] }
+	prow := func(i int) []float64 { return ps[i*16 : (i+1)*16] }
+	copy(xrow(n-1), steps[n-1].xFilt[:])
+	copy(prow(n-1), steps[n-1].pFilt[:])
+	predInv := stats.NewMatrix(4, 4)
+	invScratch := stats.NewMatrix(4, 4)
+	ft := stats.NewMatrix(4, 4)
+	c := stats.NewMatrix(4, 4)
+	ct := stats.NewMatrix(4, 4)
+	t44a := stats.NewMatrix(4, 4)
+	t44b := stats.NewMatrix(4, 4)
+	d41 := stats.NewMatrix(4, 1)
+	e41 := stats.NewMatrix(4, 1)
 	for i := n - 2; i >= 0; i-- {
-		predInv, err := steps[i+1].pPred.Inverse()
-		if err != nil {
-			xs[i] = steps[i].xFilt
-			ps[i] = steps[i].pFilt
+		next := &steps[i+1]
+		st := &steps[i]
+		pPred := mat44(next.pPred[:])
+		if err := stats.InverseInto(predInv, &pPred, invScratch); err != nil {
+			copy(xrow(i), st.xFilt[:])
+			copy(prow(i), st.pFilt[:])
 			continue
 		}
-		c := steps[i].pFilt.Mul(steps[i+1].f.Transpose()).Mul(predInv)
-		xs[i] = steps[i].xFilt.Add(c.Mul(xs[i+1].Sub(steps[i+1].xPred)))
-		ps[i] = steps[i].pFilt.Add(c.Mul(ps[i+1].Sub(steps[i+1].pPred)).Mul(c.Transpose()))
+		// c = pFilt * f' * predInv
+		f := mat44(next.f[:])
+		pFilt := mat44(st.pFilt[:])
+		stats.TransposeInto(ft, &f)
+		stats.MulInto(t44a, &pFilt, ft)
+		stats.MulInto(c, t44a, predInv)
+		// xs[i] = xFilt + c * (xs[i+1] - xPred)
+		xNext := mat41(xrow(i + 1))
+		xPred := mat41(next.xPred[:])
+		stats.SubInto(d41, &xNext, &xPred)
+		stats.MulInto(e41, c, d41)
+		xFilt := mat41(st.xFilt[:])
+		xCur := mat41(xrow(i))
+		stats.AddInto(&xCur, &xFilt, e41)
+		// ps[i] = pFilt + c * (ps[i+1] - pPred) * c'
+		pNext := mat44(prow(i + 1))
+		stats.SubInto(t44a, &pNext, &pPred)
+		stats.MulInto(t44b, c, t44a)
+		stats.TransposeInto(ct, c)
+		stats.MulInto(t44a, t44b, ct)
+		pCur := mat44(prow(i))
+		stats.AddInto(&pCur, &pFilt, t44a)
 	}
+	out.Points = make([]trajectory.Point, 0, n)
 	for i, p := range tr.Points {
 		out.Points = append(out.Points, trajectory.Point{
 			T:   p.T,
-			Pos: geo.Pt(xs[i].At(0, 0), xs[i].At(1, 0)),
+			Pos: geo.Pt(xs[i*4], xs[i*4+1]),
 		})
 	}
 	return out
@@ -441,6 +545,16 @@ func (h *HMMGrid) Step(dt float64, obs geo.Point) geo.Point {
 	return geo.Pt(mx, my)
 }
 
+// diffuseScratch pools the per-step kernel and intermediate grid used
+// by HMMGrid.diffuse, mirroring how KalmanSmoothTrajectory pools its
+// rtsStep slices: each Step would otherwise allocate a full grid copy.
+type diffuseScratch struct {
+	kernel []float64
+	tmp    []float64
+}
+
+var diffusePool = sync.Pool{New: func() any { return new(diffuseScratch) }}
+
 // diffuse spreads probability to neighbors with a Gaussian kernel of
 // stddev speedSigma*dt, truncated at 3 sigma.
 func (h *HMMGrid) diffuse(dt float64) {
@@ -452,8 +566,13 @@ func (h *HMMGrid) diffuse(dt float64) {
 	if radius > 6 {
 		radius = 6
 	}
+	scr := diffusePool.Get().(*diffuseScratch)
+	defer diffusePool.Put(scr)
 	// Separable 1D kernel.
-	kernel := make([]float64, 2*radius+1)
+	if cap(scr.kernel) < 2*radius+1 {
+		scr.kernel = make([]float64, 2*radius+1)
+	}
+	kernel := scr.kernel[:2*radius+1]
 	var ksum float64
 	for k := -radius; k <= radius; k++ {
 		d := float64(k) * h.cell
@@ -464,7 +583,10 @@ func (h *HMMGrid) diffuse(dt float64) {
 		kernel[i] /= ksum
 	}
 	// Horizontal then vertical pass.
-	tmp := make([]float64, len(h.probs))
+	if cap(scr.tmp) < len(h.probs) {
+		scr.tmp = make([]float64, len(h.probs))
+	}
+	tmp := scr.tmp[:len(h.probs)]
 	for y := 0; y < h.ny; y++ {
 		for x := 0; x < h.nx; x++ {
 			var v float64

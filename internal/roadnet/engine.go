@@ -1,0 +1,471 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sidq/internal/geo"
+)
+
+// Engine is the compiled road-network query engine: a flattened CSR
+// (compressed sparse row) snapshot of a Graph's adjacency, plus ALT
+// landmark tables, a pooled set of epoch-stamped search scratch arrays,
+// and a sharded route cache. It is built once per graph revision (see
+// Graph.Engine) and is safe for concurrent queries from many
+// goroutines: every search borrows a private scratch from a pool, and
+// the route cache is internally synchronized.
+//
+// All distances are exact: Engine searches relax edges in the same
+// order, with the same float64 arithmetic and the same heap
+// tie-breaking, as the legacy per-query Dijkstra, so path and distance
+// results are byte-identical — only the constant factors change.
+type Engine struct {
+	// CSR adjacency: the out-edges of node u occupy slots
+	// off[u]..off[u+1] in to/eid/w, preserving Graph adjacency order.
+	off []int32
+	to  []int32   // target node per slot
+	eid []int32   // edge id per slot
+	w   []float64 // edge length per slot
+
+	pos   []geo.Point // node positions (snapshot, for heuristics)
+	efrom []int32     // edge id -> source node (for path reconstruction)
+	eto   []int32     // edge id -> target node
+	elen  []float64   // edge id -> length
+
+	alt *altData // landmark lower-bound tables (nil for tiny graphs)
+
+	cache   *RouteCache
+	scratch sync.Pool // *searchScratch
+}
+
+// newEngine compiles g. The graph must not be mutated while the engine
+// is in use (Graph.AddNode/AddEdge invalidate the cached engine).
+func newEngine(g *Graph) *Engine {
+	n := len(g.nodes)
+	m := len(g.edges)
+	e := &Engine{
+		off:   make([]int32, n+1),
+		to:    make([]int32, 0, m),
+		eid:   make([]int32, 0, m),
+		w:     make([]float64, 0, m),
+		pos:   make([]geo.Point, n),
+		efrom: make([]int32, m),
+		eto:   make([]int32, m),
+		elen:  make([]float64, m),
+	}
+	for i, nd := range g.nodes {
+		e.pos[i] = nd.Pos
+	}
+	for i, ed := range g.edges {
+		e.efrom[i] = int32(ed.From)
+		e.eto[i] = int32(ed.To)
+		e.elen[i] = ed.Length
+	}
+	for u := 0; u < n; u++ {
+		e.off[u] = int32(len(e.to))
+		for _, id := range g.out[u] {
+			ed := g.edges[id]
+			e.to = append(e.to, int32(ed.To))
+			e.eid = append(e.eid, int32(id))
+			e.w = append(e.w, ed.Length)
+		}
+	}
+	e.off[n] = int32(len(e.to))
+	e.scratch.New = func() any { return newSearchScratch(n) }
+	e.alt = buildALT(e)
+	e.cache = NewRouteCache(routeCacheCapacity(m))
+	return e
+}
+
+// routeCacheCapacity sizes the default route cache to the graph: enough
+// to hold the working set of a map-matching pass without letting huge
+// graphs pin unbounded memory.
+func routeCacheCapacity(numEdges int) int {
+	c := 8 * numEdges
+	if c < 1024 {
+		c = 1024
+	}
+	if c > 1<<16 {
+		c = 1 << 16
+	}
+	return c
+}
+
+// NumNodes returns the node count of the compiled snapshot.
+func (e *Engine) NumNodes() int { return len(e.pos) }
+
+// Cache returns the engine's route cache (never nil).
+func (e *Engine) Cache() *RouteCache { return e.cache }
+
+// searchScratch is the per-search state, reused across queries via the
+// engine pool. Validity of dist/prev entries is tracked by epoch
+// stamps, so starting a new search is O(1) — no clearing, no per-query
+// allocation.
+type searchScratch struct {
+	dist   []float64
+	prev   []int32  // best incoming edge id, -1 = none
+	seen   []uint32 // epoch when dist/prev became valid
+	done   []uint32 // epoch when the node was settled
+	target []uint32 // epoch marks for ManyDist target membership
+	epoch  uint32
+	heap   nodeHeap
+}
+
+func newSearchScratch(n int) *searchScratch {
+	return &searchScratch{
+		dist:   make([]float64, n),
+		prev:   make([]int32, n),
+		seen:   make([]uint32, n),
+		done:   make([]uint32, n),
+		target: make([]uint32, n),
+	}
+}
+
+// begin starts a new search epoch, handling uint32 wraparound.
+func (s *searchScratch) begin() {
+	if s.epoch == math.MaxUint32 {
+		for i := range s.seen {
+			s.seen[i] = 0
+			s.done[i] = 0
+			s.target[i] = 0
+		}
+		s.epoch = 0
+	}
+	s.epoch++
+	s.heap.reset()
+}
+
+func (s *searchScratch) distOf(v int32) float64 {
+	if s.seen[v] == s.epoch {
+		return s.dist[v]
+	}
+	return math.Inf(1)
+}
+
+func (e *Engine) getScratch() *searchScratch {
+	s := e.scratch.Get().(*searchScratch)
+	if len(s.dist) < len(e.pos) { // defensive; pool is per-engine
+		s = newSearchScratch(len(e.pos))
+	}
+	return s
+}
+
+func (e *Engine) putScratch(s *searchScratch) { e.scratch.Put(s) }
+
+func (e *Engine) badNodes(a, b NodeID) bool {
+	return int(a) >= len(e.pos) || int(b) >= len(e.pos) || a < 0 || b < 0
+}
+
+// route runs the heap search from a to b with heuristic h (nil for
+// Dijkstra) and reconstructs the path. It replicates the legacy search
+// loop exactly — same relaxation order, same strict-improvement rule,
+// same heap tie-breaking — so results are byte-identical to it.
+func (e *Engine) route(a, b NodeID, h func(int32) float64) (Path, error) {
+	if e.badNodes(a, b) {
+		return Path{}, fmt.Errorf("roadnet: search bad nodes %d->%d (have %d): %w", a, b, len(e.pos), ErrNoPath)
+	}
+	s := e.getScratch()
+	defer e.putScratch(s)
+	s.begin()
+	src, dst := int32(a), int32(b)
+	s.dist[src] = 0
+	s.prev[src] = -1
+	s.seen[src] = s.epoch
+	if h != nil {
+		s.heap.push(src, h(src))
+	} else {
+		s.heap.push(src, 0)
+	}
+	for s.heap.len() > 0 {
+		cur := s.heap.pop()
+		if s.done[cur.node] == s.epoch {
+			continue
+		}
+		s.done[cur.node] = s.epoch
+		if cur.node == dst {
+			break
+		}
+		d := s.dist[cur.node]
+		for i := e.off[cur.node]; i < e.off[cur.node+1]; i++ {
+			v := e.to[i]
+			if s.done[v] == s.epoch {
+				continue
+			}
+			nd := d + e.w[i]
+			if nd < s.distOf(v) {
+				s.dist[v] = nd
+				s.prev[v] = e.eid[i]
+				s.seen[v] = s.epoch
+				if h != nil {
+					s.heap.push(v, nd+h(v))
+				} else {
+					s.heap.push(v, nd)
+				}
+			}
+		}
+	}
+	if math.IsInf(s.distOf(dst), 1) {
+		return Path{}, fmt.Errorf("roadnet: %d -> %d: %w", a, b, ErrNoPath)
+	}
+	// Reconstruct (same construction as the legacy search).
+	var edges []EdgeID
+	nodes := []NodeID{b}
+	for cur := dst; cur != src; {
+		eid := s.prev[cur]
+		edges = append(edges, EdgeID(eid))
+		cur = e.efrom[eid]
+		nodes = append(nodes, NodeID(cur))
+	}
+	reverseEdges(edges)
+	reverseNodes(nodes)
+	return Path{Nodes: nodes, Edges: edges, Dist: s.dist[dst]}, nil
+}
+
+// ShortestPath returns the minimum-length path from a to b (Dijkstra).
+func (e *Engine) ShortestPath(a, b NodeID) (Path, error) {
+	return e.route(a, b, nil)
+}
+
+// AStar returns the minimum-length path from a to b using A* under the
+// max of the Euclidean heuristic and the ALT (A*, landmarks, triangle
+// inequality) lower bounds. Both are admissible and consistent, so the
+// returned distance equals Dijkstra's.
+func (e *Engine) AStar(a, b NodeID) (Path, error) {
+	if e.badNodes(a, b) {
+		return Path{}, fmt.Errorf("roadnet: search bad nodes %d->%d (have %d): %w", a, b, len(e.pos), ErrNoPath)
+	}
+	return e.route(a, b, e.heuristic(int32(b)))
+}
+
+// heuristic returns the admissible lower-bound function toward dst.
+func (e *Engine) heuristic(dst int32) func(int32) float64 {
+	goal := e.pos[dst]
+	if e.alt == nil {
+		return func(v int32) float64 { return e.pos[v].Dist(goal) }
+	}
+	alt := e.alt
+	return func(v int32) float64 {
+		h := e.pos[v].Dist(goal)
+		if lb := alt.lowerBound(v, dst); lb > h {
+			h = lb
+		}
+		return h
+	}
+}
+
+// Dist returns the shortest network distance from a to b without
+// reconstructing the path (and therefore without allocating). The
+// value is identical to ShortestPath(a, b).Dist.
+func (e *Engine) Dist(a, b NodeID) (float64, error) {
+	if e.badNodes(a, b) {
+		return 0, fmt.Errorf("roadnet: search bad nodes %d->%d (have %d): %w", a, b, len(e.pos), ErrNoPath)
+	}
+	s := e.getScratch()
+	defer e.putScratch(s)
+	e.manyDist(s, int32(a), func(mark func(int32)) { mark(int32(b)) }, math.Inf(1), nil)
+	if s.done[int32(b)] != s.epoch {
+		return 0, fmt.Errorf("roadnet: %d -> %d: %w", a, b, ErrNoPath)
+	}
+	return s.dist[int32(b)], nil
+}
+
+// ManyDist computes the shortest network distance from source to every
+// target in one truncated Dijkstra sweep, writing the distances into
+// out (which must have len(targets)). Unreachable targets — and, when
+// maxCost is finite, targets farther than maxCost — get +Inf. It
+// returns the number of targets reached.
+//
+// The search stops as soon as all distinct targets are settled or the
+// frontier exceeds maxCost, so K nearby targets cost roughly one
+// bounded search instead of K full ones. Distances are exactly the
+// values ShortestPath would return: truncation only replaces values
+// that would exceed maxCost with +Inf.
+func (e *Engine) ManyDist(source NodeID, targets []NodeID, maxCost float64, out []float64) int {
+	if len(out) < len(targets) {
+		panic("roadnet: ManyDist out slice too short")
+	}
+	if int(source) >= len(e.pos) || source < 0 {
+		for i := range targets {
+			out[i] = math.Inf(1)
+		}
+		return 0
+	}
+	s := e.getScratch()
+	defer e.putScratch(s)
+	e.manyDist(s, int32(source), func(mark func(int32)) {
+		for _, t := range targets {
+			if int(t) < len(e.pos) && t >= 0 {
+				mark(int32(t))
+			}
+		}
+	}, maxCost, nil)
+	reached := 0
+	inf := math.Inf(1)
+	for i, t := range targets {
+		if int(t) < len(e.pos) && t >= 0 && s.done[int32(t)] == s.epoch {
+			out[i] = s.dist[int32(t)]
+			reached++
+		} else {
+			out[i] = inf
+		}
+	}
+	return reached
+}
+
+// manyDist is the shared truncated one-to-many sweep. markTargets is
+// called once with a mark function to stamp target nodes; the sweep
+// stops when every distinct marked node is settled or the frontier
+// passes maxCost. onSettle, if non-nil, observes every settled target.
+// After return, s.done/s.dist (at s.epoch) hold the settled set.
+func (e *Engine) manyDist(s *searchScratch, src int32, markTargets func(mark func(int32)), maxCost float64, onSettle func(node int32, d float64)) int {
+	s.begin()
+	remaining := 0
+	markTargets(func(t int32) {
+		if s.target[t] != s.epoch {
+			s.target[t] = s.epoch
+			remaining++
+		}
+	})
+	settled := 0
+	if remaining == 0 {
+		return 0
+	}
+	s.dist[src] = 0
+	s.prev[src] = -1
+	s.seen[src] = s.epoch
+	s.heap.push(src, 0)
+	bounded := !math.IsInf(maxCost, 1)
+	for s.heap.len() > 0 {
+		cur := s.heap.pop()
+		if s.done[cur.node] == s.epoch {
+			continue
+		}
+		if bounded && cur.prio > maxCost {
+			break // frontier is monotone: nothing closer remains
+		}
+		s.done[cur.node] = s.epoch
+		if s.target[cur.node] == s.epoch {
+			settled++
+			if onSettle != nil {
+				onSettle(cur.node, s.dist[cur.node])
+			}
+			if settled == remaining {
+				break
+			}
+		}
+		d := s.dist[cur.node]
+		for i := e.off[cur.node]; i < e.off[cur.node+1]; i++ {
+			v := e.to[i]
+			if s.done[v] == s.epoch {
+				continue
+			}
+			nd := d + e.w[i]
+			if nd < s.distOf(v) {
+				s.dist[v] = nd
+				s.prev[v] = e.eid[i]
+				s.seen[v] = s.epoch
+				s.heap.push(v, nd)
+			}
+		}
+	}
+	return settled
+}
+
+// SnapDists fills out[j] with the network distance from snap a to each
+// snap in bs — the one-to-many replacement for per-pair NetworkDist in
+// map matching. Same-edge forward movement is measured along the edge;
+// all other pairs route a.Edge.To -> b.Edge.From through the route
+// cache, with cache misses resolved by a single bounded one-to-many
+// sweep. Pairs with no route (or beyond maxCost) get +Inf.
+//
+// out must have len(bs). The arithmetic matches NetworkDist exactly,
+// so substituting SnapDists for a NetworkDist loop cannot change
+// results, only cost.
+func (e *Engine) SnapDists(a Snap, bs []Snap, maxCost float64, out []float64) {
+	if len(out) < len(bs) {
+		panic("roadnet: SnapDists out slice too short")
+	}
+	u := e.eto[a.Edge]
+	rem := (1 - a.Param) * e.elen[a.Edge]
+	inf := math.Inf(1)
+	// Pass 1: same-edge shortcuts and cache hits; mark misses with NaN.
+	misses := 0
+	for j, b := range bs {
+		if b.Edge == a.Edge && b.Param >= a.Param {
+			out[j] = (b.Param - a.Param) * e.elen[a.Edge]
+			continue
+		}
+		v := e.efrom[b.Edge]
+		if d, ok, hit := e.cache.get(u, v); hit {
+			if ok {
+				out[j] = rem + d + b.Param*e.elen[b.Edge]
+			} else {
+				out[j] = inf
+			}
+			continue
+		}
+		out[j] = math.NaN()
+		misses++
+	}
+	if misses == 0 {
+		return
+	}
+	// Pass 2: one truncated sweep for all missing head nodes.
+	core := maxCost
+	if !math.IsInf(core, 1) {
+		core -= rem // param offsets are non-negative
+		if core < 0 {
+			core = 0
+		}
+	}
+	s := e.getScratch()
+	e.manyDist(s, u, func(mark func(int32)) {
+		for j, b := range bs {
+			if math.IsNaN(out[j]) {
+				mark(e.efrom[b.Edge])
+			}
+		}
+	}, core, nil)
+	for j, b := range bs {
+		if !math.IsNaN(out[j]) {
+			continue
+		}
+		v := e.efrom[b.Edge]
+		if s.done[v] == s.epoch {
+			d := s.dist[v]
+			e.cache.put(u, v, d, true)
+			out[j] = rem + d + b.Param*e.elen[b.Edge]
+		} else {
+			// Negative-cache definitive "no path" only for unbounded
+			// sweeps; a truncated sweep proves nothing about v.
+			if math.IsInf(maxCost, 1) {
+				e.cache.put(u, v, inf, false)
+			}
+			out[j] = inf
+		}
+	}
+	e.putScratch(s)
+}
+
+// NetworkDist is the engine-side single-pair form: the shortest network
+// distance between a position on edge ea (parameter ta) and one on eb
+// (parameter tb), routed through the endpoints and served from the
+// route cache with singleflight de-duplication.
+func (e *Engine) NetworkDist(ea EdgeID, ta float64, eb EdgeID, tb float64) (float64, error) {
+	if ea == eb && tb >= ta {
+		return (tb - ta) * e.elen[ea], nil
+	}
+	u, v := e.eto[ea], e.efrom[eb]
+	d, ok := e.cache.getOrCompute(u, v, func() (float64, bool) {
+		dd, err := e.Dist(NodeID(u), NodeID(v))
+		if err != nil {
+			return math.Inf(1), false
+		}
+		return dd, true
+	})
+	if !ok {
+		return 0, fmt.Errorf("roadnet: %d -> %d: %w", NodeID(u), NodeID(v), ErrNoPath)
+	}
+	return (1-ta)*e.elen[ea] + d + tb*e.elen[eb], nil
+}

@@ -1,0 +1,164 @@
+package roadnet
+
+// Property tests for the compiled query engine: the CSR one-to-many
+// Dijkstra and path search must agree with a deliberately naive
+// map-based reference implementation (linear-scan frontier, no heap,
+// no CSR) across hundreds of seeded generator graphs, and the bounded
+// search must be exact below its cost budget and +Inf above it.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refDijkstra is the reference single-source shortest-distance solver:
+// hash maps and a linear frontier scan, structured like the package's
+// pre-engine implementation. Deliberately slow and obvious.
+func refDijkstra(g *Graph, src NodeID) map[NodeID]float64 {
+	dist := map[NodeID]float64{src: 0}
+	done := map[NodeID]bool{}
+	for {
+		best, bd := NodeID(-1), math.Inf(1)
+		for n, d := range dist {
+			if !done[n] && d < bd {
+				best, bd = n, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		done[best] = true
+		for _, eid := range g.OutEdges(best) {
+			e := g.Edge(eid)
+			nd := bd + e.Length
+			if cur, ok := dist[e.To]; !ok || nd < cur {
+				dist[e.To] = nd
+			}
+		}
+	}
+	return dist
+}
+
+func TestEngineMatchesReferenceDijkstra(t *testing.T) {
+	const graphs = 500
+	for trial := 0; trial < graphs; trial++ {
+		seed := int64(1000 + trial)
+		rng := rand.New(rand.NewSource(seed))
+		opt := GridCityOptions{
+			NX:         2 + rng.Intn(5),
+			NY:         2 + rng.Intn(5),
+			Spacing:    60 + rng.Float64()*120,
+			Jitter:     rng.Float64() * 15,
+			RemoveFrac: rng.Float64() * 0.4,
+			Seed:       seed,
+		}
+		g := GridCity(opt)
+		src := NodeID(rng.Intn(g.NumNodes()))
+		ref := refDijkstra(g, src)
+
+		targets := make([]NodeID, g.NumNodes())
+		for i := range targets {
+			targets[i] = NodeID(i)
+		}
+		got := make([]float64, len(targets))
+		reached := g.Engine().ManyDist(src, targets, math.Inf(1), got)
+		if reached != len(ref) {
+			t.Fatalf("trial %d: ManyDist reached %d nodes, reference reached %d", trial, reached, len(ref))
+		}
+		for i, tgt := range targets {
+			want, ok := ref[tgt]
+			if !ok {
+				want = math.Inf(1)
+			}
+			if got[i] != want && !(math.IsInf(got[i], 1) && math.IsInf(want, 1)) {
+				t.Fatalf("trial %d: d(%d,%d) = %v, reference %v", trial, src, tgt, got[i], want)
+			}
+		}
+
+		// Path search: distance agrees with the reference, the edge
+		// sequence is connected, and its length sums to Dist.
+		for probe := 0; probe < 5; probe++ {
+			dst := NodeID(rng.Intn(g.NumNodes()))
+			p, err := g.ShortestPath(src, dst)
+			want, reachable := ref[dst]
+			if !reachable {
+				if err == nil {
+					t.Fatalf("trial %d: ShortestPath(%d,%d) found a path, reference says unreachable", trial, src, dst)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d: ShortestPath(%d,%d): %v (reference dist %v)", trial, src, dst, err, want)
+			}
+			if p.Dist != want {
+				t.Fatalf("trial %d: ShortestPath(%d,%d).Dist = %v, reference %v", trial, src, dst, p.Dist, want)
+			}
+			var sum float64
+			for i, eid := range p.Edges {
+				e := g.Edge(eid)
+				if e.From != p.Nodes[i] || e.To != p.Nodes[i+1] {
+					t.Fatalf("trial %d: path edge %d (%d->%d) does not connect nodes %d->%d",
+						trial, eid, e.From, e.To, p.Nodes[i], p.Nodes[i+1])
+				}
+				sum += e.Length
+			}
+			if sum != p.Dist {
+				t.Fatalf("trial %d: path edge lengths sum to %v, Dist is %v", trial, sum, p.Dist)
+			}
+			// AStar (ALT + Euclidean heuristic) must return the same
+			// optimal distance.
+			ap, err := g.AStar(src, dst)
+			if err != nil || ap.Dist != want {
+				t.Fatalf("trial %d: AStar(%d,%d) = (%v, %v), reference %v", trial, src, dst, ap.Dist, err, want)
+			}
+		}
+	}
+}
+
+func TestManyDistBoundedSemantics(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		seed := int64(9000 + trial)
+		rng := rand.New(rand.NewSource(seed))
+		g := GridCity(GridCityOptions{
+			NX: 4 + rng.Intn(4), NY: 4 + rng.Intn(4),
+			Spacing: 100, Jitter: 5, RemoveFrac: 0.25, Seed: seed,
+		})
+		src := NodeID(rng.Intn(g.NumNodes()))
+		ref := refDijkstra(g, src)
+
+		// Bound at a mid-range finite distance: everything at or below
+		// the bound must be exact, everything above must be +Inf.
+		var finite []float64
+		for _, d := range ref {
+			finite = append(finite, d)
+		}
+		sort.Float64s(finite)
+		maxCost := finite[len(finite)/2]
+		targets := make([]NodeID, g.NumNodes())
+		for i := range targets {
+			targets[i] = NodeID(i)
+		}
+		out := make([]float64, len(targets))
+		reached := g.Engine().ManyDist(src, targets, maxCost, out)
+		wantReached := 0
+		for i, tgt := range targets {
+			want, ok := ref[tgt]
+			switch {
+			case ok && want <= maxCost:
+				wantReached++
+				if out[i] != want {
+					t.Fatalf("trial %d: bounded d(%d,%d) = %v, want exact %v (bound %v)", trial, src, tgt, out[i], want, maxCost)
+				}
+			default:
+				if !math.IsInf(out[i], 1) {
+					t.Fatalf("trial %d: d(%d,%d) = %v beyond bound %v, want +Inf (ref %v)", trial, src, tgt, out[i], maxCost, want)
+				}
+			}
+		}
+		if reached != wantReached {
+			t.Fatalf("trial %d: bounded ManyDist reported %d reached, want %d", trial, reached, wantReached)
+		}
+	}
+}

@@ -1,16 +1,31 @@
 // Package roadnet implements the road-network substrate used by
 // map-matching, route recovery, and network-constrained trajectory
-// compression: a directed graph embedded in the plane, shortest-path
-// search (Dijkstra and A*), nearest-edge snapping, and a deterministic
-// synthetic grid-city generator.
+// compression: a directed graph embedded in the plane, a compiled
+// query engine (CSR adjacency, one-to-many bounded Dijkstra, ALT
+// A*, sharded route cache — see Engine), nearest-edge snapping, and a
+// deterministic synthetic grid-city generator.
+//
+// # Mutation and aliasing contract
+//
+// Graph accessors that return slices — most importantly OutEdges —
+// return the graph's internal backing arrays, not copies. Callers must
+// treat them as read-only: appending to or writing through a returned
+// slice corrupts the adjacency structure and the compiled engine
+// snapshot. Build-then-query is the intended lifecycle: construct the
+// graph with AddNode/AddEdge, then query from any number of
+// goroutines. Queries are safe concurrently; mutating the graph
+// concurrently with queries is not. AddNode/AddEdge invalidate the
+// compiled engine (and its route cache), which is rebuilt lazily on
+// the next query.
 package roadnet
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"sidq/internal/geo"
 )
@@ -51,6 +66,12 @@ type Graph struct {
 	nodes []Node
 	edges []Edge
 	out   [][]EdgeID // adjacency: outgoing edges per node
+
+	// Compiled query engine, built lazily and invalidated by
+	// mutation. The mutex only guards engine (re)builds; queries load
+	// the pointer atomically.
+	engMu sync.Mutex
+	eng   atomic.Pointer[Engine]
 }
 
 // NewGraph returns an empty graph.
@@ -61,6 +82,7 @@ func (g *Graph) AddNode(pos geo.Point) NodeID {
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Pos: pos})
 	g.out = append(g.out, nil)
+	g.eng.Store(nil) // invalidate the compiled engine
 	return id
 }
 
@@ -80,6 +102,7 @@ func (g *Graph) AddEdge(a, b NodeID, speedCap float64) EdgeID {
 		SpeedCap: speedCap,
 	})
 	g.out[a] = append(g.out[a], id)
+	g.eng.Store(nil) // invalidate the compiled engine (and route cache)
 	return id
 }
 
@@ -100,8 +123,29 @@ func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
 // Edge returns the edge with the given id.
 func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
 
-// OutEdges returns the outgoing edge ids of node id.
+// OutEdges returns the outgoing edge ids of node id. The returned
+// slice aliases the graph's internal adjacency storage and MUST NOT be
+// appended to or modified — see the package-level mutation contract.
 func (g *Graph) OutEdges(id NodeID) []EdgeID { return g.out[id] }
+
+// Engine returns the compiled query engine for the graph's current
+// revision, building it on first use. The build compiles the CSR
+// adjacency snapshot, tabulates ALT landmarks, and allocates the route
+// cache; subsequent calls return the cached engine until the graph is
+// mutated. Safe to call from multiple goroutines.
+func (g *Graph) Engine() *Engine {
+	if e := g.eng.Load(); e != nil {
+		return e
+	}
+	g.engMu.Lock()
+	defer g.engMu.Unlock()
+	if e := g.eng.Load(); e != nil {
+		return e
+	}
+	e := newEngine(g)
+	g.eng.Store(e)
+	return e
+}
 
 // Bounds returns the bounding rectangle of all node positions.
 func (g *Graph) Bounds() geo.Rect {
@@ -129,69 +173,17 @@ func (g *Graph) Geometry(p Path) geo.Polyline {
 }
 
 // ShortestPath returns the minimum-length path from a to b using
-// Dijkstra's algorithm.
+// Dijkstra's algorithm on the compiled engine.
 func (g *Graph) ShortestPath(a, b NodeID) (Path, error) {
-	return g.search(a, b, func(geo.Point) float64 { return 0 })
+	return g.Engine().ShortestPath(a, b)
 }
 
-// AStar returns the minimum-length path from a to b using A* with the
-// Euclidean distance heuristic (admissible because edge lengths are
-// Euclidean node distances).
+// AStar returns the minimum-length path from a to b using A* under the
+// max of the Euclidean heuristic (admissible because edge lengths are
+// Euclidean node distances) and the engine's ALT landmark lower
+// bounds.
 func (g *Graph) AStar(a, b NodeID) (Path, error) {
-	goal := g.nodes[b].Pos
-	return g.search(a, b, func(p geo.Point) float64 { return p.Dist(goal) })
-}
-
-func (g *Graph) search(a, b NodeID, h func(geo.Point) float64) (Path, error) {
-	if int(a) >= len(g.nodes) || int(b) >= len(g.nodes) || a < 0 || b < 0 {
-		return Path{}, fmt.Errorf("roadnet: search bad nodes %d->%d: %w", a, b, ErrNoPath)
-	}
-	dist := make([]float64, len(g.nodes))
-	prevEdge := make([]EdgeID, len(g.nodes))
-	visited := make([]bool, len(g.nodes))
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prevEdge[i] = -1
-	}
-	dist[a] = 0
-	pq := &nodePQ{{node: a, priority: h(g.nodes[a].Pos)}}
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(nodePQItem)
-		if visited[cur.node] {
-			continue
-		}
-		visited[cur.node] = true
-		if cur.node == b {
-			break
-		}
-		for _, eid := range g.out[cur.node] {
-			e := g.edges[eid]
-			if visited[e.To] {
-				continue
-			}
-			nd := dist[cur.node] + e.Length
-			if nd < dist[e.To] {
-				dist[e.To] = nd
-				prevEdge[e.To] = eid
-				heap.Push(pq, nodePQItem{node: e.To, priority: nd + h(g.nodes[e.To].Pos)})
-			}
-		}
-	}
-	if math.IsInf(dist[b], 1) {
-		return Path{}, fmt.Errorf("roadnet: %d -> %d: %w", a, b, ErrNoPath)
-	}
-	// Reconstruct.
-	var edges []EdgeID
-	nodes := []NodeID{b}
-	for cur := b; cur != a; {
-		eid := prevEdge[cur]
-		edges = append(edges, eid)
-		cur = g.edges[eid].From
-		nodes = append(nodes, cur)
-	}
-	reverseEdges(edges)
-	reverseNodes(nodes)
-	return Path{Nodes: nodes, Edges: edges, Dist: dist[b]}, nil
+	return g.Engine().AStar(a, b)
 }
 
 func reverseEdges(s []EdgeID) {
@@ -204,25 +196,6 @@ func reverseNodes(s []NodeID) {
 	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
 		s[i], s[j] = s[j], s[i]
 	}
-}
-
-type nodePQItem struct {
-	node     NodeID
-	priority float64
-}
-
-type nodePQ []nodePQItem
-
-func (h nodePQ) Len() int            { return len(h) }
-func (h nodePQ) Less(i, j int) bool  { return h[i].priority < h[j].priority }
-func (h nodePQ) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodePQ) Push(x interface{}) { *h = append(*h, x.(nodePQItem)) }
-func (h *nodePQ) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
 }
 
 // GridCityOptions configures the synthetic city generator.

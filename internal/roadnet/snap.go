@@ -2,6 +2,7 @@ package roadnet
 
 import (
 	"math"
+	"sync"
 
 	"sidq/internal/geo"
 )
@@ -16,12 +17,39 @@ type Snap struct {
 
 // Snapper answers nearest-edge queries against a graph using a uniform
 // grid over edge bounding rectangles. Build once, query many times.
+// Queries are safe for concurrent use: per-query scratch (the
+// epoch-stamped dedup array and candidate buffers) is pooled.
 type Snapper struct {
 	g        *Graph
 	cellSize float64
 	bounds   geo.Rect
 	nx, ny   int
 	cells    [][]EdgeID
+	scratch  sync.Pool // *snapScratch
+}
+
+// snapScratch is the reusable per-query state: seen[eid] == epoch
+// marks an edge as already examined this query, so restarting a query
+// costs one counter increment instead of clearing (or reallocating)
+// the whole array.
+type snapScratch struct {
+	seen  []uint32
+	epoch uint32
+	ring  []EdgeID
+	snaps []Snap
+}
+
+func (s *Snapper) getScratch() *snapScratch {
+	scr, _ := s.scratch.Get().(*snapScratch)
+	if scr == nil {
+		scr = &snapScratch{seen: make([]uint32, s.g.NumEdges())}
+	}
+	scr.epoch++
+	if scr.epoch == 0 { // counter wrapped: stale marks are ambiguous
+		clear(scr.seen)
+		scr.epoch = 1
+	}
+	return scr
 }
 
 // NewSnapper builds a snapper with the given grid cell size (meters).
@@ -87,7 +115,8 @@ func (s *Snapper) Nearest(p geo.Point) (Snap, bool) {
 	if s.ny > maxRing {
 		maxRing = s.ny
 	}
-	seen := map[EdgeID]bool{}
+	scr := s.getScratch()
+	defer s.scratch.Put(scr)
 	for ring := 0; ring <= maxRing; ring++ {
 		if !math.IsInf(best.Dist, 1) {
 			minPossible := (float64(ring) - 1) * s.cellSize
@@ -95,11 +124,12 @@ func (s *Snapper) Nearest(p geo.Point) (Snap, bool) {
 				break
 			}
 		}
-		s.visitRing(cx, cy, ring, func(eid EdgeID) {
-			if seen[eid] {
-				return
+		scr.ring = s.ringEdges(cx, cy, ring, scr.ring[:0])
+		for _, eid := range scr.ring {
+			if scr.seen[eid] == scr.epoch {
+				continue
 			}
-			seen[eid] = true
+			scr.seen[eid] = scr.epoch
 			e := s.g.edges[eid]
 			seg := geo.Segment{A: s.g.nodes[e.From].Pos, B: s.g.nodes[e.To].Pos}
 			t := seg.ClosestParam(p)
@@ -107,7 +137,7 @@ func (s *Snapper) Nearest(p geo.Point) (Snap, bool) {
 			if d := pos.Dist(p); d < best.Dist {
 				best = Snap{Edge: eid, Param: t, Pos: pos, Dist: d}
 			}
-		})
+		}
 	}
 	return best, !math.IsInf(best.Dist, 1)
 }
@@ -121,9 +151,11 @@ func (s *Snapper) KNearest(p geo.Point, k int) []Snap {
 	}
 	// Collect candidate snaps by expanding rings until enough distinct
 	// edges have been seen and the ring lower bound exceeds the k-th
-	// best distance.
-	var snaps []Snap
-	seen := map[EdgeID]bool{}
+	// best distance. The working set lives in pooled scratch; only the
+	// returned k-slice is allocated.
+	scr := s.getScratch()
+	defer s.scratch.Put(scr)
+	snaps := scr.snaps[:0]
 	cx, cy := s.cellOf(p)
 	maxRing := s.nx
 	if s.ny > maxRing {
@@ -137,17 +169,18 @@ func (s *Snapper) KNearest(p geo.Point, k int) []Snap {
 				break
 			}
 		}
-		s.visitRing(cx, cy, ring, func(eid EdgeID) {
-			if seen[eid] {
-				return
+		scr.ring = s.ringEdges(cx, cy, ring, scr.ring[:0])
+		for _, eid := range scr.ring {
+			if scr.seen[eid] == scr.epoch {
+				continue
 			}
-			seen[eid] = true
+			scr.seen[eid] = scr.epoch
 			e := s.g.edges[eid]
 			seg := geo.Segment{A: s.g.nodes[e.From].Pos, B: s.g.nodes[e.To].Pos}
 			t := seg.ClosestParam(p)
 			pos := seg.Interpolate(t)
 			snaps = append(snaps, Snap{Edge: eid, Param: t, Pos: pos, Dist: pos.Dist(p)})
-		})
+		}
 		sortSnaps(snaps)
 		if len(snaps) > 4*k {
 			snaps = snaps[:4*k] // keep a buffer beyond k for later rings
@@ -156,40 +189,40 @@ func (s *Snapper) KNearest(p geo.Point, k int) []Snap {
 			kthDist = snaps[k-1].Dist
 		}
 	}
+	scr.snaps = snaps // return grown capacity to the pool
 	if len(snaps) > k {
 		snaps = snaps[:k]
 	}
-	return snaps
+	out := make([]Snap, len(snaps))
+	copy(out, snaps)
+	return out
 }
 
-// visitRing calls fn for each edge id stored in cells at Chebyshev
-// distance ring from (cx, cy).
-func (s *Snapper) visitRing(cx, cy, ring int, fn func(EdgeID)) {
+// ringEdges appends to buf the edge ids stored in cells at Chebyshev
+// distance ring from (cx, cy), in deterministic sweep order, and
+// returns the extended buffer. Ids may repeat across cells; callers
+// dedup with the scratch epoch array.
+func (s *Snapper) ringEdges(cx, cy, ring int, buf []EdgeID) []EdgeID {
 	if ring == 0 {
-		for _, eid := range s.cells[cy*s.nx+cx] {
-			fn(eid)
+		return append(buf, s.cells[cy*s.nx+cx]...)
+	}
+	cell := func(x, y int) {
+		if x < 0 || x >= s.nx || y < 0 || y >= s.ny {
+			return
 		}
-		return
+		buf = append(buf, s.cells[y*s.nx+x]...)
 	}
 	for dx := -ring; dx <= ring; dx++ {
-		var dys []int
 		if dx == -ring || dx == ring {
 			for dy := -ring; dy <= ring; dy++ {
-				dys = append(dys, dy)
+				cell(cx+dx, cy+dy)
 			}
 		} else {
-			dys = []int{-ring, ring}
-		}
-		for _, dy := range dys {
-			x, y := cx+dx, cy+dy
-			if x < 0 || x >= s.nx || y < 0 || y >= s.ny {
-				continue
-			}
-			for _, eid := range s.cells[y*s.nx+x] {
-				fn(eid)
-			}
+			cell(cx+dx, cy-ring)
+			cell(cx+dx, cy+ring)
 		}
 	}
+	return buf
 }
 
 func sortSnaps(s []Snap) {
@@ -210,21 +243,10 @@ func (g *Graph) PointAlongEdge(eid EdgeID, t float64) geo.Point {
 // NetworkDist returns the shortest network distance between a position
 // on edge ea (at parameter ta) and a position on edge eb (at parameter
 // tb), routing through the edge endpoints. Same-edge forward movement
-// is measured along the edge.
+// is measured along the edge; backward movement on a directed edge
+// loops around via the endpoints. The distance core d(ea.To, eb.From)
+// is served from the engine's route cache, so repeated queries over
+// the same edge pair (any parameters) cost one search total.
 func (g *Graph) NetworkDist(ea EdgeID, ta float64, eb EdgeID, tb float64) (float64, error) {
-	if ea == eb {
-		e := g.edges[ea]
-		if tb >= ta {
-			return (tb - ta) * e.Length, nil
-		}
-		// Backward on a directed edge: must loop around via endpoints.
-	}
-	a := g.edges[ea]
-	b := g.edges[eb]
-	// Distance = remaining length of a + shortest(a.To -> b.From) + offset into b.
-	p, err := g.ShortestPath(a.To, b.From)
-	if err != nil {
-		return 0, err
-	}
-	return (1-ta)*a.Length + p.Dist + tb*b.Length, nil
+	return g.Engine().NetworkDist(ea, ta, eb, tb)
 }

@@ -1,0 +1,137 @@
+package uncertain_test
+
+// Concurrency hammer for the road-network query engine: many
+// goroutines map-match the same trajectories against one shared graph,
+// exercising the engine scratch pool, the sharded route cache (with
+// singleflight), and the snapper scratch pool simultaneously. Run
+// under -race (see `make race`) this is the engine's data-race gate;
+// in any mode it also asserts that concurrency never changes results.
+
+import (
+	"sync"
+	"testing"
+
+	"sidq/internal/roadnet"
+	"sidq/internal/simulate"
+	"sidq/internal/trajectory"
+	"sidq/internal/uncertain"
+)
+
+func TestConcurrentMapMatchHammer(t *testing.T) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{
+		NX: 10, NY: 10, Spacing: 120, Jitter: 8, RemoveFrac: 0.2, Seed: 51,
+	})
+	snapper := roadnet.NewSnapper(g, 100)
+	trips := simulate.Trips(g, simulate.TripOptions{
+		NumObjects: 4, MinHops: 12, Speed: 12, SampleInterval: 1, Seed: 52,
+	})
+	noisy := make([]*trajectory.Trajectory, len(trips))
+	for i, tr := range trips {
+		noisy[i] = simulate.AddGaussianNoise(tr, 10, int64(53+i))
+	}
+	opt := uncertain.MatchOptions{EmissionSigma: 12}
+
+	// Serial reference results, computed on a fresh engine.
+	want := make([]uncertain.MatchResult, len(noisy))
+	for i, tr := range noisy {
+		res, err := uncertain.MapMatch(g, snapper, tr, opt)
+		if err != nil {
+			t.Fatalf("serial MapMatch %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	const goroutines = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, tr := range noisy {
+					res, err := uncertain.MapMatch(g, snapper, tr, opt)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !sameSnaps(res.Snaps, want[i].Snaps) ||
+						!samePoints(res.Recovered, want[i].Recovered) {
+						t.Errorf("worker %d round %d: trajectory %d diverged under concurrency", w, r, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent MapMatch: %v", err)
+	}
+}
+
+// TestConcurrentNetworkDistHammer drives the route cache's
+// getOrCompute path (singleflight) from many goroutines over a small
+// set of hot edge pairs, asserting every caller sees the same value.
+func TestConcurrentNetworkDistHammer(t *testing.T) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{
+		NX: 8, NY: 8, Spacing: 100, Jitter: 5, RemoveFrac: 0.3, Seed: 61,
+	})
+	type q struct{ ea, eb roadnet.EdgeID }
+	pairs := make([]q, 0, 64)
+	for i := 0; i < 64; i++ {
+		pairs = append(pairs, q{
+			ea: roadnet.EdgeID((i * 7) % g.NumEdges()),
+			eb: roadnet.EdgeID((i*13 + 5) % g.NumEdges()),
+		})
+	}
+	want := make([]float64, len(pairs))
+	wantErr := make([]bool, len(pairs))
+	for i, p := range pairs {
+		d, err := g.NetworkDist(p.ea, 0.25, p.eb, 0.75)
+		want[i], wantErr[i] = d, err != nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				for i, p := range pairs {
+					d, err := g.NetworkDist(p.ea, 0.25, p.eb, 0.75)
+					if (err != nil) != wantErr[i] || (err == nil && d != want[i]) {
+						t.Errorf("pair %d: got (%v, %v), want (%v, err=%v)", i, d, err, want[i], wantErr[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func sameSnaps(a, b []roadnet.Snap) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func samePoints(a, b *trajectory.Trajectory) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -23,6 +23,7 @@ type OnlineMatcher struct {
 	cands [][]roadnet.Snap
 	logp  [][]float64
 	back  [][]int
+	ndBuf []float64 // reusable transition-distance rows
 }
 
 // NewOnlineMatcher returns a matcher that commits each point after
@@ -69,11 +70,12 @@ func (m *OnlineMatcher) Push(p trajectory.Point) []Matched {
 		straight := prev.Pos.Dist(p.Pos)
 		prevRow := m.logp[len(m.logp)-1]
 		prevCands := m.cands[len(m.cands)-1]
+		nd := transitionRows(m.g.Engine(), prevCands, cs, &m.ndBuf)
 		for j, cj := range cs {
 			em := -cj.Dist * cj.Dist / sigma2
 			best, bestK := math.Inf(-1), 0
-			for k, ck := range prevCands {
-				trans := transitionLogProb(m.g, ck, cj, straight, m.opt.TransitionBeta)
+			for k := range prevCands {
+				trans := transLogProbFromDist(nd[k*len(cs)+j], straight, m.opt.TransitionBeta)
 				if v := prevRow[k] + trans; v > best {
 					best, bestK = v, k
 				}

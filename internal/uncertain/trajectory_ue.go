@@ -144,7 +144,11 @@ func MapMatch(g *roadnet.Graph, snapper *roadnet.Snapper, tr *trajectory.Traject
 		}
 		cands[i] = cs
 	}
-	// Viterbi over candidate snaps.
+	// Viterbi over candidate snaps. Transition rows come from the
+	// engine's bounded one-to-many search: one truncated Dijkstra per
+	// previous candidate instead of K single-pair searches, with the
+	// route cache deduplicating repeated edge pairs across points.
+	eng := g.Engine()
 	sigma2 := 2 * opt.EmissionSigma * opt.EmissionSigma
 	logp := make([][]float64, n)
 	back := make([][]int, n)
@@ -155,13 +159,16 @@ func MapMatch(g *roadnet.Graph, snapper *roadnet.Snapper, tr *trajectory.Traject
 	for j, c := range cands[0] {
 		logp[0][j] = -c.Dist * c.Dist / sigma2
 	}
+	var ndBuf []float64 // flattened K_prev x K_cur network-distance rows
 	for i := 1; i < n; i++ {
 		straight := tr.Points[i-1].Pos.Dist(tr.Points[i].Pos)
+		nd := transitionRows(eng, cands[i-1], cands[i], &ndBuf)
+		k1 := len(cands[i])
 		for j, cj := range cands[i] {
 			em := -cj.Dist * cj.Dist / sigma2
 			best, bestK := math.Inf(-1), 0
-			for k, ck := range cands[i-1] {
-				trans := transitionLogProb(g, ck, cj, straight, opt.TransitionBeta)
+			for k := range cands[i-1] {
+				trans := transLogProbFromDist(nd[k*k1+j], straight, opt.TransitionBeta)
 				if v := logp[i-1][k] + trans; v > best {
 					best, bestK = v, k
 				}
@@ -188,12 +195,28 @@ func MapMatch(g *roadnet.Graph, snapper *roadnet.Snapper, tr *trajectory.Traject
 	return MatchResult{Snaps: snaps, Route: route, Recovered: recovered}, nil
 }
 
-// transitionLogProb scores moving from snap a to snap b given the
-// observed straight-line displacement: plausible transitions have
-// network distance close to the chord length.
-func transitionLogProb(g *roadnet.Graph, a, b roadnet.Snap, straight, beta float64) float64 {
-	nd, err := g.NetworkDist(a.Edge, a.Param, b.Edge, b.Param)
-	if err != nil {
+// transitionRows fills (and returns) the flattened |prev| x |cur|
+// network-distance matrix between candidate snaps, reusing *buf across
+// lattice steps. Row k holds the distances from prev[k] to every
+// current candidate, computed by one bounded one-to-many sweep.
+func transitionRows(eng *roadnet.Engine, prev, cur []roadnet.Snap, buf *[]float64) []float64 {
+	need := len(prev) * len(cur)
+	if cap(*buf) < need {
+		*buf = make([]float64, need)
+	}
+	nd := (*buf)[:need]
+	for k, ck := range prev {
+		eng.SnapDists(ck, cur, math.Inf(1), nd[k*len(cur):(k+1)*len(cur)])
+	}
+	return nd
+}
+
+// transLogProbFromDist scores a transition given its network distance
+// and the observed straight-line displacement: plausible transitions
+// have network distance close to the chord length; +Inf (no route)
+// maps to log probability -Inf.
+func transLogProbFromDist(nd, straight, beta float64) float64 {
+	if math.IsInf(nd, 1) {
 		return math.Inf(-1)
 	}
 	return -math.Abs(nd-straight) / beta
