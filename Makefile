@@ -1,24 +1,40 @@
 # Tier-1 verification plus the resilience gates.
 #
-#   make check          build + vet + full test suite + bench-compare
-#                       (the tier-1 gate)
+#   make check          build + vet + full test suite + race hammers +
+#                       bench-compare (the tier-1 gate)
+#   make ci             exactly what .github/workflows/ci.yml runs per
+#                       matrix leg: fmt-check + build + vet + tests +
+#                       -race + chaos
+#   make fmt-check      fail if any file needs gofmt
 #   make race           vet + race-detector run over the whole module
+#   make race-hammer    race-detector over the concurrency-hammer
+#                       packages only (uncertain, roadnet, index, obs)
 #   make chaos          the chaos-injection harness under -race (runner,
 #                       fault injectors, hardened server)
 #   make bench          compile-and-run the benchmark suite briefly
 #   make bench-json     run the benchmarks for real and write a dated
 #                       BENCH_<date>.json baseline (ns/op, B/op,
 #                       allocs/op)
-#   make bench-compare  rerun the gated E1/E2 experiment benchmarks and
-#                       diff against the latest committed BENCH_*.json;
-#                       fails on a >20% ns/op or allocs/op regression
+#   make bench-compare  rerun the gated E1/E2 experiment benchmarks,
+#                       write the fresh rows to bench-fresh.json (NOT
+#                       BENCH_*.json — that glob is the committed
+#                       baseline set), and diff against the latest
+#                       committed BENCH_*.json; fails on a >20% ns/op
+#                       or allocs/op regression
 
 GO ?= go
 BENCHTIME ?= 2x
 
-.PHONY: check vet test race chaos bench bench-json bench-compare
+.PHONY: check ci fmt-check vet test race race-hammer chaos bench bench-json bench-compare
 
-check: vet test bench-compare
+check: vet test race-hammer bench-compare
+
+ci: fmt-check vet test race chaos
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +45,11 @@ test:
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# The packages whose tests hammer shared state from many goroutines —
+# the ones -race exists for. Cheap enough to ride in every `make check`.
+race-hammer:
+	$(GO) test -race -count=1 ./internal/uncertain ./internal/roadnet ./internal/index ./internal/obs
 
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos ./internal/core ./internal/server
@@ -47,4 +68,5 @@ bench-json:
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkE[12]_' -benchmem -benchtime $(BENCHTIME) -count 3 . \
 		| $(GO) run ./cmd/benchjson \
+		| tee bench-fresh.json \
 		| $(GO) run ./cmd/benchcompare

@@ -10,6 +10,7 @@
 //	sidqbench -seed 7         # change the workload seed
 //	sidqbench -workers 4      # experiments + pipelines on 4 workers
 //	sidqbench -parallel       # shorthand for -workers <NumCPU>
+//	sidqbench -metrics        # dump Prometheus metrics to stderr afterwards
 //
 // Tables are bit-identical for every worker count; parallelism changes
 // only wall-clock time.
@@ -22,7 +23,11 @@ import (
 	"runtime"
 	"strings"
 
+	"sidq/internal/core"
 	"sidq/internal/exp"
+	"sidq/internal/obs"
+	"sidq/internal/roadnet"
+	"sidq/internal/stream"
 )
 
 func main() {
@@ -31,12 +36,22 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		workers  = flag.Int("workers", 1, "worker count for experiments and pipeline stages (0 or negative: NumCPU)")
 		parallel = flag.Bool("parallel", false, "run on all CPUs (same as -workers 0)")
+		metrics  = flag.Bool("metrics", false, "dump the Prometheus metrics exposition to stderr after the run")
 	)
 	flag.Parse()
 
 	w := *workers
 	if *parallel || w <= 0 {
 		w = runtime.NumCPU()
+	}
+
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		core.InitRunnerMetrics(reg)
+		roadnet.InstrumentTo(reg)
+		stream.InstrumentTo(reg)
+		exp.SetObsRegistry(reg)
 	}
 
 	want := map[string]bool{}
@@ -68,5 +83,9 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "sidqbench: no experiment matched %q\n", *which)
 		os.Exit(2)
+	}
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "=== metrics ===")
+		_ = reg.WritePrometheus(os.Stderr)
 	}
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"os"
 
 	"sidq/internal/core"
+	"sidq/internal/obs"
 	"sidq/internal/quality"
 	"sidq/internal/stid"
 	"sidq/internal/trajectory"
@@ -34,8 +36,16 @@ func main() {
 		maxSpeed = flag.Float64("maxspeed", 20, "physical speed bound (m/s) for consistency checks")
 		interval = flag.Float64("interval", 1, "nominal sampling interval (s)")
 		readings = flag.Bool("readings", false, "input is a sensor-reading CSV (sensor,t,x,y,value)")
+		metrics  = flag.Bool("metrics", false, "dump the Prometheus metrics exposition to stderr after cleaning")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		core.InitRunnerMetrics(reg)
+	}
+	defer dumpMetrics(reg)
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -47,7 +57,7 @@ func main() {
 		r = f
 	}
 	if *readings {
-		cleanReadings(r, *out)
+		cleanReadings(r, *out, reg)
 		return
 	}
 	trs, err := trajectory.ReadCSV(r)
@@ -60,7 +70,10 @@ func main() {
 		MaxSpeed:         *maxSpeed,
 	}
 	before := ds.Assess()
-	cleaned, stages, reports := core.PlanAndRunIterative(ds, core.DefaultTargets(), 3)
+	cleaned, stages, reports, err := core.PlanAndRunIterativeWith(context.Background(), cleaningRunner(reg), ds, core.DefaultTargets(), 3)
+	if err != nil {
+		log.Fatalf("sidqclean: %v", err)
+	}
 	fmt.Fprintf(os.Stderr, "sidqclean: %d trajectories, planned %d stages\n", len(trs), len(stages))
 	for _, s := range stages {
 		fmt.Fprintf(os.Stderr, "  - %s (%s)\n", s.Name(), s.Task())
@@ -83,14 +96,17 @@ func main() {
 	}
 }
 
-func cleanReadings(r io.Reader, outPath string) {
+func cleanReadings(r io.Reader, outPath string, reg *obs.Registry) {
 	rs, err := stid.ReadCSV(r)
 	if err != nil {
 		log.Fatalf("sidqclean: %v", err)
 	}
 	ds := &core.Dataset{Readings: rs}
 	p := core.NewPipeline(core.DeduplicateStage{CellSize: 1, TimeBucket: 1}, core.ThematicRepairStage{})
-	cleaned, _ := p.Run(ds)
+	cleaned, _, err := p.RunContext(context.Background(), cleaningRunner(reg), ds)
+	if err != nil {
+		log.Fatalf("sidqclean: %v", err)
+	}
 	_, before := ds.AssessParts()
 	_, after := cleaned.AssessParts()
 	fmt.Fprintf(os.Stderr, "sidqclean: %d readings -> %d after dedup + thematic repair\n", len(rs), len(cleaned.Readings))
@@ -108,6 +124,20 @@ func cleanReadings(r io.Reader, outPath string) {
 	if err := stid.WriteCSV(w, cleaned.Readings); err != nil {
 		log.Fatalf("sidqclean: %v", err)
 	}
+}
+
+// cleaningRunner builds the pipeline runner, attaching the registry
+// when -metrics is set (reg may be nil).
+func cleaningRunner(reg *obs.Registry) *core.Runner {
+	return &core.Runner{Policy: core.SkipStage, Obs: reg}
+}
+
+func dumpMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "=== metrics ===")
+	_ = reg.WritePrometheus(os.Stderr)
 }
 
 func indent(s string) string {

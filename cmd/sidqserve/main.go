@@ -10,6 +10,10 @@
 // -request-timeout bounds per-request handling, and -grace is how
 // long a SIGINT/SIGTERM shutdown waits for in-flight requests after
 // flipping /v1/readyz to 503.
+//
+// Observability: GET /v1/metrics serves the Prometheus text
+// exposition (always on; it bypasses the limiter and timeout), and
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +38,7 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 64, "max concurrent requests before shedding with 503")
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown drain period")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
 	)
 	flag.Parse()
 
@@ -41,9 +47,23 @@ func main() {
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
 	})
+	handler := http.Handler(svc)
+	if *pprofOn {
+		// Profiling endpoints mount outside the service's middleware
+		// stack so the limiter and timeout cannot starve a profile of a
+		// wedged process — the moment profiling is for.
+		mux := http.NewServeMux()
+		mux.Handle("/", svc)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -2,12 +2,15 @@ package chaos
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"sidq/internal/core"
 	"sidq/internal/geo"
+	"sidq/internal/obs"
 	"sidq/internal/quality"
 	"sidq/internal/simulate"
 	"sidq/internal/stream"
@@ -227,5 +230,52 @@ func TestFaultySourceDeterministic(t *testing.T) {
 		if ea != eb {
 			t.Fatalf("sequence diverged: %v vs %v", ea, eb)
 		}
+	}
+}
+
+// TestVerifyTraceAssertions pins the trace contract: the harness sink
+// sees exactly the retries and panics the injected faults force, and a
+// failing CheckTrace fails Verify.
+func TestVerifyTraceAssertions(t *testing.T) {
+	mk := func(check func([]obs.TraceEvent) error) Scenario {
+		return Scenario{
+			Name: "trace-exact-retries",
+			Stages: func() []core.Stage {
+				return []core.Stage{NewFlakyStage(core.DeduplicateStage{}, FlakyOptions{FailFirst: 2, Seed: 1})}
+			},
+			Runner: func() *core.Runner {
+				return &core.Runner{
+					Policy: core.SkipStage,
+					Retry:  core.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond},
+				}
+			},
+			CheckTrace: check,
+		}
+	}
+
+	res, err := Verify(context.Background(), mk(func(evs []obs.TraceEvent) error {
+		retries := 0
+		for _, e := range evs {
+			if e.Kind == obs.KindRetry {
+				retries++
+			}
+		}
+		if retries != 2 {
+			return fmt.Errorf("recorded %d retries, want exactly 2", retries)
+		}
+		return nil
+	}), chaosDataset(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("result carries no trace events")
+	}
+
+	_, err = Verify(context.Background(), mk(func(evs []obs.TraceEvent) error {
+		return fmt.Errorf("always unhappy")
+	}), chaosDataset(7))
+	if err == nil || !strings.Contains(err.Error(), "always unhappy") {
+		t.Fatalf("failing CheckTrace did not surface: %v", err)
 	}
 }

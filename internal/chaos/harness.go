@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sidq/internal/core"
+	"sidq/internal/obs"
 	"sidq/internal/quality"
 )
 
@@ -27,6 +28,11 @@ type Scenario struct {
 	// GuardDims are the dimensions on which the final dataset must not
 	// be materially worse than the input (nil = skip the check).
 	GuardDims []quality.Dimension
+	// CheckTrace, if set, receives the runner's recorded trace events
+	// after the run — the hook for exact-count assertions like
+	// "exactly N retries happened". Verify attaches a MemSink for it
+	// unless the scenario's Runner already supplies a trace sink.
+	CheckTrace func([]obs.TraceEvent) error
 }
 
 // Result is what a scenario run produced, for inspection beyond the
@@ -35,6 +41,7 @@ type Result struct {
 	Out     *core.Dataset
 	Reports []core.StageReport
 	Err     error
+	Trace   []obs.TraceEvent // events recorded by the harness sink (nil if the runner brought its own)
 }
 
 // DefaultGuardDims are the dimensions the harness guards by default:
@@ -52,6 +59,11 @@ func Verify(ctx context.Context, sc Scenario, ds *core.Dataset) (Result, error) 
 	var res Result
 	p := core.NewPipeline(sc.Stages()...)
 	r := sc.Runner()
+	var sink *obs.MemSink
+	if r.Trace == nil {
+		sink = &obs.MemSink{}
+		r.Trace = sink
+	}
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
@@ -60,6 +72,9 @@ func Verify(ctx context.Context, sc Scenario, ds *core.Dataset) (Result, error) 
 		}()
 		res.Out, res.Reports, res.Err = p.RunContext(ctx, r, ds)
 	}()
+	if sink != nil {
+		res.Trace = sink.Events()
+	}
 	if sc.WantErr {
 		if res.Err == nil {
 			return res, fmt.Errorf("scenario %s: expected an error, got none", sc.Name)
@@ -87,6 +102,14 @@ func Verify(ctx context.Context, sc Scenario, ds *core.Dataset) (Result, error) 
 						sc.Name, w, beforeA[w], afterA[w])
 				}
 			}
+		}
+	}
+	if sc.CheckTrace != nil {
+		if sink == nil {
+			return res, fmt.Errorf("scenario %s: CheckTrace set but the runner supplies its own trace sink", sc.Name)
+		}
+		if err := sc.CheckTrace(res.Trace); err != nil {
+			return res, fmt.Errorf("scenario %s: trace check: %w", sc.Name, err)
 		}
 	}
 	return res, nil
@@ -144,6 +167,27 @@ func Suite(seed int64, stages func() []core.Stage) []Scenario {
 			},
 			MaxAttempts: 4,
 			GuardDims:   DefaultGuardDims(),
+			// FailFirst: 2 under serial execution is fully deterministic:
+			// every stage fails attempts 1 and 2, succeeds on 3, so the
+			// trace must hold exactly two retry events per stage — not
+			// "at most", exactly.
+			CheckTrace: func(evs []obs.TraceEvent) error {
+				perStage := map[string]int{}
+				for _, e := range evs {
+					if e.Kind == obs.KindRetry {
+						perStage[e.Name]++
+					}
+				}
+				if len(perStage) == 0 {
+					return fmt.Errorf("no retry events recorded")
+				}
+				for name, n := range perStage {
+					if n != 2 {
+						return fmt.Errorf("stage %s recorded %d retries, want exactly 2", name, n)
+					}
+				}
+				return nil
+			},
 		},
 		{
 			Name: "hang-deadline",

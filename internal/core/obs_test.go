@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"sidq/internal/obs"
+)
+
+// noopShardStage is a do-nothing shardable stage, for observing the
+// runner's bookkeeping without any stage-side noise.
+type noopShardStage struct{}
+
+func (noopShardStage) Name() string        { return "noop" }
+func (noopShardStage) Task() Task          { return FaultCorrection }
+func (noopShardStage) Apply(ds *Dataset)   {}
+func (noopShardStage) Traits() StageTraits { return dataParallel }
+
+func TestRunnerObsRetriesAndStageMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := &obs.MemSink{}
+	calls := 0
+	st := scriptedStage{name: "flaky", calls: &calls, fn: func(ctx context.Context, ds *Dataset) error {
+		if calls <= 2 {
+			return errors.New("transient")
+		}
+		return nil
+	}}
+	r := &Runner{
+		Policy: SkipStage,
+		Retry:  RetryPolicy{MaxAttempts: 4},
+		Obs:    reg,
+		Trace:  sink,
+	}
+	_, reports, err := NewPipeline(st).RunContext(context.Background(), r, dirtyDataset(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Attempts != 3 {
+		t.Fatalf("reports = %+v, want one report with 3 attempts", reports)
+	}
+	if reports[0].Duration <= 0 {
+		t.Fatalf("report Duration = %v, want > 0", reports[0].Duration)
+	}
+	if got := reg.Counter("sidq_runner_retries_total").Value(); got != 2 {
+		t.Fatalf("retries_total = %d, want 2", got)
+	}
+	if got := sink.Count(obs.KindRetry); got != 2 {
+		t.Fatalf("retry trace events = %d, want 2", got)
+	}
+	if got := sink.Count(obs.KindStage); got != 1 {
+		t.Fatalf("stage trace events = %d, want 1", got)
+	}
+	if got := reg.Counter(`sidq_runner_stage_total{stage="flaky",outcome="ok"}`).Value(); got != 1 {
+		t.Fatalf("stage_total{ok} = %d, want 1", got)
+	}
+	if got := reg.Histogram(`sidq_runner_stage_latency_ns{stage="flaky"}`).Snapshot().Count(); got != 1 {
+		t.Fatalf("stage latency observations = %d, want 1", got)
+	}
+}
+
+func TestRunnerObsPanicAndSkip(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := &obs.MemSink{}
+	r := &Runner{Policy: SkipStage, Obs: reg, Trace: sink}
+	_, reports, err := NewPipeline(legacyPanicStage{}).RunContext(context.Background(), r, dirtyDataset(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].Skipped {
+		t.Fatal("stage not skipped")
+	}
+	if got := reg.Counter("sidq_runner_panics_total").Value(); got != 1 {
+		t.Fatalf("panics_total = %d, want 1", got)
+	}
+	if got := reg.Counter("sidq_runner_skips_total").Value(); got != 1 {
+		t.Fatalf("skips_total = %d, want 1", got)
+	}
+	if got := sink.Count(obs.KindPanic); got != 1 {
+		t.Fatalf("panic trace events = %d, want 1", got)
+	}
+	if got := sink.CountName(obs.KindSkip, "legacy-panic"); got != 1 {
+		t.Fatalf("skip trace events = %d, want 1", got)
+	}
+	if got := reg.Counter(`sidq_runner_stage_total{stage="legacy-panic",outcome="skipped"}`).Value(); got != 1 {
+		t.Fatalf("stage_total{skipped} = %d, want 1", got)
+	}
+}
+
+func TestParallelRunnerObsShards(t *testing.T) {
+	const workers = 4
+	reg := obs.NewRegistry()
+	sink := &obs.MemSink{}
+	r := &Runner{Policy: SkipStage, Workers: workers, Obs: reg, Trace: sink}
+	ds := wideDataset(3, 12)
+	_, reports, err := NewPipeline(noopShardStage{}).RunContext(context.Background(), r, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Err != nil {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+	if got := sink.Count(obs.KindShard); got != workers {
+		t.Fatalf("shard trace events = %d, want %d", got, workers)
+	}
+	if got := reg.Histogram("sidq_runner_shard_queue_wait_ns").Snapshot().Count(); got != workers {
+		t.Fatalf("shard queue-wait observations = %d, want %d", got, workers)
+	}
+	if got := sink.Count(obs.KindStage); got != 1 {
+		t.Fatalf("stage trace events = %d, want 1", got)
+	}
+}
+
+func TestInitRunnerMetricsPreregisters(t *testing.T) {
+	reg := obs.NewRegistry()
+	InitRunnerMetrics(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fam := range []string{mRetries, mPanics, mRollbacks, mSkips, mShardQueueWait} {
+		if !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("exposition missing family %s:\n%s", fam, out)
+		}
+	}
+}
+
+// BenchmarkRunnerObsOverhead is the zero-overhead guard: the "off"
+// case (no registry, no sink — the production default) must stay
+// within noise of the pre-change runner, and is the number tracked by
+// the committed BENCH_*.json baselines. The "attached" case bounds
+// what full instrumentation costs.
+func BenchmarkRunnerObsOverhead(b *testing.B) {
+	ds := dirtyDataset(7)
+	p := NewPipeline(noopShardStage{}, noopShardStage{}, noopShardStage{})
+	run := func(b *testing.B, r *Runner) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.RunContext(context.Background(), r, ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, &Runner{Policy: SkipStage})
+	})
+	b.Run("attached", func(b *testing.B) {
+		run(b, &Runner{Policy: SkipStage, Obs: obs.NewRegistry(), Trace: obs.FuncSink(func(obs.TraceEvent) {})})
+	})
+}

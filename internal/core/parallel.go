@@ -98,14 +98,17 @@ func shardDataset(ds *Dataset, k int) []*Dataset {
 // post-stage assessment (and the rollback guard applied to it); on any
 // hard shard failure the whole stage fails and the caller keeps cur,
 // just as a serial stage failure discards all of the stage's work.
-func (r *Runner) runStageSharded(ctx context.Context, st Stage, cur *Dataset, before quality.Assessment) (*Dataset, StageReport) {
-	rep := StageReport{
+func (r *Runner) runStageSharded(ctx context.Context, st Stage, cur *Dataset, before quality.Assessment) (out *Dataset, rep StageReport) {
+	rep = StageReport{
 		Stage:  st.Name(),
 		Task:   st.Task(),
 		Before: before,
 	}
 	start := time.Now()
-	defer func() { rep.Duration = time.Since(start) }()
+	defer func() {
+		rep.Duration = time.Since(start)
+		r.observeStage(&rep)
+	}()
 
 	shards := shardDataset(cur, r.workerCount())
 
@@ -127,11 +130,14 @@ func (r *Runner) runStageSharded(ctx context.Context, st Stage, cur *Dataset, be
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
+	spawned := time.Now()
 	for i := range shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			began := time.Now()
 			ds, attempts, err := r.runShard(runCtx, st, shards[i], rngs[i])
+			r.obsShard(st.Name(), i, began.Sub(spawned), time.Since(began))
 			outs[i] = shardOut{ds: ds, err: err, attempts: attempts}
 			if err != nil && !isPartial(err) {
 				cancel() // a failed shard cancels its siblings
@@ -166,6 +172,7 @@ func (r *Runner) runStageSharded(ctx context.Context, st Stage, cur *Dataset, be
 		if r.Policy == SkipStage || r.Policy == RollbackStage {
 			rep.Skipped = true
 			r.event(st.Name(), "skipped after %d attempts: %v", rep.Attempts, hardErr)
+			r.obsSkip(st.Name(), rep.Attempts, hardErr)
 		}
 		return cur, rep
 	}
@@ -209,6 +216,7 @@ func (r *Runner) runStageSharded(ctx context.Context, st Stage, cur *Dataset, be
 		if worse := r.regressions(rep.After, before); len(worse) > 0 {
 			rep.RolledBack = true
 			r.event(st.Name(), "rolled back: regressed %v", worse)
+			r.obsRollback(st.Name())
 			return cur, rep
 		}
 	}
@@ -234,8 +242,10 @@ func (r *Runner) runShard(ctx context.Context, st Stage, shard *Dataset, rng *ra
 		}
 		lastErr = err
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			r.obsAttemptFailure(st.Name(), attempt, err, false)
 			break // the shard group is cancelled; retrying cannot help
 		}
+		r.obsAttemptFailure(st.Name(), attempt, err, attempt < attempts)
 		if attempt < attempts {
 			if d := r.Retry.Delay(attempt, rng); d > 0 {
 				sleep := r.Sleep

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sidq/internal/quality"
 )
 
@@ -74,8 +76,22 @@ func PlanAndRun(ds *Dataset, t Targets) (*Dataset, []Stage, []StageReport) {
 // re-assessment loop closes that gap. A stage type is applied at most
 // once across rounds to guarantee termination.
 func PlanAndRunIterative(ds *Dataset, t Targets, maxRounds int) (*Dataset, []Stage, []StageReport) {
+	out, stages, reports, _ := PlanAndRunIterativeWith(context.Background(), nil, ds, t, maxRounds)
+	return out, stages, reports
+}
+
+// PlanAndRunIterativeWith is PlanAndRunIterative executing on the
+// caller's runner (nil selects DefaultRunner) — the hook services and
+// CLIs use to attach observability, retry policies, or worker pools to
+// planned cleaning. The error is non-nil only when the runner's policy
+// surfaces one (FailFast) or ctx is cancelled; the returned dataset
+// then reflects the progress made before the failure.
+func PlanAndRunIterativeWith(ctx context.Context, r *Runner, ds *Dataset, t Targets, maxRounds int) (*Dataset, []Stage, []StageReport, error) {
 	if maxRounds < 1 {
 		maxRounds = 1
+	}
+	if r == nil {
+		r = DefaultRunner()
 	}
 	cur := ds
 	var allStages []Stage
@@ -93,10 +109,13 @@ func PlanAndRunIterative(ds *Dataset, t Targets, maxRounds int) (*Dataset, []Sta
 		if len(stages) == 0 {
 			break
 		}
-		out, reports := NewPipeline(stages...).Run(cur)
+		out, reports, err := NewPipeline(stages...).RunContext(ctx, r, cur)
 		cur = out
 		allStages = append(allStages, stages...)
 		allReports = append(allReports, reports...)
+		if err != nil {
+			return cur, allStages, allReports, err
+		}
 	}
-	return cur, allStages, allReports
+	return cur, allStages, allReports, nil
 }

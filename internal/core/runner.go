@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"sidq/internal/obs"
 	"sidq/internal/quality"
 )
 
@@ -153,6 +154,17 @@ type Runner struct {
 	// > 1 events from concurrent shards are serialized by the runner.
 	OnEvent func(stage, event string)
 
+	// Obs, when set, receives runner metrics: per-stage latency and
+	// outcome counts, retry/panic/rollback/skip counters, and shard
+	// queue-wait times. Nil disables metrics at zero cost (the
+	// zero-overhead contract in DESIGN.md).
+	Obs *obs.Registry
+	// Trace, when set, receives structured execution events (stage
+	// completions, retries, panics, skips, rollbacks, shards). The sink
+	// must be safe for concurrent use when Workers > 1; obs.MemSink and
+	// obs.FuncSink qualify. Nil disables tracing at zero cost.
+	Trace TraceSink
+
 	// evMu serializes OnEvent callbacks across shard workers.
 	evMu sync.Mutex
 }
@@ -218,15 +230,19 @@ func isPartial(err error) bool {
 
 // runStage attempts one stage with retries, returning the (possibly
 // new) dataset and the report. On skip/rollback the caller keeps its
-// pre-stage dataset.
-func (r *Runner) runStage(ctx context.Context, st Stage, cur *Dataset, before quality.Assessment) (*Dataset, StageReport) {
-	rep := StageReport{
+// pre-stage dataset. The results are named so the deferred
+// duration-stamping and observation see the report actually returned.
+func (r *Runner) runStage(ctx context.Context, st Stage, cur *Dataset, before quality.Assessment) (out *Dataset, rep StageReport) {
+	rep = StageReport{
 		Stage:  st.Name(),
 		Task:   st.Task(),
 		Before: before,
 	}
 	start := time.Now()
-	defer func() { rep.Duration = time.Since(start) }()
+	defer func() {
+		rep.Duration = time.Since(start)
+		r.observeStage(&rep)
+	}()
 
 	attempts := r.Retry.attempts()
 	var lastErr error
@@ -248,6 +264,7 @@ func (r *Runner) runStage(ctx context.Context, st Stage, cur *Dataset, before qu
 				if worse := r.regressions(rep.After, before); len(worse) > 0 {
 					rep.RolledBack = true
 					r.event(st.Name(), "rolled back: regressed %v", worse)
+					r.obsRollback(st.Name())
 					return cur, rep
 				}
 			}
@@ -255,8 +272,10 @@ func (r *Runner) runStage(ctx context.Context, st Stage, cur *Dataset, before qu
 		}
 		lastErr = err
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			r.obsAttemptFailure(st.Name(), attempt, err, false)
 			break // the whole run is cancelled; retrying cannot help
 		}
+		r.obsAttemptFailure(st.Name(), attempt, err, attempt < attempts)
 		if attempt < attempts {
 			if d := r.Retry.Delay(attempt, r.Rand); d > 0 {
 				sleep := r.Sleep
@@ -272,6 +291,7 @@ func (r *Runner) runStage(ctx context.Context, st Stage, cur *Dataset, before qu
 	if r.Policy == SkipStage || r.Policy == RollbackStage {
 		rep.Skipped = true
 		r.event(st.Name(), "skipped after %d attempts: %v", rep.Attempts, lastErr)
+		r.obsSkip(st.Name(), rep.Attempts, lastErr)
 	}
 	return cur, rep
 }
@@ -316,7 +336,7 @@ func (r *Runner) attempt(parent context.Context, st Stage, work *Dataset) error 
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
-				done <- fmt.Errorf("stage %s panicked: %v", st.Name(), p)
+				done <- &panicError{stage: st.Name(), val: p}
 			}
 		}()
 		if fs, ok := st.(FallibleStage); ok {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -301,7 +302,7 @@ func E12(seed int64) Table {
 		{"reversed", []core.Stage{full[3], full[2], full[1], full[0]}},
 	}
 	for _, v := range variants {
-		cleaned, _ := core.NewPipeline(v.stages...).RunParallel(ds, PipelineWorkers())
+		cleaned, _, _ := core.NewPipeline(v.stages...).RunContext(context.Background(), pipelineRunner(), ds)
 		a := cleaned.Assess()
 		f1 := downstreamQueryF1(cleaned, seed+3)
 		t.AddRow(v.name, F(a[quality.Accuracy]), F(a[quality.PrecisionError]), F(f1))

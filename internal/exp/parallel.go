@@ -5,6 +5,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"sidq/internal/core"
+	"sidq/internal/obs"
 )
 
 // pipelineWorkers is the data-parallel worker count experiment
@@ -30,6 +33,26 @@ func PipelineWorkers() int {
 		return n
 	}
 	return 1
+}
+
+// obsRegistry is the metrics registry experiment pipelines report
+// into, process-global for the same reason as pipelineWorkers. Nil
+// (the default) leaves pipelines uninstrumented.
+var obsRegistry atomic.Pointer[obs.Registry]
+
+// SetObsRegistry installs the registry experiment pipelines record
+// stage metrics into (nil detaches). Tables are unaffected; only the
+// registry's contents change.
+func SetObsRegistry(reg *obs.Registry) { obsRegistry.Store(reg) }
+
+// ObsRegistry returns the registry installed by SetObsRegistry, or
+// nil.
+func ObsRegistry() *obs.Registry { return obsRegistry.Load() }
+
+// pipelineRunner is the runner experiment pipelines execute on: the
+// PipelineWorkers pool with the installed registry attached.
+func pipelineRunner() *core.Runner {
+	return &core.Runner{Policy: core.SkipStage, Workers: PipelineWorkers(), Obs: ObsRegistry()}
 }
 
 // Rendered is one experiment's output, ready to print.

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0},
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1<<46 + 5, maxFinite},
+		{1<<47 - 1, maxFinite},
+		{1 << 47, overflowBucket},
+		{math.MaxInt64, overflowBucket},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketBoundContainsBucketValues(t *testing.T) {
+	// Every finite bucket's values must be <= its bound and > the
+	// previous bound — the invariant the cumulative exposition relies on.
+	for i := 1; i <= maxFinite; i++ {
+		lo, hi := int64(1)<<uint(i-1), int64(1)<<uint(i)-1
+		if bucketIndex(lo) != i || bucketIndex(hi) != i {
+			t.Fatalf("bucket %d: lo/hi %d/%d map to %d/%d", i, lo, hi, bucketIndex(lo), bucketIndex(hi))
+		}
+		if hi != BucketBound(i) {
+			t.Fatalf("bucket %d: bound %d != hi %d", i, BucketBound(i), hi)
+		}
+		if lo <= BucketBound(i-1) {
+			t.Fatalf("bucket %d: lo %d not above previous bound %d", i, lo, BucketBound(i-1))
+		}
+	}
+}
+
+func TestHistogramObserveSnapshot(t *testing.T) {
+	var h Histogram
+	vals := []int64{-3, 0, 1, 1, 2, 3, 100, 1 << 50}
+	var sum int64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if got := s.Count(); got != uint64(len(vals)) {
+		t.Fatalf("Count = %d, want %d", got, len(vals))
+	}
+	if s.Sum != sum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, sum)
+	}
+	want := map[int]uint64{
+		0:                2, // -3, 0
+		1:                2, // 1, 1
+		2:                2, // 2, 3
+		bucketIndex(100): 1,
+		overflowBucket:   1,
+	}
+	for b, n := range want {
+		if s.Counts[b] != n {
+			t.Errorf("bucket %d: count %d, want %d", b, s.Counts[b], n)
+		}
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(1); i <= 100; i++ {
+		a.Observe(i)
+		b.Observe(i * 1000)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Merge(sb)
+	if got, want := merged.Count(), sa.Count()+sb.Count(); got != want {
+		t.Fatalf("merged Count = %d, want %d", got, want)
+	}
+	if got, want := merged.Sum, sa.Sum+sb.Sum; got != want {
+		t.Fatalf("merged Sum = %d, want %d", got, want)
+	}
+	for i := range merged.Counts {
+		if merged.Counts[i] != sa.Counts[i]+sb.Counts[i] {
+			t.Fatalf("bucket %d: merged %d != %d + %d", i, merged.Counts[i], sa.Counts[i], sb.Counts[i])
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	// 1000 observations of value 100 (bucket 7, bound 127): every
+	// quantile must land on that bucket's bound.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 127 {
+			t.Fatalf("Quantile(%v) = %d, want 127", q, got)
+		}
+	}
+	// Add a far larger population: the high quantile must move up.
+	for i := 0; i < 9000; i++ {
+		h.Observe(1 << 20)
+	}
+	s = h.Snapshot()
+	if got := s.Quantile(0.99); got <= 127 {
+		t.Fatalf("Quantile(0.99) after heavy tail = %d, want > 127", got)
+	}
+	if got := s.Quantile(0.05); got != 127 {
+		t.Fatalf("Quantile(0.05) = %d, want 127", got)
+	}
+}

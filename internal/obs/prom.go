@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of WritePrometheus output.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4). Output is deterministic:
+// families are sorted, one HELP/TYPE header per family, series sorted
+// within a family. Histograms render cumulative `_bucket` lines up to
+// their highest populated finite bucket plus `+Inf`, then `_sum` and
+// `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	type series struct {
+		name string
+		kind string // "counter", "gauge", "histogram", "func"
+	}
+	families := map[string][]series{}
+	kindOf := map[string]string{} // family -> TYPE
+	add := func(name, kind, typ string) {
+		fam := familyOf(name)
+		families[fam] = append(families[fam], series{name: name, kind: kind})
+		kindOf[fam] = typ
+	}
+	for name := range r.counters {
+		add(name, "counter", "counter")
+	}
+	for name := range r.gauges {
+		add(name, "gauge", "gauge")
+	}
+	for name := range r.hists {
+		add(name, "histogram", "histogram")
+	}
+	for name, f := range r.funcs {
+		add(name, "func", string(f.kind))
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	for _, fam := range sortedKeys(families) {
+		if h := help[fam]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, escapeHelp(h)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kindOf[fam]); err != nil {
+			return err
+		}
+		ss := families[fam]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].name < ss[j].name })
+		for _, s := range ss {
+			if err := r.writeSeries(w, s.name, s.kind); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Registry) writeSeries(w io.Writer, name, kind string) error {
+	switch kind {
+	case "counter":
+		r.mu.RLock()
+		c := r.counters[name]
+		r.mu.RUnlock()
+		_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+		return err
+	case "gauge":
+		r.mu.RLock()
+		g := r.gauges[name]
+		r.mu.RUnlock()
+		_, err := fmt.Fprintf(w, "%s %d\n", name, g.Value())
+		return err
+	case "func":
+		r.mu.RLock()
+		f := r.funcs[name]
+		r.mu.RUnlock()
+		_, err := fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(f.fn(), 'g', -1, 64))
+		return err
+	case "histogram":
+		r.mu.RLock()
+		h := r.hists[name]
+		r.mu.RUnlock()
+		return writeHistogram(w, name, h.Snapshot())
+	}
+	return fmt.Errorf("obs: unknown series kind %q", kind)
+}
+
+// writeHistogram renders one histogram series: cumulative buckets up
+// to the highest populated finite bucket, +Inf, sum, and count.
+func writeHistogram(w io.Writer, name string, snap HistogramSnapshot) error {
+	fam := familyOf(name)
+	labels := labelsOf(name)
+	bucketName := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("%s_bucket{le=%q}", fam, le)
+		}
+		return fmt.Sprintf("%s_bucket{%s,le=%q}", fam, labels, le)
+	}
+	suffixed := func(suffix string) string {
+		if labels == "" {
+			return fam + suffix
+		}
+		return fmt.Sprintf("%s%s{%s}", fam, suffix, labels)
+	}
+	top := 0
+	for b := 0; b <= maxFinite; b++ {
+		if snap.Counts[b] > 0 {
+			top = b
+		}
+	}
+	var cum uint64
+	for b := 0; b <= top; b++ {
+		cum += snap.Counts[b]
+		if _, err := fmt.Fprintf(w, "%s %d\n", bucketName(strconv.FormatInt(BucketBound(b), 10)), cum); err != nil {
+			return err
+		}
+	}
+	total := snap.Count()
+	if _, err := fmt.Fprintf(w, "%s %d\n", bucketName("+Inf"), total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", suffixed("_sum"), snap.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", suffixed("_count"), total)
+	return err
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition
+// format's HELP rules.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

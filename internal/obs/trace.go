@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceEvent is one structured execution event emitted by an
+// instrumented component — coarse-grained spans (a stage run) and the
+// decisions around them (a retry, a panic recovery, a rollback). It is
+// a flat value, not a tree: sidq pipelines are shallow enough that the
+// (Name, Kind) pair plus ordering reconstructs the story, and a flat
+// struct keeps emission allocation-free apart from the sink's own
+// bookkeeping.
+type TraceEvent struct {
+	Name string        // subject, e.g. the stage name
+	Kind string        // event kind: "stage", "retry", "panic", "skip", "rollback", "shard"
+	Dur  time.Duration // span duration (zero for point events)
+	N    int           // kind-specific count: attempt number, shard index, ...
+	Err  string        // error text, "" on success
+}
+
+// Trace event kinds emitted by the core runner.
+const (
+	KindStage    = "stage"    // one stage completed (Dur = wall time, N = attempts)
+	KindRetry    = "retry"    // an attempt failed and will be retried (N = failed attempt)
+	KindPanic    = "panic"    // an attempt panicked and was recovered
+	KindSkip     = "skip"     // the stage failed terminally and its work was discarded
+	KindRollback = "rollback" // the stage succeeded but regressed quality and was reverted
+	KindShard    = "shard"    // one shard of a data-parallel stage completed (N = shard index)
+)
+
+// TraceSink receives trace events. Implementations must be safe for
+// concurrent use: a data-parallel runner records from every shard
+// worker.
+type TraceSink interface {
+	Record(ev TraceEvent)
+}
+
+// FuncSink adapts a function to a TraceSink. The function must be
+// safe for concurrent use.
+type FuncSink func(TraceEvent)
+
+// Record implements TraceSink.
+func (f FuncSink) Record(ev TraceEvent) { f(ev) }
+
+// MemSink is a TraceSink that collects every event in memory — the
+// assertion surface for tests and chaos scenarios ("exactly N retries
+// were recorded"). Safe for concurrent use.
+type MemSink struct {
+	mu  sync.Mutex
+	evs []TraceEvent
+}
+
+// Record implements TraceSink.
+func (m *MemSink) Record(ev TraceEvent) {
+	m.mu.Lock()
+	m.evs = append(m.evs, ev)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (m *MemSink) Events() []TraceEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]TraceEvent(nil), m.evs...)
+}
+
+// Count returns the number of recorded events of the given kind.
+func (m *MemSink) Count(kind string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ev := range m.evs {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// CountName returns the number of recorded events of the given kind
+// for the given subject name.
+func (m *MemSink) CountName(kind, name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ev := range m.evs {
+		if ev.Kind == kind && ev.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset discards all recorded events.
+func (m *MemSink) Reset() {
+	m.mu.Lock()
+	m.evs = nil
+	m.mu.Unlock()
+}

@@ -26,6 +26,7 @@ type RouteCache struct {
 	shards [cacheShards]cacheShard
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	dedups atomic.Uint64
 }
 
 const cacheShards = 16
@@ -77,6 +78,11 @@ func (c *RouteCache) Hits() uint64 { return c.hits.Load() }
 // Misses returns the number of lookups that missed.
 func (c *RouteCache) Misses() uint64 { return c.misses.Load() }
 
+// Dedups returns the number of getOrCompute calls that joined an
+// in-flight computation instead of searching (singleflight joins).
+// Dedups are counted as hits too: the caller's search was avoided.
+func (c *RouteCache) Dedups() uint64 { return c.dedups.Load() }
+
 // Len returns the current number of cached entries.
 func (c *RouteCache) Len() int {
 	n := 0
@@ -109,10 +115,10 @@ func (c *RouteCache) get(u, v int32) (d float64, ok, hit bool) {
 	}
 	s.mu.Unlock()
 	if found {
-		c.hits.Add(1)
+		obsAdd(&c.hits, &pkgObs.cacheHits, 1)
 		return d, ok, true
 	}
-	c.misses.Add(1)
+	obsAdd(&c.misses, &pkgObs.cacheMisses, 1)
 	return 0, false, false
 }
 
@@ -138,21 +144,20 @@ func (c *RouteCache) getOrCompute(u, v int32, fn func() (float64, bool)) (float6
 			s.moveToFront(e)
 			d, ok := e.dist, e.ok
 			s.mu.Unlock()
-			c.hits.Add(1)
+			obsAdd(&c.hits, &pkgObs.cacheHits, 1)
 			return d, ok
 		}
 		if f, running := s.inflight[k]; running {
 			s.mu.Unlock()
+			obsAdd(&c.hits, &pkgObs.cacheHits, 1)
+			obsAdd(&c.dedups, &pkgObs.cacheDedups, 1)
 			<-f.done
-			// The finished flight stored its result; loop to read it
-			// (or, if it was already evicted, recompute).
-			c.hits.Add(1)
 			return f.dist, f.ok
 		}
 		f := &cacheFlight{done: make(chan struct{})}
 		s.inflight[k] = f
 		s.mu.Unlock()
-		c.misses.Add(1)
+		obsAdd(&c.misses, &pkgObs.cacheMisses, 1)
 
 		f.dist, f.ok = fn()
 		s.mu.Lock()

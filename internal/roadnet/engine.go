@@ -37,6 +37,7 @@ type Engine struct {
 
 	cache   *RouteCache
 	scratch sync.Pool // *searchScratch
+	ctr     engineCounters
 }
 
 // newEngine compiles g. The graph must not be mutated while the engine
@@ -167,6 +168,8 @@ func (e *Engine) route(a, b NodeID, h func(int32) float64) (Path, error) {
 	}
 	s := e.getScratch()
 	defer e.putScratch(s)
+	var pops uint64
+	defer func() { obsAdd(&e.ctr.heapPops, &pkgObs.heapPops, pops) }()
 	s.begin()
 	src, dst := int32(a), int32(b)
 	s.dist[src] = 0
@@ -179,6 +182,7 @@ func (e *Engine) route(a, b NodeID, h func(int32) float64) (Path, error) {
 	}
 	for s.heap.len() > 0 {
 		cur := s.heap.pop()
+		pops++
 		if s.done[cur.node] == s.epoch {
 			continue
 		}
@@ -224,6 +228,7 @@ func (e *Engine) route(a, b NodeID, h func(int32) float64) (Path, error) {
 
 // ShortestPath returns the minimum-length path from a to b (Dijkstra).
 func (e *Engine) ShortestPath(a, b NodeID) (Path, error) {
+	obsAdd(&e.ctr.dijkstra, &pkgObs.dijkstra, 1)
 	return e.route(a, b, nil)
 }
 
@@ -234,6 +239,11 @@ func (e *Engine) ShortestPath(a, b NodeID) (Path, error) {
 func (e *Engine) AStar(a, b NodeID) (Path, error) {
 	if e.badNodes(a, b) {
 		return Path{}, fmt.Errorf("roadnet: search bad nodes %d->%d (have %d): %w", a, b, len(e.pos), ErrNoPath)
+	}
+	if e.alt != nil {
+		obsAdd(&e.ctr.astarALT, &pkgObs.astarALT, 1)
+	} else {
+		obsAdd(&e.ctr.astarEuclid, &pkgObs.astarEuclid, 1)
 	}
 	return e.route(a, b, e.heuristic(int32(b)))
 }
@@ -319,6 +329,7 @@ func (e *Engine) ManyDist(source NodeID, targets []NodeID, maxCost float64, out 
 // passes maxCost. onSettle, if non-nil, observes every settled target.
 // After return, s.done/s.dist (at s.epoch) hold the settled set.
 func (e *Engine) manyDist(s *searchScratch, src int32, markTargets func(mark func(int32)), maxCost float64, onSettle func(node int32, d float64)) int {
+	obsAdd(&e.ctr.manySweeps, &pkgObs.manySweeps, 1)
 	s.begin()
 	remaining := 0
 	markTargets(func(t int32) {
@@ -336,8 +347,11 @@ func (e *Engine) manyDist(s *searchScratch, src int32, markTargets func(mark fun
 	s.seen[src] = s.epoch
 	s.heap.push(src, 0)
 	bounded := !math.IsInf(maxCost, 1)
+	var pops uint64
+	defer func() { obsAdd(&e.ctr.heapPops, &pkgObs.heapPops, pops) }()
 	for s.heap.len() > 0 {
 		cur := s.heap.pop()
+		pops++
 		if s.done[cur.node] == s.epoch {
 			continue
 		}

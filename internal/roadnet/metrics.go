@@ -1,0 +1,102 @@
+package roadnet
+
+// Query-engine observability. Every Engine keeps its own atomic
+// counters (one add per query, batched for heap pops — never inside
+// the relaxation loop), exposed via Engine.Stats. Package-level totals
+// aggregate across all engines and caches for process-wide exposition;
+// they are updated only after InstrumentTo enables them, so the
+// default cost is a single atomic bool load per query.
+
+import (
+	"sync/atomic"
+
+	"sidq/internal/obs"
+)
+
+// engineCounters are one engine's query counters.
+type engineCounters struct {
+	dijkstra    atomic.Uint64 // plain Dijkstra path searches
+	astarALT    atomic.Uint64 // A* searches using ALT lower bounds
+	astarEuclid atomic.Uint64 // A* searches on the Euclidean fallback (no ALT tables)
+	manySweeps  atomic.Uint64 // truncated one-to-many sweeps (Dist/ManyDist/SnapDists)
+	heapPops    atomic.Uint64 // total heap pops across all searches
+}
+
+// pkgObs aggregates across every engine and route cache in the
+// process. enabled gates the aggregation so uninstrumented processes
+// pay only the atomic load.
+var pkgObs struct {
+	enabled atomic.Bool
+
+	dijkstra, astarALT, astarEuclid atomic.Uint64
+	manySweeps, heapPops            atomic.Uint64
+
+	cacheHits, cacheMisses, cacheDedups atomic.Uint64
+}
+
+// obsAdd bumps an engine counter and, when package observation is
+// enabled, the matching process-wide total.
+func obsAdd(own, total *atomic.Uint64, n uint64) {
+	own.Add(n)
+	if pkgObs.enabled.Load() {
+		total.Add(n)
+	}
+}
+
+// EngineStats is a point-in-time snapshot of one engine's query
+// counters and its route cache.
+type EngineStats struct {
+	Dijkstra    uint64 // ShortestPath searches
+	AStarALT    uint64 // AStar searches that used ALT lower bounds
+	AStarEuclid uint64 // AStar searches that fell back to the Euclidean bound
+	ManySweeps  uint64 // one-to-many sweeps (Dist, ManyDist, SnapDists misses)
+	HeapPops    uint64 // heap pops across every search
+
+	CacheHits   uint64 // route-cache lookups served from cache
+	CacheMisses uint64 // route-cache lookups that required a search
+	CacheDedups uint64 // singleflight joins (search skipped, waited on a peer)
+	CacheLen    int    // current cached entries
+}
+
+// Stats returns the engine's current counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Dijkstra:    e.ctr.dijkstra.Load(),
+		AStarALT:    e.ctr.astarALT.Load(),
+		AStarEuclid: e.ctr.astarEuclid.Load(),
+		ManySweeps:  e.ctr.manySweeps.Load(),
+		HeapPops:    e.ctr.heapPops.Load(),
+		CacheHits:   e.cache.Hits(),
+		CacheMisses: e.cache.Misses(),
+		CacheDedups: e.cache.Dedups(),
+		CacheLen:    e.cache.Len(),
+	}
+}
+
+// InstrumentTo enables process-wide roadnet aggregation and registers
+// the sidq_roadnet_* families in reg as callback series. Totals span
+// every engine and route cache in the process from the first call on
+// (queries before it are not retroactively counted). Safe to call more
+// than once and from multiple registries.
+func InstrumentTo(reg *obs.Registry) {
+	pkgObs.enabled.Store(true)
+	reg.Help("sidq_roadnet_dijkstra_total", "Plain Dijkstra path searches across all engines.")
+	reg.Help("sidq_roadnet_astar_alt_total", "A* searches using ALT landmark lower bounds.")
+	reg.Help("sidq_roadnet_astar_euclid_total", "A* searches on the Euclidean fallback (graph too small for ALT).")
+	reg.Help("sidq_roadnet_many_sweeps_total", "Truncated one-to-many Dijkstra sweeps.")
+	reg.Help("sidq_roadnet_heap_pops_total", "Heap pops across every road-network search.")
+	reg.Help("sidq_roadnet_route_cache_hits_total", "Route-cache lookups served from cache.")
+	reg.Help("sidq_roadnet_route_cache_misses_total", "Route-cache lookups that required a graph search.")
+	reg.Help("sidq_roadnet_route_cache_dedups_total", "Route-cache singleflight joins (duplicate concurrent searches avoided).")
+	counter := func(name string, v *atomic.Uint64) {
+		reg.Func(name, obs.FuncCounter, func() float64 { return float64(v.Load()) })
+	}
+	counter("sidq_roadnet_dijkstra_total", &pkgObs.dijkstra)
+	counter("sidq_roadnet_astar_alt_total", &pkgObs.astarALT)
+	counter("sidq_roadnet_astar_euclid_total", &pkgObs.astarEuclid)
+	counter("sidq_roadnet_many_sweeps_total", &pkgObs.manySweeps)
+	counter("sidq_roadnet_heap_pops_total", &pkgObs.heapPops)
+	counter("sidq_roadnet_route_cache_hits_total", &pkgObs.cacheHits)
+	counter("sidq_roadnet_route_cache_misses_total", &pkgObs.cacheMisses)
+	counter("sidq_roadnet_route_cache_dedups_total", &pkgObs.cacheDedups)
+}

@@ -1,0 +1,132 @@
+package roadnet
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"sidq/internal/geo"
+	"sidq/internal/obs"
+)
+
+func TestEngineStatsCountQueries(t *testing.T) {
+	g := GridCity(GridCityOptions{NX: 8, NY: 8, Seed: 3}) // 64 nodes: ALT active
+	e := g.Engine()
+	a, _ := g.NodeAt(gridCorner(0, 0))
+	b, _ := g.NodeAt(gridCorner(7, 7))
+
+	if _, err := e.ShortestPath(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AStar(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Dist(a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 2)
+	e.ManyDist(a, []NodeID{a, b}, math.Inf(1), out)
+
+	st := e.Stats()
+	if st.Dijkstra != 1 {
+		t.Errorf("Dijkstra = %d, want 1", st.Dijkstra)
+	}
+	if st.AStarALT != 1 || st.AStarEuclid != 0 {
+		t.Errorf("AStarALT = %d, AStarEuclid = %d, want 1, 0", st.AStarALT, st.AStarEuclid)
+	}
+	if st.ManySweeps != 2 { // Dist + ManyDist each run one sweep
+		t.Errorf("ManySweeps = %d, want 2", st.ManySweeps)
+	}
+	if st.HeapPops == 0 {
+		t.Error("HeapPops = 0, want > 0")
+	}
+}
+
+func TestEngineStatsEuclidFallback(t *testing.T) {
+	g := GridCity(GridCityOptions{NX: 3, NY: 3, Seed: 1}) // 9 nodes < altMinNodes
+	e := g.Engine()
+	a, _ := g.NodeAt(gridCorner(0, 0))
+	b, _ := g.NodeAt(gridCorner(2, 2))
+	if _, err := e.AStar(a, b); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.AStarEuclid != 1 || st.AStarALT != 0 {
+		t.Errorf("AStarEuclid = %d, AStarALT = %d, want 1, 0", st.AStarEuclid, st.AStarALT)
+	}
+}
+
+func TestRouteCacheDedups(t *testing.T) {
+	c := NewRouteCache(64)
+	const waiters = 8
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.getOrCompute(1, 2, func() (float64, bool) {
+				<-gate // hold the flight open so others must join it
+				return 42, true
+			})
+		}()
+	}
+	// The flight cannot finish before gate closes, so waiting for the
+	// first dedup guarantees at least one goroutine joined in-flight.
+	for c.Dedups() == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := c.Misses(); got != 1 {
+		t.Errorf("misses = %d, want 1 (one compute)", got)
+	}
+	if got := c.Hits(); got != waiters-1 {
+		t.Errorf("hits = %d, want %d (joins and late arrivals both hit)", got, waiters-1)
+	}
+	if c.Dedups() == 0 {
+		t.Error("dedups = 0, want at least one singleflight join")
+	}
+}
+
+func TestInstrumentToExposesRoadnetFamilies(t *testing.T) {
+	reg := obs.NewRegistry()
+	InstrumentTo(reg)
+
+	g := GridCity(GridCityOptions{NX: 8, NY: 8, Seed: 3})
+	e := g.Engine()
+	a, _ := g.NodeAt(gridCorner(0, 0))
+	b, _ := g.NodeAt(gridCorner(7, 7))
+	if _, err := e.ShortestPath(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.NetworkDist(0, 0.5, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	expo := sb.String()
+	for _, fam := range []string{
+		"sidq_roadnet_dijkstra_total",
+		"sidq_roadnet_astar_alt_total",
+		"sidq_roadnet_heap_pops_total",
+		"sidq_roadnet_route_cache_hits_total",
+		"sidq_roadnet_route_cache_misses_total",
+		"sidq_roadnet_route_cache_dedups_total",
+	} {
+		if !strings.Contains(expo, "# TYPE "+fam+" counter") {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+	if !strings.Contains(expo, "sidq_roadnet_route_cache_misses_total 1") {
+		t.Errorf("expected one cache miss in exposition:\n%s", expo)
+	}
+}
+
+// gridCorner maps grid coordinates to the default 100m GridCity spacing.
+func gridCorner(x, y float64) geo.Point { return geo.Pt(x*100, y*100) }

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const metricsTrajCSV = "id,t,x,y\n" +
+	"a,0,0,0\n" +
+	"a,1,1,0\n" +
+	"a,2,2,0\n" +
+	"a,3,900,0\n" + // gross outlier: guarantees the planner schedules work
+	"a,4,4,0\n"
+
+func TestMetricsEndpointCoversAllFamilies(t *testing.T) {
+	svc := NewService(Config{Logger: DiscardLogger()})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	// Drive a cleaning request so runner and server families have data.
+	resp, err := http.Post(ts.URL+"/v1/clean", "text/csv", strings.NewReader(metricsTrajCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo := string(body)
+
+	// One series from each instrumented layer: server, runner, roadnet,
+	// stream — a single scrape covers the whole middleware.
+	for _, want := range []string{
+		`sidq_server_requests_total{route="/v1/clean",status="200"} 1`,
+		`sidq_server_request_latency_ns_count{route="/v1/clean"} 1`,
+		"sidq_server_in_flight 0",
+		"# TYPE sidq_runner_retries_total counter",
+		"sidq_runner_stage_total{",
+		"# TYPE sidq_roadnet_dijkstra_total counter",
+		"# TYPE sidq_stream_late_total counter",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %q\n%s", want, expo)
+		}
+	}
+}
+
+func TestMetricsBypassesConcurrencyLimit(t *testing.T) {
+	// MaxInFlight 1 with the slot artificially held: normal routes shed,
+	// the scrape must still answer.
+	svc := NewService(Config{Logger: DiscardLogger(), MaxInFlight: 1})
+	svc.inflight <- struct{}{}
+	defer func() { <-svc.inflight }()
+
+	rec := httptest.NewRecorder()
+	svc.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics under saturation = %d, want 200", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	svc.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/taxonomy", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("taxonomy under saturation = %d, want 503", rec.Code)
+	}
+	if got := svc.Metrics().Counter(mShed).Value(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+}
+
+func TestRouteLabelClosedSet(t *testing.T) {
+	svc := NewService(Config{Logger: DiscardLogger()})
+	for _, p := range []string{"/v1/unknown", "/v1/clean/x", "/evil/" + strings.Repeat("x", 200)} {
+		rec := httptest.NewRecorder()
+		svc.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, p, nil))
+	}
+	if got := svc.Metrics().Counter(`sidq_server_requests_total{route="other",status="404"}`).Value(); got != 3 {
+		t.Errorf("other-route 404 counter = %d, want 3", got)
+	}
+}

@@ -34,6 +34,7 @@ func (s *Service) withRecovery(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
+				s.metrics.Counter(mSrvPanics).Inc()
 				s.logf("request %s: panic recovered: %v", requestID(r), p)
 				// Best effort: if the handler already wrote, this is a no-op.
 				http.Error(w, "internal server error", http.StatusInternalServerError)
@@ -60,7 +61,9 @@ func (s *Service) withRequestID(next http.Handler) http.Handler {
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		s.logf("%s %s %s -> %d (%s)", id, r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		elapsed := time.Since(start)
+		s.observeRequest(routeLabel(r.URL.Path), rec.status, elapsed.Nanoseconds())
+		s.logf("%s %s %s -> %d (%s)", id, r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond))
 	})
 }
 
@@ -87,9 +90,12 @@ func (s *Service) withConcurrencyLimit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
+			g := s.metrics.Gauge(mInFlight)
+			g.Inc()
+			defer func() { g.Dec(); <-s.inflight }()
 			next.ServeHTTP(w, r)
 		default:
+			s.metrics.Counter(mShed).Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "too many in-flight requests", http.StatusServiceUnavailable)
 		}

@@ -10,6 +10,7 @@
 //	GET  /v1/taxonomy         Figure-2 coverage matrix (text)
 //	GET  /v1/healthz          liveness probe
 //	GET  /v1/readyz           readiness probe (503 while draining)
+//	GET  /v1/metrics          Prometheus text exposition
 //
 // Query parameters on the trajectory endpoints: maxspeed (m/s,
 // default 20) and interval (s, default 1) feed the assessment context;
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"sidq/internal/core"
+	"sidq/internal/obs"
 	"sidq/internal/quality"
 	"sidq/internal/stid"
 	"sidq/internal/trajectory"
@@ -46,6 +48,7 @@ type Config struct {
 	MaxInFlight    int           // concurrent requests before 503 (default 64)
 	RequestTimeout time.Duration // per-request deadline (default 30s; <0 disables)
 	Logger         *log.Logger   // access/panic log (default log.Default())
+	Metrics        *obs.Registry // metrics registry (default: a fresh registry)
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +64,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
 	return c
 }
 
@@ -72,6 +78,7 @@ type Service struct {
 	ready    atomic.Bool
 	inflight chan struct{}
 	reqSeq   atomic.Uint64
+	metrics  *obs.Registry
 }
 
 // NewService builds the service with the given limits. It starts
@@ -80,27 +87,31 @@ func NewService(cfg Config) *Service {
 	s := &Service{cfg: cfg.withDefaults()}
 	s.inflight = make(chan struct{}, s.cfg.MaxInFlight)
 	s.ready.Store(true)
+	s.metrics = s.cfg.Metrics
+	s.initMetrics()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealth)
 	mux.HandleFunc("/v1/readyz", s.handleReady)
 	mux.HandleFunc("/v1/taxonomy", handleTaxonomy)
 	mux.HandleFunc("/v1/assess", handleAssess)
-	mux.HandleFunc("/v1/clean", handleClean)
+	mux.HandleFunc("/v1/clean", s.handleClean)
 	mux.HandleFunc("/v1/readings/assess", handleReadingsAssess)
-	mux.HandleFunc("/v1/readings/clean", handleReadingsClean)
+	mux.HandleFunc("/v1/readings/clean", s.handleReadingsClean)
 
 	// Innermost first: limits apply around the handlers; recovery and
 	// request IDs wrap everything so even limiter rejections are
-	// logged and tagged. Probes bypass the limiter and timeout so a
-	// saturated service still answers its orchestrator.
+	// logged and tagged. Probes (and the metrics scrape) bypass the
+	// limiter and timeout so a saturated service still answers its
+	// orchestrator.
 	limited := s.withTimeout(s.withConcurrencyLimit(s.withBodyLimit(mux)))
 	probes := http.NewServeMux()
 	probes.HandleFunc("/v1/healthz", handleHealth)
 	probes.HandleFunc("/v1/readyz", s.handleReady)
+	probes.HandleFunc("/v1/metrics", s.handleMetrics)
 	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/v1/healthz", "/v1/readyz":
+		case "/v1/healthz", "/v1/readyz", "/v1/metrics":
 			probes.ServeHTTP(w, r)
 		default:
 			limited.ServeHTTP(w, r)
@@ -227,7 +238,7 @@ func handleAssess(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleClean(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleClean(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -237,7 +248,13 @@ func handleClean(w http.ResponseWriter, r *http.Request) {
 		bodyError(w, err)
 		return
 	}
-	cleaned, stages, _ := core.PlanAndRunIterative(ds, core.DefaultTargets(), 3)
+	cleaned, stages, _, err := core.PlanAndRunIterativeWith(r.Context(), s.cleaningRunner(), ds, core.DefaultTargets(), 3)
+	if err != nil {
+		// Only context cancellation surfaces here under SkipStage; the
+		// client is gone or the deadline passed.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	names := make([]string, len(stages))
 	for i, s := range stages {
 		names[i] = s.Name()
@@ -269,7 +286,7 @@ func handleReadingsAssess(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleReadingsClean(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleReadingsClean(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -281,7 +298,11 @@ func handleReadingsClean(w http.ResponseWriter, r *http.Request) {
 	}
 	ds := &core.Dataset{Readings: rs}
 	p := core.NewPipeline(core.DeduplicateStage{CellSize: 1, TimeBucket: 1}, core.ThematicRepairStage{})
-	cleaned, _ := p.Run(ds)
+	cleaned, _, err := p.RunContext(r.Context(), s.cleaningRunner(), ds)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	w.Header().Set("Content-Type", "text/csv")
 	w.Header().Set("X-Sidq-Stages", "deduplicate,thematic-repair")
 	_ = stid.WriteCSV(w, cleaned.Readings)

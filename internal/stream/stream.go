@@ -44,6 +44,7 @@ const negInf = -1.797693134862315708145274237317043567981e308
 func (r *Reorderer[T]) Push(e Event[T]) []Event[T] {
 	if e.Time < r.watermark {
 		r.late++
+		obsCount(&pkgObs.late, 1)
 		return nil
 	}
 	r.insert(e)
@@ -58,6 +59,7 @@ func (r *Reorderer[T]) insert(e Event[T]) {
 	r.buf = append(r.buf, Event[T]{})
 	copy(r.buf[i+1:], r.buf[i:])
 	r.buf[i] = e
+	obsPending(1)
 }
 
 func (r *Reorderer[T]) release(upTo float64) []Event[T] {
@@ -68,6 +70,8 @@ func (r *Reorderer[T]) release(upTo float64) []Event[T] {
 	out := append([]Event[T](nil), r.buf[:n]...)
 	r.buf = r.buf[:copy(r.buf, r.buf[n:])]
 	r.emitted += len(out)
+	obsCount(&pkgObs.emitted, uint64(len(out)))
+	obsPending(-int64(len(out)))
 	return out
 }
 
@@ -76,6 +80,8 @@ func (r *Reorderer[T]) Flush() []Event[T] {
 	out := append([]Event[T](nil), r.buf...)
 	r.buf = r.buf[:0]
 	r.emitted += len(out)
+	obsCount(&pkgObs.emitted, uint64(len(out)))
+	obsPending(-int64(len(out)))
 	return out
 }
 
@@ -143,6 +149,7 @@ func (w *TumblingWindows[T]) Push(e Event[T]) []Window[T] {
 }
 
 func (w *TumblingWindows[T]) closeCurrent() Window[T] {
+	obsCount(&pkgObs.windows, 1)
 	win := Window[T]{
 		Start:  float64(w.current) * w.width,
 		End:    float64(w.current+1) * w.width,
