@@ -10,7 +10,8 @@
 #   make race-hammer    race-detector over the concurrency-hammer
 #                       packages only (uncertain, roadnet, index, obs)
 #   make chaos          the chaos-injection harness under -race (runner,
-#                       fault injectors, hardened server)
+#                       fault injectors, hardened server, stream engine
+#                       + streaming-session scenarios)
 #   make bench          compile-and-run the benchmark suite briefly
 #   make bench-json     run the benchmarks for real and write a dated
 #                       BENCH_<date>.json baseline (ns/op, B/op,
@@ -52,7 +53,7 @@ race-hammer:
 	$(GO) test -race -count=1 ./internal/uncertain ./internal/roadnet ./internal/index ./internal/obs
 
 chaos:
-	$(GO) test -race -count=1 ./internal/chaos ./internal/core ./internal/server
+	$(GO) test -race -count=1 ./internal/chaos ./internal/core ./internal/server ./internal/stream
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

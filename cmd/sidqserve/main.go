@@ -14,6 +14,12 @@
 // Observability: GET /v1/metrics serves the Prometheus text
 // exposition (always on; it bypasses the limiter and timeout), and
 // -pprof additionally mounts net/http/pprof under /debug/pprof/.
+//
+// Streaming ingestion (POST /v1/stream/open → ingest → results) is
+// bounded by -stream-max-sessions and evicted after -stream-idle-ttl;
+// -stream-lateness sets the default reorder watermark. -network loads
+// a road network (roadnet CSV: node,x,y / edge,from,to,speedcap rows)
+// and turns on online map matching for streamed points.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"sidq/internal/roadnet"
 	"sidq/internal/server"
 )
 
@@ -39,14 +46,41 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown drain period")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
+
+		networkPath    = flag.String("network", "", "road network CSV; enables online map matching for streamed points")
+		maxSessions    = flag.Int("stream-max-sessions", 32, "open streaming sessions before shedding with 429")
+		streamIdleTTL  = flag.Duration("stream-idle-ttl", 5*time.Minute, "idle streaming sessions are evicted after this")
+		streamLateness = flag.Float64("stream-lateness", 5, "default event-time lateness bound (seconds) for stream reordering")
 	)
 	flag.Parse()
+
+	streamCfg := server.StreamConfig{
+		MaxSessions: *maxSessions,
+		IdleTTL:     *streamIdleTTL,
+		Lateness:    *streamLateness,
+	}
+	if *networkPath != "" {
+		f, err := os.Open(*networkPath)
+		if err != nil {
+			log.Fatalf("sidqserve: open network: %v", err)
+		}
+		g, err := roadnet.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("sidqserve: load network %s: %v", *networkPath, err)
+		}
+		streamCfg.Network = g
+		log.Printf("sidqserve: loaded road network %s (%d nodes, %d edges)",
+			*networkPath, g.NumNodes(), g.NumEdges())
+	}
 
 	svc := server.NewService(server.Config{
 		MaxBodyBytes:   *maxBody,
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
+		Stream:         streamCfg,
 	})
+	defer svc.Close()
 	handler := http.Handler(svc)
 	if *pprofOn {
 		// Profiling endpoints mount outside the service's middleware

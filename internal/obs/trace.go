@@ -30,6 +30,15 @@ const (
 	KindShard    = "shard"    // one shard of a data-parallel stage completed (N = shard index)
 )
 
+// Trace event kinds emitted by the server's streaming-session
+// registry (Name = session id).
+const (
+	KindSessionOpen  = "session-open"  // a streaming session was created
+	KindSessionClose = "session-close" // closed by the client (N = events emitted)
+	KindSessionEvict = "session-evict" // reclaimed by the idle-TTL janitor (N = events still pending)
+	KindSessionShed  = "session-shed"  // an open or chunk rejected with 429 (Err = reason)
+)
+
 // TraceSink receives trace events. Implementations must be safe for
 // concurrent use: a data-parallel runner records from every shard
 // worker.

@@ -1,0 +1,68 @@
+package server
+
+// Regression tests for the correctness fixes riding along with the
+// streaming subsystem: typed 413 detection, and the mid-stream
+// write-failure counter.
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The body cap must be detected by error type alone. A wrapped
+// *http.MaxBytesError — however deep the %w chain — is a 413; an error
+// whose *message* merely resembles the cap (a coincidental or
+// translated "request body too large" from a parser) must stay a 400.
+func TestBodyErrorTypedDetection(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"direct max-bytes", &http.MaxBytesError{Limit: 64}, http.StatusRequestEntityTooLarge},
+		{
+			"wrapped max-bytes",
+			fmt.Errorf("parse trajectory csv: %w", fmt.Errorf("record on line 3: %w", &http.MaxBytesError{Limit: 64})),
+			http.StatusRequestEntityTooLarge,
+		},
+		{
+			"coincidental message",
+			fmt.Errorf("parse readings csv: http: request body too large"),
+			http.StatusBadRequest,
+		},
+		{"plain parse failure", fmt.Errorf("parse trajectory csv: bad row"), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		bodyError(rec, tc.err)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, rec.Code, tc.want)
+		}
+	}
+}
+
+// A mid-stream response write failure must bump the counter and log
+// one line carrying the request ID, so truncated responses are visible
+// in both the scrape and the logs.
+func TestWriteErrorCountedAndLogged(t *testing.T) {
+	var logBuf strings.Builder
+	svc := NewService(Config{Logger: log.New(&logBuf, "", 0)})
+	defer svc.Close()
+
+	before := svc.metrics.Counter(mWriteErrs).Value()
+	req := httptest.NewRequest(http.MethodPost, "/v1/clean", nil)
+	req = req.WithContext(withRequestIDContext(req.Context(), "req-test-42"))
+	svc.writeError(req, fmt.Errorf("write tcp: broken pipe"))
+
+	if got := svc.metrics.Counter(mWriteErrs).Value(); got != before+1 {
+		t.Fatalf("%s = %d, want %d", mWriteErrs, got, before+1)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "req-test-42") || !strings.Contains(logged, "broken pipe") {
+		t.Fatalf("log line missing request id or cause: %q", logged)
+	}
+}

@@ -10,6 +10,7 @@ package server
 import (
 	"net/http"
 	"strconv"
+	"strings"
 
 	"sidq/internal/core"
 	"sidq/internal/obs"
@@ -23,6 +24,18 @@ const (
 	mInFlight  = "sidq_server_in_flight"
 	mShed      = "sidq_server_shed_total"
 	mSrvPanics = "sidq_server_panics_total"
+	mWriteErrs = "sidq_http_write_errors_total"
+
+	// Streaming-session families (see sessions.go).
+	mStreamOpen     = "sidq_stream_sessions_open"
+	mStreamOpened   = "sidq_stream_session_opened_total"
+	mStreamClosed   = "sidq_stream_session_closed_total"
+	mStreamEvicted  = "sidq_stream_session_evicted_total"
+	mStreamRejected = "sidq_stream_session_rejected_total"
+	mStreamIngested = `sidq_stream_session_events_total{kind="ingested"}`
+	mStreamEmitted  = `sidq_stream_session_events_total{kind="emitted"}`
+	mStreamLate     = `sidq_stream_session_events_total{kind="late"}`
+	mStreamOutlier  = `sidq_stream_session_events_total{kind="outlier"}`
 )
 
 // knownRoutes is the closed label set for the route label; anything
@@ -37,11 +50,21 @@ var knownRoutes = map[string]bool{
 	"/v1/healthz":         true,
 	"/v1/readyz":          true,
 	"/v1/metrics":         true,
+	"/v1/stream/open":     true,
+	"/v1/stream/ingest":   true,
 }
 
 func routeLabel(path string) string {
 	if knownRoutes[path] {
 		return path
+	}
+	// Streaming paths embed the session id; collapse them to the
+	// per-operation labels so ids cannot explode series cardinality.
+	if strings.HasPrefix(path, "/v1/stream/") {
+		if strings.HasSuffix(path, "/results") {
+			return "/v1/stream/results"
+		}
+		return "/v1/stream/session"
 	}
 	return "other"
 }
@@ -55,9 +78,24 @@ func (s *Service) initMetrics() {
 	reg.Help(mInFlight, "Requests currently being handled.")
 	reg.Help(mShed, "Requests shed with 503 by the concurrency limiter.")
 	reg.Help(mSrvPanics, "Handler panics recovered by the middleware.")
+	reg.Help(mWriteErrs, "Mid-stream response body write failures (client gone, connection reset).")
+	reg.Help("sidq_stream_sessions_open", "Streaming ingestion sessions currently open.")
+	reg.Help("sidq_stream_session_opened_total", "Streaming sessions opened.")
+	reg.Help("sidq_stream_session_closed_total", "Streaming sessions closed by the client.")
+	reg.Help("sidq_stream_session_evicted_total", "Streaming sessions evicted by the idle-TTL janitor.")
+	reg.Help("sidq_stream_session_rejected_total", "Streaming opens/chunks shed with 429 (session limit or full buffers).")
+	reg.Help("sidq_stream_session_events_total", "Streaming session events, by kind (ingested, emitted, late, outlier).")
 	reg.Gauge(mInFlight)
 	reg.Counter(mShed)
 	reg.Counter(mSrvPanics)
+	reg.Counter(mWriteErrs)
+	reg.Gauge(mStreamOpen)
+	for _, name := range []string{
+		mStreamOpened, mStreamClosed, mStreamEvicted, mStreamRejected,
+		mStreamIngested, mStreamEmitted, mStreamLate, mStreamOutlier,
+	} {
+		reg.Counter(name)
+	}
 	core.InitRunnerMetrics(reg)
 	roadnet.InstrumentTo(reg)
 	stream.InstrumentTo(reg)

@@ -12,6 +12,13 @@
 //	GET  /v1/readyz           readiness probe (503 while draining)
 //	GET  /v1/metrics          Prometheus text exposition
 //
+// Streaming ingestion (see sessions.go for the session model):
+//
+//	POST   /v1/stream/open          create a session -> JSON {session: id}
+//	POST   /v1/stream/ingest?session=ID   chunked point CSV -> JSON ack
+//	GET    /v1/stream/{id}/results  drain cleaned points (NDJSON or CSV)
+//	DELETE /v1/stream/{id}          close the session -> JSON summary
+//
 // Query parameters on the trajectory endpoints: maxspeed (m/s,
 // default 20) and interval (s, default 1) feed the assessment context;
 // the planner uses the default quality targets.
@@ -28,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -49,6 +57,8 @@ type Config struct {
 	RequestTimeout time.Duration // per-request deadline (default 30s; <0 disables)
 	Logger         *log.Logger   // access/panic log (default log.Default())
 	Metrics        *obs.Registry // metrics registry (default: a fresh registry)
+	Trace          obs.TraceSink // optional sink for session lifecycle trace events
+	Stream         StreamConfig  // streaming ingestion limits (see sessions.go)
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +77,7 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
+	c.Stream = c.Stream.withDefaults()
 	return c
 }
 
@@ -79,6 +90,7 @@ type Service struct {
 	inflight chan struct{}
 	reqSeq   atomic.Uint64
 	metrics  *obs.Registry
+	streams  *sessionRegistry
 }
 
 // NewService builds the service with the given limits. It starts
@@ -89,6 +101,7 @@ func NewService(cfg Config) *Service {
 	s.ready.Store(true)
 	s.metrics = s.cfg.Metrics
 	s.initMetrics()
+	s.streams = newSessionRegistry(s)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealth)
@@ -98,6 +111,7 @@ func NewService(cfg Config) *Service {
 	mux.HandleFunc("/v1/clean", s.handleClean)
 	mux.HandleFunc("/v1/readings/assess", handleReadingsAssess)
 	mux.HandleFunc("/v1/readings/clean", s.handleReadingsClean)
+	mux.HandleFunc("/v1/stream/", s.handleStream)
 
 	// Innermost first: limits apply around the handlers; recovery and
 	// request IDs wrap everything so even limiter rejections are
@@ -129,6 +143,11 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // SetReady flips the readiness probe; SetReady(false) makes /v1/readyz
 // return 503 so load balancers drain the instance ahead of shutdown.
 func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Close releases the service's background resources (the streaming
+// session janitor). The handler stays functional afterwards, but idle
+// sessions are no longer evicted.
+func (s *Service) Close() { s.streams.stopJanitor() }
 
 // New returns the middleware service handler with default limits
 // (kept for existing callers; NewService exposes the limits and the
@@ -175,29 +194,53 @@ func handleTaxonomy(w http.ResponseWriter, r *http.Request) {
 }
 
 // trajectoryDataset parses the request body and assessment parameters.
+// A malformed query parameter is reported as a *paramError (a 400), not
+// silently defaulted.
 func trajectoryDataset(r *http.Request) (*core.Dataset, error) {
+	maxSpeed, err := queryFloat(r, "maxspeed", 20)
+	if err != nil {
+		return nil, err
+	}
+	interval, err := queryFloat(r, "interval", 1)
+	if err != nil {
+		return nil, err
+	}
 	trs, err := trajectory.ReadCSV(r.Body)
 	if err != nil {
 		return nil, fmt.Errorf("parse trajectory csv: %w", err)
 	}
 	ds := &core.Dataset{
 		Trajectories:     trs,
-		MaxSpeed:         queryFloat(r, "maxspeed", 20),
-		ExpectedInterval: queryFloat(r, "interval", 1),
+		MaxSpeed:         maxSpeed,
+		ExpectedInterval: interval,
 	}
 	return ds, nil
 }
 
-func queryFloat(r *http.Request, key string, def float64) float64 {
+// paramError reports a malformed query parameter, naming the offender
+// so the client can tell `maxspeed=abc` apart from a body problem.
+type paramError struct {
+	key, value string
+}
+
+func (e *paramError) Error() string {
+	return fmt.Sprintf("invalid query parameter %s=%q: want a positive number", e.key, e.value)
+}
+
+// queryFloat parses a positive float query parameter. An empty or
+// absent parameter selects the default; anything unparsable or
+// non-positive is a *paramError so callers answer 400 rather than
+// silently substituting the default.
+func queryFloat(r *http.Request, key string, def float64) (float64, error) {
 	s := r.URL.Query().Get(key)
 	if s == "" {
-		return def
+		return def, nil
 	}
 	v, err := strconv.ParseFloat(s, 64)
-	if err != nil || v <= 0 {
-		return def
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return 0, &paramError{key: key, value: s}
 	}
-	return v
+	return v, nil
 }
 
 // assessmentJSON renders an Assessment as a stable JSON object.
@@ -212,10 +255,14 @@ func assessmentJSON(a quality.Assessment) map[string]float64 {
 }
 
 // bodyError maps a parse failure to the right status: 413 when the
-// body cap was hit, 400 otherwise.
+// body cap was hit, 400 otherwise. The cap is detected by type alone —
+// errors.As unwraps the parsers' fmt %w chains down to the
+// *http.MaxBytesError the MaxBytesReader injects, so no fragile
+// message matching is needed (or correct: a translated or coincidental
+// "request body too large" message must not turn a 400 into a 413).
 func bodyError(w http.ResponseWriter, err error) {
 	var mbe *http.MaxBytesError
-	if errors.As(err, &mbe) || strings.Contains(err.Error(), "request body too large") {
+	if errors.As(err, &mbe) {
 		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
 		return
 	}
@@ -262,10 +309,19 @@ func (s *Service) handleClean(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/csv")
 	w.Header().Set("X-Sidq-Stages", strings.Join(names, ","))
 	if err := trajectory.WriteCSV(w, cleaned.Trajectories); err != nil {
-		// Headers are gone; nothing more we can do but log via the error
-		// path of the connection.
-		return
+		// Headers are gone, so the status cannot change — but a
+		// mid-stream write failure (client hung up, connection reset)
+		// must not vanish: it is the signal that clients are receiving
+		// truncated cleaned data.
+		s.writeError(r, err)
 	}
+}
+
+// writeError records a mid-stream response write failure: one log line
+// tagged with the request ID and a bump of the write-errors counter.
+func (s *Service) writeError(r *http.Request, err error) {
+	s.metrics.Counter(mWriteErrs).Inc()
+	s.logf("request %s: response write failed: %v", requestID(r), err)
 }
 
 func handleReadingsAssess(w http.ResponseWriter, r *http.Request) {
@@ -305,7 +361,9 @@ func (s *Service) handleReadingsClean(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/csv")
 	w.Header().Set("X-Sidq-Stages", "deduplicate,thematic-repair")
-	_ = stid.WriteCSV(w, cleaned.Readings)
+	if err := stid.WriteCSV(w, cleaned.Readings); err != nil {
+		s.writeError(r, err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -188,10 +188,24 @@ func TestBadRequests(t *testing.T) {
 		t.Fatalf("garbage readings status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
-	// Bad query params fall back to defaults instead of failing.
-	resp, _ = http.Post(srv.URL+"/v1/assess?maxspeed=banana", "text/csv", trajectoryCSV(t))
+	// Bad query params are a client error naming the parameter, not a
+	// silent fall-back to defaults.
+	for _, q := range []string{"maxspeed=banana", "maxspeed=-3", "maxspeed=NaN", "interval=0"} {
+		resp, _ = http.Post(srv.URL+"/v1/assess?"+q, "text/csv", trajectoryCSV(t))
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad param %q status %d", q, resp.StatusCode)
+		}
+		key := strings.SplitN(q, "=", 2)[0]
+		if !strings.Contains(string(body), key) {
+			t.Fatalf("bad param %q error does not name the parameter: %q", q, body)
+		}
+	}
+	// Empty/absent params still take the documented defaults.
+	resp, _ = http.Post(srv.URL+"/v1/assess?maxspeed=", "text/csv", trajectoryCSV(t))
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("bad param status %d", resp.StatusCode)
+		t.Fatalf("empty param status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
 }

@@ -1,0 +1,832 @@
+package server
+
+// Streaming ingestion sessions: the serving path for the paper's §2.3
+// "exploit low-quality SID as it arrives" workload. A session is a
+// stateful, bounded stream processor living between HTTP requests:
+//
+//   - POST /v1/stream/open creates a session (lateness, lanes and
+//     maxspeed are per-session query parameters).
+//   - POST /v1/stream/ingest?session=ID feeds a chunk of point CSV
+//     rows "id,t,x,y" (header optional). The chunk is parsed fully
+//     before any of it is applied, so a malformed or disconnected
+//     chunk is rejected atomically. Rows fan out into keyed lanes
+//     (stream.FanOut: a source id always lands in the same lane), each
+//     lane reorders under the session's bounded-lateness watermark,
+//     and released events run through the incremental cleaner — a
+//     physical speed gate, plus an online HMM map matcher per source
+//     when the service carries a road network.
+//   - GET /v1/stream/{id}/results drains the cleaned points released
+//     so far as NDJSON (or CSV with ?format=csv); ?flush=1 first
+//     flushes the reorder buffers and matcher lag — end of stream.
+//   - DELETE /v1/stream/{id} closes the session and returns a summary.
+//
+// Sessions are bounded in every dimension: a session-count cap, a
+// per-lane reorder-buffer cap, a drained-results cap, and an idle TTL
+// enforced by a janitor goroutine. Over-limit opens and chunks are
+// shed with 429 + Retry-After rather than queued without bound.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sidq/internal/geo"
+	"sidq/internal/obs"
+	"sidq/internal/roadnet"
+	"sidq/internal/stream"
+	"sidq/internal/trajectory"
+	"sidq/internal/uncertain"
+)
+
+// StreamConfig bounds the streaming ingestion subsystem. Zero fields
+// take the defaults noted on each field.
+type StreamConfig struct {
+	MaxSessions    int           // open sessions before 429 (default 32)
+	MaxLanePending int           // buffered events per lane before 429 (default 4096)
+	MaxResults     int           // undrained cleaned points per session before 429 (default 65536)
+	IdleTTL        time.Duration // idle sessions are evicted after this (default 5m)
+	JanitorEvery   time.Duration // eviction sweep period (default 15s)
+	Lateness       float64       // default watermark lateness, event-time seconds (default 5)
+	Lanes          int           // default lanes per session (default 4)
+
+	// Network, when set, enables online map matching: each source gets
+	// an uncertain.OnlineMatcher over this graph and emitted points
+	// carry the snapped position and edge id.
+	Network  *roadnet.Graph
+	SnapCell float64 // snapper grid cell in meters (default 100)
+	MatchLag int     // matcher decision lag in points (default 5)
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 32
+	}
+	if c.MaxLanePending <= 0 {
+		c.MaxLanePending = 4096
+	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 1 << 16
+	}
+	if c.IdleTTL <= 0 {
+		c.IdleTTL = 5 * time.Minute
+	}
+	if c.JanitorEvery <= 0 {
+		c.JanitorEvery = 15 * time.Second
+	}
+	if c.Lateness < 0 {
+		c.Lateness = 0
+	} else if c.Lateness == 0 {
+		c.Lateness = 5
+	}
+	if c.Lanes <= 0 {
+		c.Lanes = 4
+	}
+	if c.SnapCell <= 0 {
+		c.SnapCell = 100
+	}
+	if c.MatchLag <= 0 {
+		c.MatchLag = 5
+	}
+	return c
+}
+
+// Shedding and lifecycle errors, mapped to statuses by the handlers.
+var (
+	errSessionLimit = errors.New("session limit reached")
+	errLaneFull     = errors.New("lane reorder buffer full")
+	errResultsFull  = errors.New("result buffer full, drain /results first")
+	errSessionGone  = errors.New("session closed")
+)
+
+// streamMetrics caches the registry pointers the hot ingest path bumps.
+type streamMetrics struct {
+	open     *obs.Gauge
+	opened   *obs.Counter
+	closed   *obs.Counter
+	evicted  *obs.Counter
+	rejected *obs.Counter
+	ingested *obs.Counter
+	emitted  *obs.Counter
+	late     *obs.Counter
+	outlier  *obs.Counter
+}
+
+// sessionRegistry owns every live streaming session plus the shared
+// matcher substrate and the idle-TTL janitor.
+type sessionRegistry struct {
+	cfg     StreamConfig
+	svc     *Service
+	m       streamMetrics
+	snapper *roadnet.Snapper // nil without a network
+	now     func() time.Time // injectable for eviction tests
+
+	mu       sync.Mutex
+	sessions map[string]*streamSession
+	seq      uint64
+
+	janitorOnce sync.Once
+	stopOnce    sync.Once
+	stopCh      chan struct{}
+}
+
+func newSessionRegistry(s *Service) *sessionRegistry {
+	cfg := s.cfg.Stream
+	reg := &sessionRegistry{
+		cfg:      cfg,
+		svc:      s,
+		now:      time.Now,
+		sessions: map[string]*streamSession{},
+		stopCh:   make(chan struct{}),
+		m: streamMetrics{
+			open:     s.metrics.Gauge(mStreamOpen),
+			opened:   s.metrics.Counter(mStreamOpened),
+			closed:   s.metrics.Counter(mStreamClosed),
+			evicted:  s.metrics.Counter(mStreamEvicted),
+			rejected: s.metrics.Counter(mStreamRejected),
+			ingested: s.metrics.Counter(mStreamIngested),
+			emitted:  s.metrics.Counter(mStreamEmitted),
+			late:     s.metrics.Counter(mStreamLate),
+			outlier:  s.metrics.Counter(mStreamOutlier),
+		},
+	}
+	if cfg.Network != nil {
+		reg.snapper = roadnet.NewSnapper(cfg.Network, cfg.SnapCell)
+	}
+	return reg
+}
+
+// trace emits a session lifecycle event when the service carries a
+// trace sink.
+func (reg *sessionRegistry) trace(ev obs.TraceEvent) {
+	if sink := reg.svc.cfg.Trace; sink != nil {
+		sink.Record(ev)
+	}
+}
+
+// startJanitor spawns the eviction goroutine once, on first session
+// open, so services that never stream pay nothing.
+func (reg *sessionRegistry) startJanitor() {
+	reg.janitorOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(reg.cfg.JanitorEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-reg.stopCh:
+					return
+				case <-t.C:
+					reg.sweep(reg.now())
+				}
+			}
+		}()
+	})
+}
+
+func (reg *sessionRegistry) stopJanitor() {
+	reg.stopOnce.Do(func() { close(reg.stopCh) })
+}
+
+// EvictIdleStreams runs one janitor sweep as of now and returns how
+// many sessions it reclaimed. The background janitor runs the same
+// sweep on a timer; this entry point exists for operational tooling
+// and deterministic tests.
+func (s *Service) EvictIdleStreams(now time.Time) int { return s.streams.sweep(now) }
+
+// sweep evicts sessions idle past the TTL and returns how many it
+// reclaimed. It is the janitor's tick body, exposed for deterministic
+// tests via the injectable clock.
+func (reg *sessionRegistry) sweep(now time.Time) int {
+	reg.mu.Lock()
+	var expired []*streamSession
+	for _, ss := range reg.sessions {
+		ss.mu.Lock()
+		idle := now.Sub(ss.lastActive)
+		ss.mu.Unlock()
+		if idle > reg.cfg.IdleTTL {
+			expired = append(expired, ss)
+		}
+	}
+	for _, ss := range expired {
+		delete(reg.sessions, ss.id)
+	}
+	reg.mu.Unlock()
+	for _, ss := range expired {
+		pending := ss.shutdown()
+		reg.m.open.Dec()
+		reg.m.evicted.Inc()
+		reg.trace(obs.TraceEvent{Name: ss.id, Kind: obs.KindSessionEvict, N: pending})
+		reg.svc.logf("stream session %s: evicted after %s idle (%d events pending)", ss.id, reg.cfg.IdleTTL, pending)
+	}
+	return len(expired)
+}
+
+// open creates a session or fails with errSessionLimit.
+func (reg *sessionRegistry) open(lateness, maxSpeed float64, lanes int) (*streamSession, error) {
+	reg.mu.Lock()
+	if len(reg.sessions) >= reg.cfg.MaxSessions {
+		reg.mu.Unlock()
+		reg.m.rejected.Inc()
+		reg.trace(obs.TraceEvent{Name: "open", Kind: obs.KindSessionShed, Err: errSessionLimit.Error()})
+		return nil, errSessionLimit
+	}
+	reg.seq++
+	ss := &streamSession{
+		id:         fmt.Sprintf("st-%06d", reg.seq),
+		reg:        reg,
+		lateness:   lateness,
+		maxSpeed:   maxSpeed,
+		srcOrder:   map[string]int{},
+		lastActive: reg.now(),
+	}
+	for i := 0; i < lanes; i++ {
+		ss.lanes = append(ss.lanes, &streamLane{sources: map[string]*sourceState{}})
+	}
+	reg.sessions[ss.id] = ss
+	reg.mu.Unlock()
+	reg.startJanitor()
+	reg.m.open.Inc()
+	reg.m.opened.Inc()
+	reg.trace(obs.TraceEvent{Name: ss.id, Kind: obs.KindSessionOpen, N: lanes})
+	return ss, nil
+}
+
+// get returns the live session with the given id.
+func (reg *sessionRegistry) get(id string) (*streamSession, bool) {
+	reg.mu.Lock()
+	ss, ok := reg.sessions[id]
+	reg.mu.Unlock()
+	return ss, ok
+}
+
+// close removes and shuts down a session (client-initiated).
+func (reg *sessionRegistry) close(id string) (*streamSession, bool) {
+	reg.mu.Lock()
+	ss, ok := reg.sessions[id]
+	delete(reg.sessions, id)
+	reg.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	ss.shutdown()
+	reg.m.open.Dec()
+	reg.m.closed.Inc()
+	ss.mu.Lock()
+	emitted := ss.emitted
+	ss.mu.Unlock()
+	reg.trace(obs.TraceEvent{Name: ss.id, Kind: obs.KindSessionClose, N: emitted})
+	return ss, true
+}
+
+// srcPoint is one ingested sample: the source id plus the sample.
+type srcPoint struct {
+	src string
+	pt  trajectory.Point
+}
+
+// sourceState is the per-source incremental cleaning state. A source
+// lives in exactly one lane (LaneFor of its id), so lane goroutines
+// touch disjoint source states. The reorderer — and therefore the
+// lateness watermark — is per source, not per lane: sources sharing a
+// lane may sit at wildly different event times (one client replaying
+// history while another streams live), and a shared watermark would
+// let the fastest source drop every other source's rows as late.
+type sourceState struct {
+	re      *stream.Reorderer[trajectory.Point]
+	hasLast bool
+	last    trajectory.Point // last accepted point, the speed-gate anchor
+	matcher *uncertain.OnlineMatcher
+}
+
+// streamLane is one keyed lane: the affinity/parallelism unit holding
+// the states of the sources hashed to it.
+type streamLane struct {
+	sources map[string]*sourceState
+}
+
+// pending sums the lane's buffered (not yet released) events.
+func (l *streamLane) pending() int {
+	n := 0
+	for _, st := range l.sources {
+		n += st.re.Pending()
+	}
+	return n
+}
+
+// streamResult is one cleaned output point (an NDJSON line). Edge is
+// set only when a road network is loaded and the point was matched.
+type streamResult struct {
+	Source string  `json:"source"`
+	T      float64 `json:"t"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Edge   *int    `json:"edge,omitempty"`
+}
+
+// streamSession is one client's stream state between requests.
+type streamSession struct {
+	id       string
+	reg      *sessionRegistry
+	lateness float64 // per-source watermark lateness, event-time seconds
+	maxSpeed float64 // speed gate bound, m/s (0 disables)
+
+	mu         sync.Mutex
+	closed     bool
+	lanes      []*streamLane
+	srcOrder   map[string]int // source id -> first-appearance rank
+	srcIDs     []string       // source ids in first-appearance order
+	results    []streamResult // cleaned, undrained
+	lastActive time.Time
+
+	ingested, emitted, late, outliers int
+}
+
+// laneOut is one lane's contribution to a chunk or flush.
+type laneOut struct {
+	res            []streamResult
+	late, outliers int
+}
+
+// sourceFor returns the lane's state for src, creating it on first
+// sight. Caller must be the only goroutine touching this lane.
+func (ss *streamSession) sourceFor(l *streamLane, src string) *sourceState {
+	st := l.sources[src]
+	if st == nil {
+		st = &sourceState{re: stream.NewReorderer[trajectory.Point](ss.lateness)}
+		if ss.reg.snapper != nil {
+			st.matcher = uncertain.NewOnlineMatcher(
+				ss.reg.cfg.Network, ss.reg.snapper, uncertain.MatchOptions{}, ss.reg.cfg.MatchLag)
+		}
+		l.sources[src] = st
+	}
+	return st
+}
+
+// cleanInto runs one released (in-order) point through the incremental
+// cleaner, appending any emitted points to out. Caller must be the only
+// goroutine touching this source's lane.
+func (ss *streamSession) cleanInto(st *sourceState, src string, pt trajectory.Point, out *laneOut) {
+	if st.hasLast && ss.maxSpeed > 0 {
+		dt := pt.T - st.last.T
+		if dt <= 0 || st.last.Pos.Dist(pt.Pos)/dt > ss.maxSpeed {
+			out.outliers++
+			return
+		}
+	}
+	st.last, st.hasLast = pt, true
+	if st.matcher != nil {
+		for _, m := range st.matcher.Push(pt) {
+			e := int(m.Snap.Edge)
+			out.res = append(out.res, streamResult{
+				Source: src, T: m.Point.T, X: m.Snap.Pos.X, Y: m.Snap.Pos.Y, Edge: &e,
+			})
+		}
+		return
+	}
+	out.res = append(out.res, streamResult{Source: src, T: pt.T, X: pt.Pos.X, Y: pt.Pos.Y})
+}
+
+// ingestAck is the JSON response to one ingest chunk.
+type ingestAck struct {
+	Session        string `json:"session"`
+	Ingested       int    `json:"ingested"`
+	Released       int    `json:"released"`
+	PendingReorder int    `json:"pending_reorder"`
+	PendingResults int    `json:"pending_results"`
+}
+
+// ingest applies one parsed chunk atomically: backpressure is checked
+// up front, so a rejected chunk leaves the session untouched.
+func (ss *streamSession) ingest(events []stream.Event[srcPoint], now time.Time) (ingestAck, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return ingestAck{}, errSessionGone
+	}
+	ss.lastActive = now
+	for _, e := range events {
+		if _, ok := ss.srcOrder[e.Value.src]; !ok {
+			ss.srcOrder[e.Value.src] = len(ss.srcIDs)
+			ss.srcIDs = append(ss.srcIDs, e.Value.src)
+		}
+	}
+	lanes := stream.FanOut(events, len(ss.lanes), func(e stream.Event[srcPoint]) string { return e.Value.src })
+	for i, le := range lanes {
+		if len(le) > 0 && ss.lanes[i].pending()+len(le) > ss.reg.cfg.MaxLanePending {
+			return ingestAck{}, errLaneFull
+		}
+	}
+	if len(ss.results)+len(events) > ss.reg.cfg.MaxResults {
+		return ingestAck{}, errResultsFull
+	}
+	// Lanes are disjoint (a source id always hashes to the same lane),
+	// so they process in parallel; merging in lane-index order keeps
+	// the result order deterministic.
+	outs := stream.ProcessLanes(lanes, 0, func(i int, evs []stream.Event[srcPoint]) laneOut {
+		l := ss.lanes[i]
+		var lo laneOut
+		for _, e := range evs {
+			st := ss.sourceFor(l, e.Value.src)
+			lateBefore := st.re.LateCount()
+			for _, rel := range st.re.Push(stream.Event[trajectory.Point]{Time: e.Time, Value: e.Value.pt}) {
+				ss.cleanInto(st, e.Value.src, rel.Value, &lo)
+			}
+			lo.late += st.re.LateCount() - lateBefore
+		}
+		return lo
+	})
+	released := 0
+	for _, lo := range outs {
+		ss.results = append(ss.results, lo.res...)
+		released += len(lo.res)
+		ss.late += lo.late
+		ss.outliers += lo.outliers
+	}
+	ss.ingested += len(events)
+	ss.emitted += released
+	m := &ss.reg.m
+	m.ingested.Add(uint64(len(events)))
+	m.emitted.Add(uint64(released))
+	m.late.Add(uint64(sumLate(outs)))
+	m.outlier.Add(uint64(sumOutliers(outs)))
+	return ingestAck{
+		Session:        ss.id,
+		Ingested:       len(events),
+		Released:       released,
+		PendingReorder: ss.pendingReorderLocked(),
+		PendingResults: len(ss.results),
+	}, nil
+}
+
+func sumLate(outs []laneOut) (n int) {
+	for _, lo := range outs {
+		n += lo.late
+	}
+	return n
+}
+
+func sumOutliers(outs []laneOut) (n int) {
+	for _, lo := range outs {
+		n += lo.outliers
+	}
+	return n
+}
+
+// pendingReorderLocked sums the source reorder buffers plus any
+// matcher lag. Caller holds ss.mu.
+func (ss *streamSession) pendingReorderLocked() int {
+	n := 0
+	for _, l := range ss.lanes {
+		n += l.pending()
+		for _, st := range l.sources {
+			if st.matcher != nil {
+				n += st.matcher.Pending()
+			}
+		}
+	}
+	return n
+}
+
+// drain hands back (and forgets) the cleaned results accumulated so
+// far, in emission order. With flush, the lane reorder buffers and the
+// matchers' decision lag are flushed first — end of stream. The
+// returned source ids are in first-appearance order, for grouped (CSV)
+// rendering.
+func (ss *streamSession) drain(flush bool, now time.Time) ([]streamResult, []string, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return nil, nil, errSessionGone
+	}
+	ss.lastActive = now
+	if flush {
+		emittedBefore := len(ss.results)
+		// Flush per source in first-appearance order — reorder buffer
+		// first, then the matcher's decision lag — so the tail of the
+		// output is deterministic regardless of lane hashing.
+		for _, src := range ss.srcIDs {
+			l := ss.lanes[stream.LaneFor(src, len(ss.lanes))]
+			st := l.sources[src]
+			if st == nil {
+				continue
+			}
+			var lo laneOut
+			for _, rel := range st.re.Flush() {
+				ss.cleanInto(st, src, rel.Value, &lo)
+			}
+			if st.matcher != nil {
+				for _, m := range st.matcher.Flush() {
+					e := int(m.Snap.Edge)
+					lo.res = append(lo.res, streamResult{
+						Source: src, T: m.Point.T, X: m.Snap.Pos.X, Y: m.Snap.Pos.Y, Edge: &e,
+					})
+				}
+			}
+			ss.results = append(ss.results, lo.res...)
+			ss.outliers += lo.outliers
+			ss.reg.m.outlier.Add(uint64(lo.outliers))
+		}
+		released := len(ss.results) - emittedBefore
+		ss.emitted += released
+		ss.reg.m.emitted.Add(uint64(released))
+	}
+	out := ss.results
+	ss.results = nil
+	srcs := append([]string(nil), ss.srcIDs...)
+	return out, srcs, nil
+}
+
+// shutdown marks the session closed and returns how many events were
+// still pending (reorder buffers, matcher lag, undrained results).
+func (ss *streamSession) shutdown() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return 0
+	}
+	ss.closed = true
+	return ss.pendingReorderLocked() + len(ss.results)
+}
+
+// --- HTTP handlers -------------------------------------------------
+
+// handleStream dispatches the /v1/stream/ subtree.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/stream/")
+	switch {
+	case rest == "open":
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.handleStreamOpen(w, r)
+	case rest == "ingest":
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.handleStreamIngest(w, r)
+	case strings.HasSuffix(rest, "/results"):
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.handleStreamResults(w, r, strings.TrimSuffix(rest, "/results"))
+	case rest != "" && !strings.Contains(rest, "/"):
+		if r.Method != http.MethodDelete {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.handleStreamClose(w, r, rest)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Service) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
+	lateness, err := queryFloat0(r, "lateness", s.cfg.Stream.Lateness)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	maxSpeed, err := queryFloat0(r, "maxspeed", 20)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	lanes, err := queryIntRange(r, "lanes", s.cfg.Stream.Lanes, 1, 64)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ss, err := s.streams.open(lateness, maxSpeed, lanes)
+	if err != nil {
+		shed429(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]interface{}{
+		"session":  ss.id,
+		"lateness": lateness,
+		"maxspeed": maxSpeed,
+		"lanes":    lanes,
+	})
+}
+
+func (s *Service) handleStreamIngest(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("session")
+	if id == "" {
+		http.Error(w, "missing query parameter session", http.StatusBadRequest)
+		return
+	}
+	ss, ok := s.streams.get(id)
+	if !ok {
+		http.Error(w, "unknown session "+id, http.StatusNotFound)
+		return
+	}
+	events, err := parsePointChunk(r.Body)
+	if err != nil {
+		bodyError(w, err)
+		return
+	}
+	ack, err := ss.ingest(events, s.streams.now())
+	if err != nil {
+		s.streamError(w, ss.id, err)
+		return
+	}
+	w.Header().Set("X-Sidq-Session", ss.id)
+	writeJSON(w, ack)
+}
+
+func (s *Service) handleStreamResults(w http.ResponseWriter, r *http.Request, id string) {
+	ss, ok := s.streams.get(id)
+	if !ok {
+		http.Error(w, "unknown session "+id, http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	flush := q.Get("flush") == "1" || q.Get("flush") == "true"
+	format := q.Get("format")
+	if format == "" {
+		format = "ndjson"
+	}
+	if format != "ndjson" && format != "csv" {
+		http.Error(w, (&paramError{key: "format", value: format}).Error(), http.StatusBadRequest)
+		return
+	}
+	results, srcs, err := ss.drain(flush, s.streams.now())
+	if err != nil {
+		s.streamError(w, ss.id, err)
+		return
+	}
+	w.Header().Set("X-Sidq-Session", ss.id)
+	w.Header().Set("X-Sidq-Drained", strconv.Itoa(len(results)))
+	if format == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		if err := trajectory.WriteCSV(w, resultTrajectories(results, srcs)); err != nil {
+			s.writeError(r, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, res := range results {
+		if err := enc.Encode(res); err != nil {
+			s.writeError(r, err)
+			return
+		}
+	}
+}
+
+func (s *Service) handleStreamClose(w http.ResponseWriter, r *http.Request, id string) {
+	ss, ok := s.streams.close(id)
+	if !ok {
+		http.Error(w, "unknown session "+id, http.StatusNotFound)
+		return
+	}
+	ss.mu.Lock()
+	summary := map[string]interface{}{
+		"session":  ss.id,
+		"ingested": ss.ingested,
+		"emitted":  ss.emitted,
+		"late":     ss.late,
+		"outliers": ss.outliers,
+		"dropped":  len(ss.results) + ss.pendingReorderLocked(),
+	}
+	ss.mu.Unlock()
+	writeJSON(w, summary)
+}
+
+// streamError maps session-layer errors onto statuses: shedding is a
+// 429 the client should back off from; a closed/evicted session is a
+// 404 (its id no longer names anything).
+func (s *Service) streamError(w http.ResponseWriter, id string, err error) {
+	switch {
+	case errors.Is(err, errLaneFull), errors.Is(err, errResultsFull):
+		s.streams.m.rejected.Inc()
+		s.streams.trace(obs.TraceEvent{Name: id, Kind: obs.KindSessionShed, Err: err.Error()})
+		shed429(w, err)
+	case errors.Is(err, errSessionGone):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func shed429(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, err.Error(), http.StatusTooManyRequests)
+}
+
+// resultTrajectories groups drained results into per-source
+// trajectories in first-appearance order — the exact grouping
+// trajectory.ReadCSV produces for the same rows, so a fully drained
+// in-order session serializes byte-identically to the batch path.
+func resultTrajectories(results []streamResult, srcs []string) []*trajectory.Trajectory {
+	bySrc := map[string][]trajectory.Point{}
+	for _, res := range results {
+		bySrc[res.Source] = append(bySrc[res.Source], trajectory.Point{T: res.T, Pos: geo.Pt(res.X, res.Y)})
+	}
+	var out []*trajectory.Trajectory
+	for _, src := range srcs {
+		if pts := bySrc[src]; len(pts) > 0 {
+			out = append(out, &trajectory.Trajectory{ID: src, Points: pts})
+		}
+	}
+	return out
+}
+
+// parsePointChunk decodes a chunk of "id,t,x,y" CSV rows (header
+// optional) into events. The whole chunk is parsed before anything is
+// applied; any malformed row rejects the chunk.
+func parsePointChunk(r io.Reader) ([]stream.Event[srcPoint], error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	var events []stream.Event[srcPoint]
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("parse point csv: %w", err)
+		}
+		if first {
+			first = false
+			if rec[0] == "id" {
+				continue
+			}
+		}
+		if rec[0] == "" {
+			return nil, fmt.Errorf("parse point csv: empty source id")
+		}
+		t, err := parseFinite(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("parse point csv: bad t %q: %w", rec[1], err)
+		}
+		x, err := parseFinite(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("parse point csv: bad x %q: %w", rec[2], err)
+		}
+		y, err := parseFinite(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("parse point csv: bad y %q: %w", rec[3], err)
+		}
+		events = append(events, stream.Event[srcPoint]{
+			Time:  t,
+			Value: srcPoint{src: rec[0], pt: trajectory.Point{T: t, Pos: geo.Pt(x, y)}},
+		})
+	}
+	return events, nil
+}
+
+// parseFinite parses a float and rejects NaN/Inf — a NaN event time
+// would corrupt the reorder buffer's sort invariant.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, errors.New("not finite")
+	}
+	return v, nil
+}
+
+// queryFloat0 is queryFloat admitting zero: lateness=0 is strict
+// in-order mode and maxspeed=0 disables the speed gate.
+func queryFloat0(r *http.Request, key string, def float64) (float64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, &paramError{key: key, value: s}
+	}
+	return v, nil
+}
+
+// queryIntRange parses an integer query parameter clamped to [lo, hi].
+func queryIntRange(r *http.Request, key string, def, lo, hi int) (int, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < lo || v > hi {
+		return 0, &paramError{key: key, value: s}
+	}
+	return v, nil
+}

@@ -1,10 +1,37 @@
 package stream
 
 import (
-	"hash/fnv"
 	"runtime"
 	"sync"
 )
+
+// FNV-1a 32-bit parameters (FNV-0 offset basis and prime).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// fnv32a hashes s with 32-bit FNV-1a, bit-identical to
+// hash/fnv.New32a but with no hasher allocation and no byte-slice
+// conversion — FanOut sits on the per-event ingest hot path.
+func fnv32a(s string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * fnvPrime32
+	}
+	return h
+}
+
+// LaneFor returns the lane a key is assigned to among lanes lanes —
+// the pure function FanOut partitions by, exported so keyed-session
+// callers can locate a key's lane (and its per-lane state) without
+// building a batch. lanes <= 0 selects 1.
+func LaneFor(key string, lanes int) int {
+	if lanes <= 0 {
+		return 0
+	}
+	return int(fnv32a(key) % uint32(lanes))
+}
 
 // FanOut partitions an event stream into lane sub-streams by a key
 // function (typically the source sensor or trajectory id), using an
@@ -19,9 +46,7 @@ func FanOut[T any](events []Event[T], lanes int, key func(Event[T]) string) [][]
 	}
 	out := make([][]Event[T], lanes)
 	for _, e := range events {
-		h := fnv.New32a()
-		_, _ = h.Write([]byte(key(e)))
-		l := int(h.Sum32() % uint32(lanes))
+		l := LaneFor(key(e), lanes)
 		out[l] = append(out[l], e)
 	}
 	return out

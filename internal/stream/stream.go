@@ -75,9 +75,19 @@ func (r *Reorderer[T]) release(upTo float64) []Event[T] {
 	return out
 }
 
-// Flush releases all remaining buffered events in order.
+// Flush releases all remaining buffered events in order and advances
+// the watermark past them: a Push after Flush with an event time at or
+// before the flushed maximum is late by definition (it would otherwise
+// be emitted behind events already released, breaking the engine's
+// global-order guarantee).
 func (r *Reorderer[T]) Flush() []Event[T] {
 	out := append([]Event[T](nil), r.buf...)
+	if n := len(out); n > 0 {
+		// buf is kept time-sorted, so the maximum is the last element.
+		if t := out[n-1].Time; t > r.watermark {
+			r.watermark = t
+		}
+	}
 	r.buf = r.buf[:0]
 	r.emitted += len(out)
 	obsCount(&pkgObs.emitted, uint64(len(out)))
