@@ -12,6 +12,10 @@
 #   make chaos          the chaos-injection harness under -race (runner,
 #                       fault injectors, hardened server, stream engine
 #                       + streaming-session scenarios)
+#   make crash          crash-recovery gate under -race: the WAL
+#                       truncation/bit-flip/crash-image sweeps, the
+#                       fault-injected durability wiring, and the
+#                       kill-mid-chunk byte-identity scenarios
 #   make bench          compile-and-run the benchmark suite briefly
 #   make bench-json     run the benchmarks for real and write a dated
 #                       BENCH_<date>.json baseline (ns/op, B/op,
@@ -26,11 +30,11 @@
 GO ?= go
 BENCHTIME ?= 2x
 
-.PHONY: check ci fmt-check vet test race race-hammer chaos bench bench-json bench-compare
+.PHONY: check ci fmt-check vet test race race-hammer chaos crash bench bench-json bench-compare
 
-check: vet test race-hammer bench-compare
+check: vet test race-hammer crash bench-compare
 
-ci: fmt-check vet test race chaos
+ci: fmt-check vet test race chaos crash
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -54,6 +58,13 @@ race-hammer:
 
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos ./internal/core ./internal/server ./internal/stream
+
+# Crash recovery must hold under the race detector too: the group
+# commit, the replay path, and the snapshot writer all touch shared
+# session state.
+crash:
+	$(GO) test -race -count=1 ./internal/store
+	$(GO) test -race -count=1 -run 'TestDurable|TestHistory|TestChaosStore' ./internal/server ./internal/chaos
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

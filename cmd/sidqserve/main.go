@@ -20,6 +20,15 @@
 // -stream-lateness sets the default reorder watermark. -network loads
 // a road network (roadnet CSV: node,x,y / edge,from,to,speedcap rows)
 // and turns on online map matching for streamed points.
+//
+// Durability: -data <dir> turns on the write-ahead log — every
+// accepted ingest chunk is persisted before it is acknowledged,
+// session state is snapshotted every -snapshot-every chunks, and a
+// restart (including kill -9) recovers every acknowledged row and
+// serves GET /v1/history/range from the on-disk segments. -fsync
+// picks the durability point: always (fsync before every ack), batch
+// (background fsync, the default), or off (benchmarks only). Verify a
+// data directory offline with "sidqstore verify <dir>".
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 
 	"sidq/internal/roadnet"
 	"sidq/internal/server"
+	"sidq/internal/store"
 )
 
 func main() {
@@ -51,6 +61,10 @@ func main() {
 		maxSessions    = flag.Int("stream-max-sessions", 32, "open streaming sessions before shedding with 429")
 		streamIdleTTL  = flag.Duration("stream-idle-ttl", 5*time.Minute, "idle streaming sessions are evicted after this")
 		streamLateness = flag.Float64("stream-lateness", 5, "default event-time lateness bound (seconds) for stream reordering")
+
+		dataDir   = flag.String("data", "", "durable data directory; empty runs memory-only")
+		fsyncFlag = flag.String("fsync", "batch", "WAL durability point: always, batch, or off")
+		snapEvery = flag.Int("snapshot-every", 16, "checkpoint session state into the WAL every N chunks")
 	)
 	flag.Parse()
 
@@ -74,13 +88,32 @@ func main() {
 			*networkPath, g.NumNodes(), g.NumEdges())
 	}
 
-	svc := server.NewService(server.Config{
+	cfg := server.Config{
 		MaxBodyBytes:   *maxBody,
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
 		Stream:         streamCfg,
-	})
+	}
+	if *dataDir != "" {
+		mode, err := store.ParseFsyncMode(*fsyncFlag)
+		if err != nil {
+			log.Fatalf("sidqserve: -fsync: %v", err)
+		}
+		cfg.Durability = server.DurabilityConfig{
+			Dir:           *dataDir,
+			Fsync:         mode,
+			SnapshotEvery: *snapEvery,
+		}
+	}
+	svc, err := server.OpenService(cfg)
+	if err != nil {
+		log.Fatalf("sidqserve: open %s: %v", *dataDir, err)
+	}
 	defer svc.Close()
+	if *dataDir != "" {
+		log.Printf("sidqserve: durable data in %s (fsync=%s, snapshot-every=%d)",
+			*dataDir, *fsyncFlag, *snapEvery)
+	}
 	handler := http.Handler(svc)
 	if *pprofOn {
 		// Profiling endpoints mount outside the service's middleware

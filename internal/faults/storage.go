@@ -1,0 +1,351 @@
+package faults
+
+// Storage fault injection for the durability layer (internal/store):
+// the paper's fault-correction story extended from data faults to
+// infrastructure faults. Two injectors are provided:
+//
+//   - CrashFS: an in-memory store.FS that models durability the way a
+//     strict POSIX disk does. File data is durable only up to the last
+//     File.Sync; directory entries (creates, renames, removes) are
+//     durable only after SyncDir. Crash() produces the post-crash disk
+//     image: unsynced data vanishes (optionally leaving a torn,
+//     bit-flipped tail — the partially written page), unsynced renames
+//     revert, unsynced creates disappear, and unsynced removes
+//     resurrect their file. Recovery code that survives CrashFS at
+//     every kill point survives a real power cut.
+//   - Fault arming on CrashFS: injected fsync failures (sticky, the
+//     fsyncgate model — after one failure nothing can be trusted) and
+//     short writes with a byte budget.
+//
+// CrashFS is also a fast plain in-memory FS when no faults are armed,
+// which is what makes truncate-at-every-byte-offset recovery sweeps
+// affordable.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"sidq/internal/store"
+)
+
+// Injected error sentinels, matchable with errors.Is.
+var (
+	ErrInjectedFsync = errors.New("faults: injected fsync failure")
+	ErrInjectedWrite = errors.New("faults: injected short write")
+)
+
+// crashNode is one file's inode: current (page-cache) content and the
+// content an fsync has made durable.
+type crashNode struct {
+	data    []byte
+	durable []byte
+}
+
+// CrashFS is the crash-image in-memory filesystem. Safe for concurrent
+// use. The zero value is not usable; call NewCrashFS.
+type CrashFS struct {
+	mu   sync.Mutex
+	cur  map[string]*crashNode // current directory view: path -> inode
+	dur  map[string]*crashNode // durable directory view (after SyncDir)
+	dirs map[string]bool
+
+	syncsLeft  int   // file Syncs remaining before failure; -1 = unarmed
+	writeLeft  int64 // write bytes remaining before short write; -1 = unarmed
+	writeShort int   // how many bytes of the failing write still land
+	failed     bool  // sticky: a fault fired
+}
+
+// NewCrashFS returns an empty in-memory filesystem.
+func NewCrashFS() *CrashFS {
+	return &CrashFS{
+		cur:       map[string]*crashNode{},
+		dur:       map[string]*crashNode{},
+		dirs:      map[string]bool{},
+		syncsLeft: -1,
+		writeLeft: -1,
+	}
+}
+
+// FailFsyncAfter arms fsync failure: the first n File.Sync calls
+// succeed, every later one fails with ErrInjectedFsync. The data those
+// failed fsyncs claimed to cover is NOT marked durable — the injector
+// models a disk that lied.
+func (fs *CrashFS) FailFsyncAfter(n int) {
+	fs.mu.Lock()
+	fs.syncsLeft = n
+	fs.mu.Unlock()
+}
+
+// FailWriteAfter arms short writes: writes consume a budget of n
+// bytes; the write that would exceed it lands only short bytes of its
+// buffer and returns ErrInjectedWrite, as do all writes after it.
+func (fs *CrashFS) FailWriteAfter(n int64, short int) {
+	fs.mu.Lock()
+	fs.writeLeft, fs.writeShort = n, short
+	fs.mu.Unlock()
+}
+
+// Failed reports whether an armed fault has fired.
+func (fs *CrashFS) Failed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.failed
+}
+
+// Crash returns the post-crash disk image as a fresh, unarmed CrashFS.
+// Every durable directory entry reappears with its durable data; with
+// torn true, the file with the most unsynced data additionally keeps a
+// seed-determined prefix of that lost tail, with one byte corrupted —
+// the partially flushed page a real crash leaves.
+func (fs *CrashFS) Crash(seed int64, torn bool) *CrashFS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	img := NewCrashFS()
+	for d := range fs.dirs {
+		img.dirs[d] = true
+	}
+	// Pick the torn-tail victim deterministically: the durably listed
+	// file with the largest unsynced suffix, ties broken by path.
+	var victim string
+	var victimLost int
+	paths := make([]string, 0, len(fs.dur))
+	for p := range fs.dur {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		n := fs.dur[p]
+		if lost := len(n.data) - len(n.durable); lost > victimLost {
+			victim, victimLost = p, lost
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range paths {
+		n := fs.dur[p]
+		data := append([]byte(nil), n.durable...)
+		if torn && p == victim && victimLost > 0 {
+			keep := rng.Intn(victimLost + 1)
+			tail := append([]byte(nil), n.data[len(n.durable):len(n.durable)+keep]...)
+			if len(tail) > 0 && rng.Intn(2) == 0 {
+				tail[rng.Intn(len(tail))] ^= 1 << uint(rng.Intn(8))
+			}
+			data = append(data, tail...)
+		}
+		img.cur[p] = &crashNode{data: data, durable: append([]byte(nil), data...)}
+		img.dur[p] = img.cur[p]
+	}
+	return img
+}
+
+// MkdirAll implements store.FS.
+func (fs *CrashFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	clean := path.Clean(dir)
+	for clean != "." && clean != "/" {
+		fs.dirs[clean] = true
+		clean = path.Dir(clean)
+	}
+	return nil
+}
+
+// Create implements store.FS.
+func (fs *CrashFS) Create(name string) (store.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	node := fs.cur[name]
+	if node == nil {
+		node = &crashNode{}
+		fs.cur[name] = node
+	}
+	node.data = nil // truncate the cache; durable content survives until Sync
+	return &crashHandle{fs: fs, node: node}, nil
+}
+
+// Open implements store.FS.
+func (fs *CrashFS) Open(name string) (store.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	node := fs.cur[name]
+	if node == nil {
+		return nil, fmt.Errorf("faults: open %s: file does not exist", name)
+	}
+	return &crashHandle{fs: fs, node: node}, nil
+}
+
+// ReadDir implements store.FS.
+func (fs *CrashFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	clean := path.Clean(dir)
+	if !fs.dirs[clean] {
+		return nil, fmt.Errorf("faults: readdir %s: no such directory", dir)
+	}
+	var names []string
+	for p := range fs.cur {
+		if path.Dir(p) == clean {
+			names = append(names, strings.TrimPrefix(p, clean+"/"))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements store.FS. The entry move is durable only after
+// SyncDir.
+func (fs *CrashFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	node := fs.cur[oldname]
+	if node == nil {
+		return fmt.Errorf("faults: rename %s: file does not exist", oldname)
+	}
+	fs.cur[newname] = node
+	delete(fs.cur, oldname)
+	return nil
+}
+
+// Remove implements store.FS. The removal is durable only after
+// SyncDir — until then a crash resurrects the file.
+func (fs *CrashFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.cur[name] == nil {
+		return fmt.Errorf("faults: remove %s: file does not exist", name)
+	}
+	delete(fs.cur, name)
+	return nil
+}
+
+// SyncDir implements store.FS: the directory's current entries become
+// the durable entries.
+func (fs *CrashFS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	clean := path.Clean(dir)
+	for p := range fs.dur {
+		if path.Dir(p) == clean {
+			if fs.cur[p] == nil {
+				delete(fs.dur, p)
+			}
+		}
+	}
+	for p, n := range fs.cur {
+		if path.Dir(p) == clean {
+			fs.dur[p] = n
+		}
+	}
+	return nil
+}
+
+// crashHandle is one open descriptor: an offset over a shared inode.
+type crashHandle struct {
+	fs   *CrashFS
+	node *crashNode
+	off  int64
+}
+
+// Write implements store.File, honoring the short-write budget.
+func (h *crashHandle) Write(p []byte) (int, error) {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := len(p)
+	var failErr error
+	if fs.writeLeft >= 0 {
+		if int64(n) > fs.writeLeft {
+			n = int(fs.writeLeft) + fs.writeShort
+			if n > len(p) {
+				n = len(p)
+			}
+			fs.failed = true
+			failErr = ErrInjectedWrite
+			fs.writeLeft = 0
+			fs.writeShort = 0
+		} else {
+			fs.writeLeft -= int64(n)
+		}
+	}
+	end := h.off + int64(n)
+	for int64(len(h.node.data)) < end {
+		h.node.data = append(h.node.data, 0)
+	}
+	copy(h.node.data[h.off:end], p[:n])
+	h.off = end
+	return n, failErr
+}
+
+// ReadAt implements store.File.
+func (h *crashHandle) ReadAt(p []byte, off int64) (int, error) {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if off >= int64(len(h.node.data)) {
+		return 0, errors.New("EOF")
+	}
+	n := copy(p, h.node.data[off:])
+	if n < len(p) {
+		return n, errors.New("EOF")
+	}
+	return n, nil
+}
+
+// Seek implements store.File (whence 0/1/2).
+func (h *crashHandle) Seek(offset int64, whence int) (int64, error) {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	switch whence {
+	case 0:
+		h.off = offset
+	case 1:
+		h.off += offset
+	case 2:
+		h.off = int64(len(h.node.data)) + offset
+	default:
+		return 0, fmt.Errorf("faults: bad whence %d", whence)
+	}
+	return h.off, nil
+}
+
+// Sync implements store.File, honoring armed fsync failure.
+func (h *crashHandle) Sync() error {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.syncsLeft == 0 {
+		fs.failed = true
+		return ErrInjectedFsync
+	}
+	if fs.syncsLeft > 0 {
+		fs.syncsLeft--
+	}
+	h.node.durable = append(h.node.durable[:0], h.node.data...)
+	return nil
+}
+
+// Truncate implements store.File. Durable content shrinks only at the
+// next Sync — a crash in between resurrects the longer durable data,
+// which is exactly why recovery must fsync after truncating a torn
+// tail.
+func (h *crashHandle) Truncate(size int64) error {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("faults: truncate to %d", size)
+	}
+	for int64(len(h.node.data)) < size {
+		h.node.data = append(h.node.data, 0)
+	}
+	h.node.data = h.node.data[:size]
+	return nil
+}
+
+// Close implements store.File.
+func (h *crashHandle) Close() error { return nil }

@@ -39,6 +39,13 @@ const (
 	KindSessionShed  = "session-shed"  // an open or chunk rejected with 429 (Err = reason)
 )
 
+// Trace event kinds emitted by the durability layer (server WAL).
+const (
+	KindSessionSnapshot = "session-snapshot" // state checkpointed into the WAL (N = events pending)
+	KindSessionRestore  = "session-restore"  // rebuilt from a WAL snapshot (N = chunks folded in)
+	KindWALReplay       = "wal-replay"       // recovery replay finished (Dur = wall time, N = records)
+)
+
 // TraceSink receives trace events. Implementations must be safe for
 // concurrent use: a data-parallel runner records from every shard
 // worker.

@@ -1,0 +1,444 @@
+package server
+
+// Stream-session durability: every accepted ingest chunk is persisted
+// to a segmented WAL (internal/store) BEFORE the ack is written, and
+// sessions periodically checkpoint their full processing state
+// (reorder buffers, watermarks, matcher lattices) as snapshot records.
+// A restarted server replays the log through the same state machine
+// the live path uses, so a kill -9 mid-ingest resumes the sessions
+// exactly where the durable log ends: no accepted row is lost, no row
+// is applied twice (chunks carry a per-session index; client retries
+// dedup on an optional ?seq=), and drains are logged so replay
+// re-emits and discards what was already delivered.
+//
+// WAL record types (payloads are gob; the WAL is an internal file
+// format versioned with the binary):
+//
+//	recSessionOpen   a session was created
+//	recChunk         one accepted ingest chunk, in apply order
+//	recDrain         a results drain was delivered (replay discards)
+//	recSessionClose  the session was closed or evicted
+//	recSnapshot      full session state; supersedes earlier records
+//
+// Per-session records are appended while holding the session mutex,
+// so per-session WAL order is exactly apply order — replay is a pure
+// fold. History range queries (history.go) are served from the same
+// chunk records through a chunk-extent R-tree.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"sidq/internal/geo"
+	"sidq/internal/obs"
+	"sidq/internal/store"
+	"sidq/internal/stream"
+	"sidq/internal/trajectory"
+	"sidq/internal/uncertain"
+)
+
+// WAL record types.
+const (
+	recSessionOpen  byte = 1
+	recChunk        byte = 2
+	recDrain        byte = 3
+	recSessionClose byte = 4
+	recSnapshot     byte = 5
+)
+
+// DurabilityConfig enables the durable trajectory store. Zero Dir
+// leaves the server memory-only (the pre-durability behavior).
+type DurabilityConfig struct {
+	Dir           string          // WAL directory; "" disables durability
+	Fsync         store.FsyncMode // when chunks become durable (default FsyncBatch)
+	SnapshotEvery int             // chunks between session snapshots (default 16)
+	SegmentBytes  int64           // segment roll size, for tests (default store's)
+	FS            store.FS        // filesystem, injectable for crash tests (default OS)
+}
+
+func (c DurabilityConfig) withDefaults() DurabilityConfig {
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 16
+	}
+	return c
+}
+
+// errDurability marks WAL failures on the serving path: the ack MUST
+// fail rather than claim durability the log cannot provide (503).
+var errDurability = errors.New("durable log unavailable")
+
+// WAL payload DTOs. Exported fields only — gob.
+type walOpen struct {
+	Session  string
+	Lateness float64
+	MaxSpeed float64
+	Lanes    int
+}
+
+type walEvent struct {
+	Src     string
+	T, X, Y float64
+}
+
+type walChunk struct {
+	Session   string
+	ChunkIdx  uint64 // 1-based per-session apply index
+	ClientSeq uint64 // client-supplied ?seq= (0 = none)
+	Events    []walEvent
+}
+
+type walDrain struct {
+	Session string
+	Flush   bool
+}
+
+type walClose struct {
+	Session string
+	Evicted bool
+}
+
+type walSource struct {
+	Src     string
+	Re      stream.ReordererState[trajectory.Point]
+	HasLast bool
+	Last    trajectory.Point
+	Matcher *uncertain.MatcherState // nil when the source has no matcher
+}
+
+type walSnapshot struct {
+	Session   string
+	Lateness  float64
+	MaxSpeed  float64
+	Lanes     int
+	ChunkIdx  uint64
+	ClientSeq uint64
+	SrcIDs    []string
+	Results   []streamResult
+	Ingested  int
+	Emitted   int
+	Late      int
+	Outliers  int
+	Sources   []walSource
+}
+
+func encodeRec(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeRec(payload []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// persist appends one typed record; failures are wrapped in
+// errDurability so handlers map them to 503.
+func (reg *sessionRegistry) persist(typ byte, v interface{}) (uint64, error) {
+	payload, err := encodeRec(v)
+	if err != nil {
+		return 0, fmt.Errorf("%w: encode: %v", errDurability, err)
+	}
+	seq, err := reg.wal.Append(typ, payload)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", errDurability, err)
+	}
+	return seq, nil
+}
+
+func toWalEvents(events []stream.Event[srcPoint]) []walEvent {
+	out := make([]walEvent, len(events))
+	for i, e := range events {
+		out[i] = walEvent{Src: e.Value.src, T: e.Value.pt.T, X: e.Value.pt.Pos.X, Y: e.Value.pt.Pos.Y}
+	}
+	return out
+}
+
+func fromWalEvents(evs []walEvent) []stream.Event[srcPoint] {
+	out := make([]stream.Event[srcPoint], len(evs))
+	for i, e := range evs {
+		out[i] = stream.Event[srcPoint]{
+			Time:  e.T,
+			Value: srcPoint{src: e.Src, pt: trajectory.Point{T: e.T, Pos: geo.Pt(e.X, e.Y)}},
+		}
+	}
+	return out
+}
+
+// persistChunkLocked writes the chunk record and indexes its extent
+// for history queries. Caller holds ss.mu.
+func (ss *streamSession) persistChunkLocked(events []stream.Event[srcPoint], clientSeq uint64) error {
+	reg := ss.reg
+	evs := toWalEvents(events)
+	seq, err := reg.persist(recChunk, walChunk{
+		Session: ss.id, ChunkIdx: ss.chunkIdx + 1, ClientSeq: clientSeq, Events: evs,
+	})
+	if err != nil {
+		return err
+	}
+	reg.hist.add(seq, evs)
+	return nil
+}
+
+// snapshotStateLocked captures the session's complete processing
+// state. Caller holds ss.mu.
+func (ss *streamSession) snapshotStateLocked() walSnapshot {
+	snap := walSnapshot{
+		Session:   ss.id,
+		Lateness:  ss.lateness,
+		MaxSpeed:  ss.maxSpeed,
+		Lanes:     len(ss.lanes),
+		ChunkIdx:  ss.chunkIdx,
+		ClientSeq: ss.clientSeq,
+		SrcIDs:    append([]string(nil), ss.srcIDs...),
+		Results:   append([]streamResult(nil), ss.results...),
+		Ingested:  ss.ingested,
+		Emitted:   ss.emitted,
+		Late:      ss.late,
+		Outliers:  ss.outliers,
+	}
+	// Sources in first-appearance order keeps snapshot bytes stable for
+	// identical histories.
+	for _, src := range ss.srcIDs {
+		st := ss.lanes[stream.LaneFor(src, len(ss.lanes))].sources[src]
+		if st == nil {
+			continue
+		}
+		ws := walSource{Src: src, Re: st.re.State(), HasLast: st.hasLast, Last: st.last}
+		if st.matcher != nil {
+			ms := st.matcher.State()
+			ws.Matcher = &ms
+		}
+		snap.Sources = append(snap.Sources, ws)
+	}
+	return snap
+}
+
+// snapshotLocked checkpoints the session into the WAL. A failure is
+// logged, not returned: the records the snapshot would summarize are
+// already durable, so the session stays correct — only recovery gets
+// slower (and the poisoned log fails the next ingest anyway).
+func (ss *streamSession) snapshotLocked() {
+	reg := ss.reg
+	if _, err := reg.persist(recSnapshot, ss.snapshotStateLocked()); err != nil {
+		reg.svc.logf("stream session %s: snapshot failed: %v", ss.id, err)
+		return
+	}
+	ss.sinceSnap = 0
+	reg.m.snapshots.Inc()
+	reg.trace(obs.TraceEvent{Name: ss.id, Kind: obs.KindSessionSnapshot, N: ss.pendingReorderLocked()})
+}
+
+// persistCloseLocked logs the session close; best-effort (the session
+// is going away regardless — a replay resurrecting it only costs the
+// idle janitor one eviction).
+func (ss *streamSession) persistCloseLocked(evicted bool) {
+	if _, err := ss.reg.persist(recSessionClose, walClose{Session: ss.id, Evicted: evicted}); err != nil {
+		ss.reg.svc.logf("stream session %s: close record failed: %v", ss.id, err)
+	}
+}
+
+// --- recovery ------------------------------------------------------
+
+// sessionSeq extracts the numeric suffix of a session id ("st-000042"
+// -> 42, 0 if unparsable) so restored registries keep ids unique.
+func sessionSeq(id string) uint64 {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "st-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// recoverFrom replays the WAL through the live apply path, rebuilding
+// sessions and the history index, then adopts l as the registry's
+// durable log. Called once, before the service accepts traffic.
+func (reg *sessionRegistry) recoverFrom(l *store.Log) error {
+	start := time.Now()
+	now := reg.now()
+	records := 0
+	err := l.Replay(func(r store.Record) error {
+		records++
+		switch r.Type {
+		case recSessionOpen:
+			var o walOpen
+			if err := decodeRec(r.Payload, &o); err != nil {
+				return fmt.Errorf("record %d (open): %w", r.Seq, err)
+			}
+			reg.restoreOpen(o, now)
+		case recChunk:
+			var c walChunk
+			if err := decodeRec(r.Payload, &c); err != nil {
+				return fmt.Errorf("record %d (chunk): %w", r.Seq, err)
+			}
+			// History outlives sessions: index every chunk, even ones
+			// whose session is already closed.
+			reg.hist.add(r.Seq, c.Events)
+			if ss, ok := reg.sessions[c.Session]; ok {
+				ss.replayChunk(c, now)
+			}
+		case recDrain:
+			var d walDrain
+			if err := decodeRec(r.Payload, &d); err != nil {
+				return fmt.Errorf("record %d (drain): %w", r.Seq, err)
+			}
+			if ss, ok := reg.sessions[d.Session]; ok {
+				// Re-run and discard: these results were already
+				// delivered to the client before the crash.
+				ss.mu.Lock()
+				ss.drainLocked(d.Flush)
+				ss.mu.Unlock()
+			}
+		case recSessionClose:
+			var c walClose
+			if err := decodeRec(r.Payload, &c); err != nil {
+				return fmt.Errorf("record %d (close): %w", r.Seq, err)
+			}
+			if ss, ok := reg.sessions[c.Session]; ok {
+				delete(reg.sessions, c.Session)
+				ss.closed = true
+				reg.m.open.Dec()
+			}
+		case recSnapshot:
+			var snap walSnapshot
+			if err := decodeRec(r.Payload, &snap); err != nil {
+				return fmt.Errorf("record %d (snapshot): %w", r.Seq, err)
+			}
+			reg.restoreSnapshot(snap, now)
+		default:
+			return fmt.Errorf("record %d: unknown type %d", r.Seq, r.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("wal replay: %w", err)
+	}
+	reg.m.replayed.Add(uint64(records))
+	reg.wal = l
+	reg.trace(obs.TraceEvent{Name: "wal", Kind: obs.KindWALReplay, Dur: time.Since(start), N: records})
+	if records > 0 {
+		reg.svc.logf("wal: replayed %d records, %d sessions live, in %s",
+			records, len(reg.sessions), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// restoreOpen rebuilds an empty session during replay. Runs before the
+// service serves traffic, so reg.mu is not needed.
+func (reg *sessionRegistry) restoreOpen(o walOpen, now time.Time) {
+	if _, ok := reg.sessions[o.Session]; ok {
+		return
+	}
+	ss := &streamSession{
+		id:         o.Session,
+		reg:        reg,
+		lateness:   o.Lateness,
+		maxSpeed:   o.MaxSpeed,
+		srcOrder:   map[string]int{},
+		lastActive: now,
+	}
+	for i := 0; i < o.Lanes; i++ {
+		ss.lanes = append(ss.lanes, &streamLane{sources: map[string]*sourceState{}})
+	}
+	reg.sessions[ss.id] = ss
+	if n := sessionSeq(ss.id); n > reg.seq {
+		reg.seq = n
+	}
+	reg.m.open.Inc()
+}
+
+// restoreSnapshot replaces a session's state wholesale with a
+// checkpoint; chunk records at or before ChunkIdx are already folded
+// into it and replayChunk skips them.
+func (reg *sessionRegistry) restoreSnapshot(snap walSnapshot, now time.Time) {
+	_, existed := reg.sessions[snap.Session]
+	ss := &streamSession{
+		id:         snap.Session,
+		reg:        reg,
+		lateness:   snap.Lateness,
+		maxSpeed:   snap.MaxSpeed,
+		srcOrder:   map[string]int{},
+		results:    append([]streamResult(nil), snap.Results...),
+		lastActive: now,
+		ingested:   snap.Ingested,
+		emitted:    snap.Emitted,
+		late:       snap.Late,
+		outliers:   snap.Outliers,
+		chunkIdx:   snap.ChunkIdx,
+		clientSeq:  snap.ClientSeq,
+	}
+	for i := 0; i < snap.Lanes; i++ {
+		ss.lanes = append(ss.lanes, &streamLane{sources: map[string]*sourceState{}})
+	}
+	for _, src := range snap.SrcIDs {
+		ss.srcOrder[src] = len(ss.srcIDs)
+		ss.srcIDs = append(ss.srcIDs, src)
+	}
+	for _, ws := range snap.Sources {
+		st := &sourceState{
+			re:      stream.NewReordererFromState(ws.Re),
+			hasLast: ws.HasLast,
+			last:    ws.Last,
+		}
+		if ws.Matcher != nil && reg.snapper != nil {
+			st.matcher = uncertain.NewOnlineMatcherFromState(
+				reg.cfg.Network, reg.snapper, uncertain.MatchOptions{}, reg.cfg.MatchLag, *ws.Matcher)
+		}
+		ss.lanes[stream.LaneFor(ws.Src, len(ss.lanes))].sources[ws.Src] = st
+	}
+	reg.sessions[ss.id] = ss
+	if n := sessionSeq(ss.id); n > reg.seq {
+		reg.seq = n
+	}
+	if !existed {
+		reg.m.open.Inc()
+	}
+	reg.m.restored.Inc()
+	reg.trace(obs.TraceEvent{Name: ss.id, Kind: obs.KindSessionRestore, N: int(snap.ChunkIdx)})
+}
+
+// replayChunk re-applies one logged chunk. Backpressure is not
+// re-checked: the chunk was accepted (and acked durable) before the
+// crash, so replay must take it.
+func (ss *streamSession) replayChunk(c walChunk, now time.Time) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if c.ChunkIdx <= ss.chunkIdx { // already folded into a snapshot
+		return
+	}
+	events := fromWalEvents(c.Events)
+	ss.lastActive = now
+	lanes := stream.FanOut(events, len(ss.lanes), func(e stream.Event[srcPoint]) string { return e.Value.src })
+	ss.applyLocked(events, lanes)
+	ss.chunkIdx = c.ChunkIdx
+	if c.ClientSeq > ss.clientSeq {
+		ss.clientSeq = c.ClientSeq
+	}
+}
+
+// Close stops the janitor, checkpoints every live session, and closes
+// the WAL: a graceful shutdown restarts from snapshots alone.
+func (reg *sessionRegistry) Close() error {
+	reg.stopJanitor()
+	if reg.wal == nil {
+		return nil
+	}
+	reg.mu.Lock()
+	sessions := make([]*streamSession, 0, len(reg.sessions))
+	for _, ss := range reg.sessions {
+		sessions = append(sessions, ss)
+	}
+	reg.mu.Unlock()
+	for _, ss := range sessions {
+		ss.mu.Lock()
+		if !ss.closed {
+			ss.snapshotLocked()
+		}
+		ss.mu.Unlock()
+	}
+	return reg.wal.Close()
+}

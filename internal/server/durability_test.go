@@ -1,0 +1,367 @@
+package server
+
+// Durability wiring tests: persist-before-ack, fsync-error ack
+// failure, ?seq= retry dedup, snapshot/restore recovery, history
+// range queries. The chaos-style kill -9 byte-identity scenarios live
+// in store_chaos_test.go.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sidq/internal/faults"
+	"sidq/internal/store"
+)
+
+// newDurableService opens a service over the given (usually CrashFS)
+// filesystem.
+func newDurableService(t *testing.T, fs store.FS, fsync store.FsyncMode, snapEvery int) *Service {
+	t.Helper()
+	svc, err := OpenService(Config{
+		Logger: DiscardLogger(),
+		Durability: DurabilityConfig{
+			Dir: "wal", Fsync: fsync, SnapshotEvery: snapEvery, FS: fs,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// ingestChunkSeq is ingestChunk with a client retry sequence number.
+func ingestChunkSeq(t *testing.T, srv *httptest.Server, id string, seq uint64, csvChunk string) (ingestAck, *http.Response) {
+	t.Helper()
+	url := fmt.Sprintf("%s/v1/stream/ingest?session=%s&seq=%d", srv.URL, id, seq)
+	resp, err := http.Post(url, "text/csv", strings.NewReader(csvChunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack ingestAck
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return ack, resp
+}
+
+// chunkRow builds one "id,t,x,y" row.
+func chunkRow(src string, tm, x, y float64) string {
+	return fmt.Sprintf("%s,%g,%g,%g\n", src, tm, x, y)
+}
+
+// testChunks is a deterministic multi-source, mildly out-of-order
+// chunk sequence exercising reordering and the speed gate.
+func testChunks(n int) []string {
+	chunks := make([]string, n)
+	for c := 0; c < n; c++ {
+		var b strings.Builder
+		base := float64(c * 4)
+		// Two sources; the second arrives one step behind (reordering
+		// within lateness), plus one teleport outlier per 5th chunk.
+		for i := 0; i < 4; i++ {
+			tm := base + float64(i)
+			b.WriteString(chunkRow("car-a", tm, 10*tm, 5))
+			b.WriteString(chunkRow("car-b", tm-0.5, 8*tm, 100))
+		}
+		if c%5 == 3 {
+			b.WriteString(chunkRow("car-a", base+2.25, 90000, 90000))
+		}
+		chunks[c] = b.String()
+	}
+	return chunks
+}
+
+// runSession opens a session, feeds chunks (with client seqs 1..n),
+// draining mid-way at drainAt (when >= 0), and returns the mid-drain
+// and final flush bodies.
+func runSession(t *testing.T, srv *httptest.Server, chunks []string, drainAt int) (mid, final string) {
+	t.Helper()
+	id := openStream(t, srv, "lateness=2&maxspeed=50&lanes=3")
+	for i, c := range chunks {
+		if i == drainAt {
+			body, resp := drainStream(t, srv, id, "")
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("mid drain status %d", resp.StatusCode)
+			}
+			mid = body
+		}
+		if _, resp := ingestChunkSeq(t, srv, id, uint64(i+1), c); resp.StatusCode != http.StatusOK {
+			t.Fatalf("chunk %d status %d", i, resp.StatusCode)
+		}
+	}
+	body, resp := drainStream(t, srv, id, "flush=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final drain status %d", resp.StatusCode)
+	}
+	return mid, body
+}
+
+// TestDurableRestartResumesExactly: every chunk is acked under
+// fsync=always, the process "dies" (crash image), and the restarted
+// server's drain must be byte-identical to an uninterrupted run's.
+func TestDurableRestartResumesExactly(t *testing.T) {
+	chunks := testChunks(12)
+
+	// Control: uninterrupted, memory-only.
+	ctrl := newTestService(Config{})
+	ctrlSrv := httptest.NewServer(ctrl)
+	_, want := runSession(t, ctrlSrv, chunks, -1)
+	ctrlSrv.Close()
+
+	// Durable run: ingest everything, then crash without any shutdown.
+	fs := faults.NewCrashFS()
+	svc := newDurableService(t, fs, store.FsyncAlways, 4)
+	srv := httptest.NewServer(svc)
+	id := openStream(t, srv, "lateness=2&maxspeed=50&lanes=3")
+	for i, c := range chunks {
+		if _, resp := ingestChunkSeq(t, srv, id, uint64(i+1), c); resp.StatusCode != http.StatusOK {
+			t.Fatalf("chunk %d status %d", i, resp.StatusCode)
+		}
+	}
+	srv.Close() // kill -9: no drain, no session close, no WAL close
+
+	for seed := int64(0); seed < 5; seed++ {
+		img := fs.Crash(seed, true)
+		svc2 := newDurableService(t, img, store.FsyncAlways, 4)
+		srv2 := httptest.NewServer(svc2)
+		got, resp := drainStream(t, srv2, id, "flush=1")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: drain status %d", seed, resp.StatusCode)
+		}
+		if got != want {
+			t.Fatalf("seed %d: recovered drain differs from uninterrupted run:\nwant %d bytes\ngot  %d bytes\nwant:\n%s\ngot:\n%s",
+				seed, len(want), len(got), want, got)
+		}
+		srv2.Close()
+		svc2.Close()
+	}
+}
+
+// TestDurableMidDrainRecovery: rows drained before the crash must not
+// be delivered again after recovery — drain records replay and
+// discard. The post-crash flush drain must equal the uninterrupted
+// run's post-mid-drain output.
+func TestDurableMidDrainRecovery(t *testing.T) {
+	chunks := testChunks(10)
+	const drainAt = 6
+
+	ctrl := newTestService(Config{})
+	ctrlSrv := httptest.NewServer(ctrl)
+	ctrlMid, want := runSession(t, ctrlSrv, chunks, drainAt)
+	ctrlSrv.Close()
+
+	fs := faults.NewCrashFS()
+	svc := newDurableService(t, fs, store.FsyncAlways, 100 /* no snapshots: force chunk+drain replay */)
+	srv := httptest.NewServer(svc)
+	id := openStream(t, srv, "lateness=2&maxspeed=50&lanes=3")
+	var mid string
+	for i, c := range chunks {
+		if i == drainAt {
+			mid, _ = drainStream(t, srv, id, "")
+		}
+		if _, resp := ingestChunkSeq(t, srv, id, uint64(i+1), c); resp.StatusCode != http.StatusOK {
+			t.Fatalf("chunk %d status %d", i, resp.StatusCode)
+		}
+	}
+	if mid != ctrlMid {
+		t.Fatalf("mid-drain differs before any crash:\n%q\n%q", ctrlMid, mid)
+	}
+	srv.Close()
+
+	img := fs.Crash(1, true)
+	svc2 := newDurableService(t, img, store.FsyncAlways, 100)
+	srv2 := httptest.NewServer(svc2)
+	defer srv2.Close()
+	got, resp := drainStream(t, srv2, id, "flush=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain status %d", resp.StatusCode)
+	}
+	if got != want {
+		t.Fatalf("post-recovery drain re-delivered or lost rows:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestDurableFsyncErrorFailsAck: when the disk refuses the fsync, the
+// ack must be a 503 and the chunk must NOT be applied — the client
+// was told the data is not durable, so it must not surface later.
+func TestDurableFsyncErrorFailsAck(t *testing.T) {
+	fs := faults.NewCrashFS()
+	svc := newDurableService(t, fs, store.FsyncAlways, 16)
+	srv := httptest.NewServer(svc)
+	id := openStream(t, srv, "lateness=0&lanes=1")
+	if _, resp := ingestChunkSeq(t, srv, id, 1, chunkRow("a", 1, 1, 1)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-fault chunk status %d", resp.StatusCode)
+	}
+	fs.FailFsyncAfter(0)
+	_, resp := ingestChunkSeq(t, srv, id, 2, chunkRow("a", 2, 2, 2))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("fsync-failed ingest status %d, want 503", resp.StatusCode)
+	}
+	if !fs.Failed() {
+		t.Fatal("injected fsync never fired")
+	}
+	// The log is poisoned: subsequent ingests keep failing loudly.
+	_, resp = ingestChunkSeq(t, srv, id, 3, chunkRow("a", 3, 3, 3))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-poison ingest status %d, want 503", resp.StatusCode)
+	}
+	srv.Close()
+
+	// Recovery from the crash image: only the acked chunk survives.
+	img := fs.Crash(0, false)
+	svc2 := newDurableService(t, img, store.FsyncAlways, 16)
+	srv2 := httptest.NewServer(svc2)
+	defer srv2.Close()
+	got, _ := drainStream(t, srv2, id, "flush=1")
+	if !strings.Contains(got, `"t":1`) {
+		t.Fatalf("acked chunk lost after recovery: %q", got)
+	}
+	if strings.Contains(got, `"t":2`) || strings.Contains(got, `"t":3`) {
+		t.Fatalf("nacked chunk surfaced after recovery: %q", got)
+	}
+}
+
+// TestDurableClientSeqDedup: re-sending an already-acked chunk with
+// the same ?seq= must ack as a duplicate without double-applying —
+// the client retry protocol after a lost response.
+func TestDurableClientSeqDedup(t *testing.T) {
+	fs := faults.NewCrashFS()
+	svc := newDurableService(t, fs, store.FsyncAlways, 16)
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	id := openStream(t, srv, "lateness=0&lanes=1")
+	row := chunkRow("a", 1, 1, 1)
+	ack1, _ := ingestChunkSeq(t, srv, id, 1, row)
+	if ack1.Duplicate || ack1.Ingested != 1 {
+		t.Fatalf("first send: %+v", ack1)
+	}
+	ack2, resp := ingestChunkSeq(t, srv, id, 1, row)
+	if resp.StatusCode != http.StatusOK || !ack2.Duplicate || ack2.Ingested != 0 {
+		t.Fatalf("retry: status %d ack %+v", resp.StatusCode, ack2)
+	}
+	got, _ := drainStream(t, srv, id, "flush=1")
+	if n := strings.Count(got, `"t":1`); n != 1 {
+		t.Fatalf("row applied %d times, want 1:\n%s", n, got)
+	}
+}
+
+// TestDurableGracefulCloseSnapshots: Close checkpoints live sessions,
+// and a reopen resumes them from snapshots alone.
+func TestDurableGracefulCloseSnapshots(t *testing.T) {
+	chunks := testChunks(6)
+
+	ctrl := newTestService(Config{})
+	ctrlSrv := httptest.NewServer(ctrl)
+	_, want := runSession(t, ctrlSrv, chunks, -1)
+	ctrlSrv.Close()
+
+	fs := faults.NewCrashFS()
+	svc := newDurableService(t, fs, store.FsyncBatch, 1000)
+	srv := httptest.NewServer(svc)
+	id := openStream(t, srv, "lateness=2&maxspeed=50&lanes=3")
+	for i, c := range chunks {
+		if _, resp := ingestChunkSeq(t, srv, id, uint64(i+1), c); resp.StatusCode != http.StatusOK {
+			t.Fatalf("chunk %d status %d", i, resp.StatusCode)
+		}
+	}
+	srv.Close()
+	svc.Close() // graceful: final snapshot + WAL close
+
+	svc2 := newDurableService(t, fs, store.FsyncBatch, 1000)
+	if v := svc2.Metrics().Counter(mStreamRestored).Value(); v < 1 {
+		t.Fatalf("expected a snapshot restore, counter %v", v)
+	}
+	srv2 := httptest.NewServer(svc2)
+	defer srv2.Close()
+	got, _ := drainStream(t, srv2, id, "flush=1")
+	if got != want {
+		t.Fatalf("post-restart drain differs:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestHistoryRange: persisted chunks are queryable by spatio-temporal
+// range, including after a restart, and closed sessions stay visible.
+func TestHistoryRange(t *testing.T) {
+	fs := faults.NewCrashFS()
+	svc := newDurableService(t, fs, store.FsyncAlways, 16)
+	srv := httptest.NewServer(svc)
+	id := openStream(t, srv, "lateness=0&lanes=1")
+	// Points on a line: (i*10, 0) at t=i.
+	for i := 1; i <= 9; i++ {
+		if _, resp := ingestChunkSeq(t, srv, id, uint64(i), chunkRow("probe", float64(i), float64(i*10), 0)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("chunk %d status %d", i, resp.StatusCode)
+		}
+	}
+	// Close the session: history must survive it.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/stream/"+id, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("close failed: %v %v", err, resp)
+	}
+
+	query := func(s *httptest.Server, params string) (string, *http.Response) {
+		resp, err := http.Get(s.URL + "/v1/history/range?" + params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return string(body), resp
+	}
+	got, resp := query(srv, "minx=25&maxx=65")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("history status %d: %s", resp.StatusCode, got)
+	}
+	for _, x := range []string{`"x":30`, `"x":40`, `"x":50`, `"x":60`} {
+		if !strings.Contains(got, x) {
+			t.Fatalf("missing %s in:\n%s", x, got)
+		}
+	}
+	if strings.Contains(got, `"x":20`) || strings.Contains(got, `"x":70`) {
+		t.Fatalf("out-of-range point returned:\n%s", got)
+	}
+	// Temporal filter cuts the same line by t.
+	got, _ = query(srv, "mint=7")
+	if strings.Contains(got, `"t":6`) || !strings.Contains(got, `"t":8`) {
+		t.Fatalf("temporal filter wrong:\n%s", got)
+	}
+	srv.Close()
+
+	// Restart from a crash image: the index rebuilds from the WAL.
+	img := fs.Crash(0, false)
+	svc2 := newDurableService(t, img, store.FsyncAlways, 16)
+	srv2 := httptest.NewServer(svc2)
+	defer srv2.Close()
+	got2, resp2 := query(srv2, "minx=25&maxx=65")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("history status %d after restart", resp2.StatusCode)
+	}
+	for _, x := range []string{`"x":30`, `"x":40`, `"x":50`, `"x":60`} {
+		if !strings.Contains(got2, x) {
+			t.Fatalf("missing %s after restart:\n%s", x, got2)
+		}
+	}
+}
+
+// TestHistoryDisabledWithoutData: the endpoint answers 404 on a
+// memory-only service.
+func TestHistoryDisabledWithoutData(t *testing.T) {
+	svc := newTestService(Config{})
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/history/range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}

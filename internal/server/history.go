@@ -1,0 +1,194 @@
+package server
+
+// Historical range queries over the durable chunk log:
+//
+//	GET /v1/history/range?minx=&miny=&maxx=&maxy=&mint=&maxt=
+//
+// Every persisted ingest chunk is indexed by its spatio-temporal
+// extent in an R-tree (internal/index — the same index layer the batch
+// query paths use). A range query searches the R-tree for candidate
+// chunks, reads exactly those records back from the on-disk segments
+// via the WAL's seq-range reader, and filters points to the requested
+// window. History covers closed and evicted sessions too: the log
+// outlives the session state.
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"sidq/internal/geo"
+	"sidq/internal/index"
+	"sidq/internal/store"
+	"sidq/internal/trajectory"
+)
+
+// chunkExtent is the time bounds companion to a chunk's R-tree rect.
+type chunkExtent struct {
+	minT, maxT float64
+}
+
+// historyIndex maps WAL chunk records to their spatio-temporal
+// extents. Safe for concurrent use (replay is single-threaded, but
+// live ingests on different sessions index concurrently).
+type historyIndex struct {
+	mu  sync.Mutex
+	rt  *index.RTree
+	ext map[string]chunkExtent // R-tree entry id (decimal WAL seq) -> time bounds
+}
+
+func newHistoryIndex() *historyIndex {
+	return &historyIndex{rt: index.NewRTree(), ext: map[string]chunkExtent{}}
+}
+
+// add indexes one chunk record's extent. Idempotent per seq.
+func (h *historyIndex) add(seq uint64, evs []walEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	rect := geo.RectFromPoints(geo.Pt(evs[0].X, evs[0].Y))
+	ext := chunkExtent{minT: evs[0].T, maxT: evs[0].T}
+	for _, e := range evs[1:] {
+		rect = rect.ExtendPoint(geo.Pt(e.X, e.Y))
+		ext.minT = math.Min(ext.minT, e.T)
+		ext.maxT = math.Max(ext.maxT, e.T)
+	}
+	id := strconv.FormatUint(seq, 10)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.ext[id]; ok {
+		return
+	}
+	h.ext[id] = ext
+	h.rt.Insert(index.RectEntry{ID: id, Rect: rect})
+}
+
+// search returns the WAL seqs of chunks whose extent intersects the
+// window, in seq (= ingestion) order.
+func (h *historyIndex) search(rect geo.Rect, minT, maxT float64) []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var seqs []uint64
+	for _, e := range h.rt.Search(rect) {
+		ext := h.ext[e.ID]
+		if ext.maxT < minT || ext.minT > maxT {
+			continue
+		}
+		seq, err := strconv.ParseUint(e.ID, 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
+// queryFloatAny parses a float query parameter admitting any finite
+// value (range bounds are signed coordinates).
+func queryFloatAny(r *http.Request, key string, def float64) (float64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) {
+		return 0, &paramError{key: key, value: s}
+	}
+	return v, nil
+}
+
+func (s *Service) handleHistoryRange(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	reg := s.streams
+	if reg.wal == nil {
+		http.Error(w, "history disabled: start the server with a -data directory", http.StatusNotFound)
+		return
+	}
+	var bounds [6]float64
+	for i, p := range []struct {
+		key string
+		def float64
+	}{
+		{"minx", math.Inf(-1)}, {"miny", math.Inf(-1)}, {"mint", math.Inf(-1)},
+		{"maxx", math.Inf(1)}, {"maxy", math.Inf(1)}, {"maxt", math.Inf(1)},
+	} {
+		v, err := queryFloatAny(r, p.key, p.def)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		bounds[i] = v
+	}
+	minX, minY, minT, maxX, maxY, maxT := bounds[0], bounds[1], bounds[2], bounds[3], bounds[4], bounds[5]
+	if minX > maxX || minY > maxY || minT > maxT {
+		http.Error(w, "empty range: min bound exceeds max", http.StatusBadRequest)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "ndjson"
+	}
+	if format != "ndjson" && format != "csv" {
+		http.Error(w, (&paramError{key: "format", value: format}).Error(), http.StatusBadRequest)
+		return
+	}
+	rect := geo.Rect{Min: geo.Pt(minX, minY), Max: geo.Pt(maxX, maxY)}
+	seqs := reg.hist.search(rect, minT, maxT)
+	var results []streamResult
+	var srcs []string
+	srcSeen := map[string]bool{}
+	if len(seqs) > 0 {
+		want := map[uint64]bool{}
+		for _, seq := range seqs {
+			want[seq] = true
+		}
+		err := reg.wal.ReadRange(seqs[0], seqs[len(seqs)-1], func(rec store.Record) error {
+			if rec.Type != recChunk || !want[rec.Seq] {
+				return nil
+			}
+			var c walChunk
+			if err := decodeRec(rec.Payload, &c); err != nil {
+				return err
+			}
+			for _, e := range c.Events {
+				if e.X < minX || e.X > maxX || e.Y < minY || e.Y > maxY || e.T < minT || e.T > maxT {
+					continue
+				}
+				results = append(results, streamResult{Source: e.Src, T: e.T, X: e.X, Y: e.Y})
+				if !srcSeen[e.Src] {
+					srcSeen[e.Src] = true
+					srcs = append(srcs, e.Src)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			http.Error(w, "history read: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("X-Sidq-Chunks", strconv.Itoa(len(seqs)))
+	w.Header().Set("X-Sidq-Points", strconv.Itoa(len(results)))
+	if format == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		if err := trajectory.WriteCSV(w, resultTrajectories(results, srcs)); err != nil {
+			s.writeError(r, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, res := range results {
+		if err := enc.Encode(res); err != nil {
+			s.writeError(r, err)
+			return
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sidq/internal/core"
 	"sidq/internal/obs"
 	"sidq/internal/roadnet"
+	"sidq/internal/store"
 	"sidq/internal/stream"
 )
 
@@ -36,6 +37,13 @@ const (
 	mStreamEmitted  = `sidq_stream_session_events_total{kind="emitted"}`
 	mStreamLate     = `sidq_stream_session_events_total{kind="late"}`
 	mStreamOutlier  = `sidq_stream_session_events_total{kind="outlier"}`
+
+	// Durability families (see durability.go); the sidq_store_* WAL
+	// internals come from store.InstrumentTo.
+	mStreamSnapshots = "sidq_stream_snapshots_total"
+	mStreamRestored  = "sidq_stream_snapshot_restores_total"
+	mStreamReplayed  = "sidq_stream_replayed_records_total"
+	mStreamDup       = "sidq_stream_dup_chunks_total"
 )
 
 // knownRoutes is the closed label set for the route label; anything
@@ -52,6 +60,7 @@ var knownRoutes = map[string]bool{
 	"/v1/metrics":         true,
 	"/v1/stream/open":     true,
 	"/v1/stream/ingest":   true,
+	"/v1/history/range":   true,
 }
 
 func routeLabel(path string) string {
@@ -85,6 +94,10 @@ func (s *Service) initMetrics() {
 	reg.Help("sidq_stream_session_evicted_total", "Streaming sessions evicted by the idle-TTL janitor.")
 	reg.Help("sidq_stream_session_rejected_total", "Streaming opens/chunks shed with 429 (session limit or full buffers).")
 	reg.Help("sidq_stream_session_events_total", "Streaming session events, by kind (ingested, emitted, late, outlier).")
+	reg.Help(mStreamSnapshots, "Session state snapshots checkpointed into the WAL.")
+	reg.Help(mStreamRestored, "Sessions rebuilt from WAL snapshots during recovery.")
+	reg.Help(mStreamReplayed, "WAL records replayed during recovery.")
+	reg.Help(mStreamDup, "Ingest chunks acknowledged as duplicates (?seq= retry dedup).")
 	reg.Gauge(mInFlight)
 	reg.Counter(mShed)
 	reg.Counter(mSrvPanics)
@@ -93,12 +106,14 @@ func (s *Service) initMetrics() {
 	for _, name := range []string{
 		mStreamOpened, mStreamClosed, mStreamEvicted, mStreamRejected,
 		mStreamIngested, mStreamEmitted, mStreamLate, mStreamOutlier,
+		mStreamSnapshots, mStreamRestored, mStreamReplayed, mStreamDup,
 	} {
 		reg.Counter(name)
 	}
 	core.InitRunnerMetrics(reg)
 	roadnet.InstrumentTo(reg)
 	stream.InstrumentTo(reg)
+	store.InstrumentTo(reg)
 }
 
 // observeRequest records one finished request.

@@ -46,19 +46,21 @@ import (
 	"sidq/internal/obs"
 	"sidq/internal/quality"
 	"sidq/internal/stid"
+	"sidq/internal/store"
 	"sidq/internal/trajectory"
 )
 
 // Config tunes the service's resilience limits. Zero fields take the
 // defaults noted on each field.
 type Config struct {
-	MaxBodyBytes   int64         // request body cap (default 32 MiB)
-	MaxInFlight    int           // concurrent requests before 503 (default 64)
-	RequestTimeout time.Duration // per-request deadline (default 30s; <0 disables)
-	Logger         *log.Logger   // access/panic log (default log.Default())
-	Metrics        *obs.Registry // metrics registry (default: a fresh registry)
-	Trace          obs.TraceSink // optional sink for session lifecycle trace events
-	Stream         StreamConfig  // streaming ingestion limits (see sessions.go)
+	MaxBodyBytes   int64            // request body cap (default 32 MiB)
+	MaxInFlight    int              // concurrent requests before 503 (default 64)
+	RequestTimeout time.Duration    // per-request deadline (default 30s; <0 disables)
+	Logger         *log.Logger      // access/panic log (default log.Default())
+	Metrics        *obs.Registry    // metrics registry (default: a fresh registry)
+	Trace          obs.TraceSink    // optional sink for session lifecycle trace events
+	Stream         StreamConfig     // streaming ingestion limits (see sessions.go)
+	Durability     DurabilityConfig // durable WAL settings; honored by OpenService (see durability.go)
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +80,7 @@ func (c Config) withDefaults() Config {
 		c.Metrics = obs.NewRegistry()
 	}
 	c.Stream = c.Stream.withDefaults()
+	c.Durability = c.Durability.withDefaults()
 	return c
 }
 
@@ -112,6 +115,7 @@ func NewService(cfg Config) *Service {
 	mux.HandleFunc("/v1/readings/assess", handleReadingsAssess)
 	mux.HandleFunc("/v1/readings/clean", s.handleReadingsClean)
 	mux.HandleFunc("/v1/stream/", s.handleStream)
+	mux.HandleFunc("/v1/history/range", s.handleHistoryRange)
 
 	// Innermost first: limits apply around the handlers; recovery and
 	// request IDs wrap everything so even limiter rejections are
@@ -144,10 +148,46 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // return 503 so load balancers drain the instance ahead of shutdown.
 func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
 
-// Close releases the service's background resources (the streaming
-// session janitor). The handler stays functional afterwards, but idle
-// sessions are no longer evicted.
-func (s *Service) Close() { s.streams.stopJanitor() }
+// Close releases the service's background resources: the streaming
+// session janitor stops, and with durability enabled every live
+// session is checkpointed into the WAL before the log is closed, so a
+// restart resumes from the snapshots. The handler stays functional
+// afterwards for in-memory operation, but durable ingests fail.
+func (s *Service) Close() {
+	if err := s.streams.Close(); err != nil {
+		s.logf("close: %v", err)
+	}
+}
+
+// OpenService builds the service and, when cfg.Durability.Dir is set,
+// opens the durable trajectory store: the WAL is recovered (torn tail
+// truncated, sessions rebuilt from snapshots and chunk replay, history
+// index repopulated) before the service accepts traffic. NewService
+// remains the memory-only constructor.
+func OpenService(cfg Config) (*Service, error) {
+	s := NewService(cfg)
+	d := s.cfg.Durability
+	if d.Dir == "" {
+		return s, nil
+	}
+	l, info, err := store.Open(d.Dir, store.Options{
+		FS:           d.FS,
+		Fsync:        d.Fsync,
+		SegmentBytes: d.SegmentBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("open durable store %s: %w", d.Dir, err)
+	}
+	if info.TornBytes > 0 || info.AdoptedSegments > 0 || info.DiscardedSegments > 0 || info.StaleFiles > 0 {
+		s.logf("wal %s: recovery truncated %d torn bytes, adopted %d / discarded %d segments, swept %d stale files",
+			d.Dir, info.TornBytes, info.AdoptedSegments, info.DiscardedSegments, info.StaleFiles)
+	}
+	if err := s.streams.recoverFrom(l); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return s, nil
+}
 
 // New returns the middleware service handler with default limits
 // (kept for existing callers; NewService exposes the limits and the

@@ -41,6 +41,7 @@ import (
 	"sidq/internal/geo"
 	"sidq/internal/obs"
 	"sidq/internal/roadnet"
+	"sidq/internal/store"
 	"sidq/internal/stream"
 	"sidq/internal/trajectory"
 	"sidq/internal/uncertain"
@@ -108,15 +109,19 @@ var (
 
 // streamMetrics caches the registry pointers the hot ingest path bumps.
 type streamMetrics struct {
-	open     *obs.Gauge
-	opened   *obs.Counter
-	closed   *obs.Counter
-	evicted  *obs.Counter
-	rejected *obs.Counter
-	ingested *obs.Counter
-	emitted  *obs.Counter
-	late     *obs.Counter
-	outlier  *obs.Counter
+	open      *obs.Gauge
+	opened    *obs.Counter
+	closed    *obs.Counter
+	evicted   *obs.Counter
+	rejected  *obs.Counter
+	ingested  *obs.Counter
+	emitted   *obs.Counter
+	late      *obs.Counter
+	outlier   *obs.Counter
+	snapshots *obs.Counter
+	restored  *obs.Counter
+	replayed  *obs.Counter
+	dup       *obs.Counter
 }
 
 // sessionRegistry owns every live streaming session plus the shared
@@ -127,6 +132,13 @@ type sessionRegistry struct {
 	m       streamMetrics
 	snapper *roadnet.Snapper // nil without a network
 	now     func() time.Time // injectable for eviction tests
+
+	// Durability (durability.go). wal is nil while memory-only AND
+	// during recovery replay, which is what keeps the replay apply
+	// path from re-appending the records it is reading.
+	wal       *store.Log
+	hist      *historyIndex
+	snapEvery int
 
 	mu       sync.Mutex
 	sessions map[string]*streamSession
@@ -140,21 +152,27 @@ type sessionRegistry struct {
 func newSessionRegistry(s *Service) *sessionRegistry {
 	cfg := s.cfg.Stream
 	reg := &sessionRegistry{
-		cfg:      cfg,
-		svc:      s,
-		now:      time.Now,
-		sessions: map[string]*streamSession{},
-		stopCh:   make(chan struct{}),
+		cfg:       cfg,
+		svc:       s,
+		now:       time.Now,
+		sessions:  map[string]*streamSession{},
+		stopCh:    make(chan struct{}),
+		hist:      newHistoryIndex(),
+		snapEvery: s.cfg.Durability.SnapshotEvery,
 		m: streamMetrics{
-			open:     s.metrics.Gauge(mStreamOpen),
-			opened:   s.metrics.Counter(mStreamOpened),
-			closed:   s.metrics.Counter(mStreamClosed),
-			evicted:  s.metrics.Counter(mStreamEvicted),
-			rejected: s.metrics.Counter(mStreamRejected),
-			ingested: s.metrics.Counter(mStreamIngested),
-			emitted:  s.metrics.Counter(mStreamEmitted),
-			late:     s.metrics.Counter(mStreamLate),
-			outlier:  s.metrics.Counter(mStreamOutlier),
+			open:      s.metrics.Gauge(mStreamOpen),
+			opened:    s.metrics.Counter(mStreamOpened),
+			closed:    s.metrics.Counter(mStreamClosed),
+			evicted:   s.metrics.Counter(mStreamEvicted),
+			rejected:  s.metrics.Counter(mStreamRejected),
+			ingested:  s.metrics.Counter(mStreamIngested),
+			emitted:   s.metrics.Counter(mStreamEmitted),
+			late:      s.metrics.Counter(mStreamLate),
+			outlier:   s.metrics.Counter(mStreamOutlier),
+			snapshots: s.metrics.Counter(mStreamSnapshots),
+			restored:  s.metrics.Counter(mStreamRestored),
+			replayed:  s.metrics.Counter(mStreamReplayed),
+			dup:       s.metrics.Counter(mStreamDup),
 		},
 	}
 	if cfg.Network != nil {
@@ -219,7 +237,7 @@ func (reg *sessionRegistry) sweep(now time.Time) int {
 	}
 	reg.mu.Unlock()
 	for _, ss := range expired {
-		pending := ss.shutdown()
+		pending := ss.shutdown(true)
 		reg.m.open.Dec()
 		reg.m.evicted.Inc()
 		reg.trace(obs.TraceEvent{Name: ss.id, Kind: obs.KindSessionEvict, N: pending})
@@ -251,6 +269,18 @@ func (reg *sessionRegistry) open(lateness, maxSpeed float64, lanes int) (*stream
 	}
 	reg.sessions[ss.id] = ss
 	reg.mu.Unlock()
+	// Persist-before-ack: the open record must be durable before the
+	// client learns the id (its chunk records will reference it).
+	if reg.wal != nil {
+		if _, err := reg.persist(recSessionOpen, walOpen{
+			Session: ss.id, Lateness: lateness, MaxSpeed: maxSpeed, Lanes: lanes,
+		}); err != nil {
+			reg.mu.Lock()
+			delete(reg.sessions, ss.id)
+			reg.mu.Unlock()
+			return nil, err
+		}
+	}
 	reg.startJanitor()
 	reg.m.open.Inc()
 	reg.m.opened.Inc()
@@ -275,7 +305,7 @@ func (reg *sessionRegistry) close(id string) (*streamSession, bool) {
 	if !ok {
 		return nil, false
 	}
-	ss.shutdown()
+	ss.shutdown(false)
 	reg.m.open.Dec()
 	reg.m.closed.Inc()
 	ss.mu.Lock()
@@ -346,6 +376,11 @@ type streamSession struct {
 	lastActive time.Time
 
 	ingested, emitted, late, outliers int
+
+	// Durability bookkeeping (durability.go).
+	chunkIdx  uint64 // chunks applied; replay skips records at or below it
+	clientSeq uint64 // highest client-supplied ?seq=, for retry dedup
+	sinceSnap int    // chunks since the last snapshot record
 }
 
 // laneOut is one lane's contribution to a chunk or flush.
@@ -400,22 +435,32 @@ type ingestAck struct {
 	Released       int    `json:"released"`
 	PendingReorder int    `json:"pending_reorder"`
 	PendingResults int    `json:"pending_results"`
+	Duplicate      bool   `json:"duplicate,omitempty"` // chunk already applied (?seq= retry)
 }
 
 // ingest applies one parsed chunk atomically: backpressure is checked
-// up front, so a rejected chunk leaves the session untouched.
-func (ss *streamSession) ingest(events []stream.Event[srcPoint], now time.Time) (ingestAck, error) {
+// up front, so a rejected chunk leaves the session untouched. With a
+// durable log, the chunk record is persisted (and, under fsync=always,
+// fsynced) before it is applied — the ack never claims more than the
+// disk holds. clientSeq, when non-zero, must increase chunk over
+// chunk; a replayed seq is acknowledged as a duplicate without being
+// applied, which is what makes client retries after a crash or a lost
+// response idempotent.
+func (ss *streamSession) ingest(events []stream.Event[srcPoint], clientSeq uint64, now time.Time) (ingestAck, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if ss.closed {
 		return ingestAck{}, errSessionGone
 	}
 	ss.lastActive = now
-	for _, e := range events {
-		if _, ok := ss.srcOrder[e.Value.src]; !ok {
-			ss.srcOrder[e.Value.src] = len(ss.srcIDs)
-			ss.srcIDs = append(ss.srcIDs, e.Value.src)
-		}
+	if clientSeq > 0 && clientSeq <= ss.clientSeq {
+		ss.reg.m.dup.Inc()
+		return ingestAck{
+			Session:        ss.id,
+			Duplicate:      true,
+			PendingReorder: ss.pendingReorderLocked(),
+			PendingResults: len(ss.results),
+		}, nil
 	}
 	lanes := stream.FanOut(events, len(ss.lanes), func(e stream.Event[srcPoint]) string { return e.Value.src })
 	for i, le := range lanes {
@@ -425,6 +470,34 @@ func (ss *streamSession) ingest(events []stream.Event[srcPoint], now time.Time) 
 	}
 	if len(ss.results)+len(events) > ss.reg.cfg.MaxResults {
 		return ingestAck{}, errResultsFull
+	}
+	if ss.reg.wal != nil {
+		if err := ss.persistChunkLocked(events, clientSeq); err != nil {
+			return ingestAck{}, err
+		}
+	}
+	ack := ss.applyLocked(events, lanes)
+	ss.chunkIdx++
+	if clientSeq > 0 {
+		ss.clientSeq = clientSeq
+	}
+	ss.sinceSnap++
+	if ss.reg.wal != nil && ss.sinceSnap >= ss.reg.snapEvery {
+		ss.snapshotLocked()
+	}
+	return ack, nil
+}
+
+// applyLocked runs one accepted chunk through the lanes. It is the
+// shared apply path: live ingest and WAL replay both fold chunks
+// through it, which is what makes recovery deterministic. Caller holds
+// ss.mu and has already fanned events out.
+func (ss *streamSession) applyLocked(events []stream.Event[srcPoint], lanes [][]stream.Event[srcPoint]) ingestAck {
+	for _, e := range events {
+		if _, ok := ss.srcOrder[e.Value.src]; !ok {
+			ss.srcOrder[e.Value.src] = len(ss.srcIDs)
+			ss.srcIDs = append(ss.srcIDs, e.Value.src)
+		}
 	}
 	// Lanes are disjoint (a source id always hashes to the same lane),
 	// so they process in parallel; merging in lane-index order keeps
@@ -462,7 +535,7 @@ func (ss *streamSession) ingest(events []stream.Event[srcPoint], now time.Time) 
 		Released:       released,
 		PendingReorder: ss.pendingReorderLocked(),
 		PendingResults: len(ss.results),
-	}, nil
+	}
 }
 
 func sumLate(outs []laneOut) (n int) {
@@ -506,6 +579,22 @@ func (ss *streamSession) drain(flush bool, now time.Time) ([]streamResult, []str
 		return nil, nil, errSessionGone
 	}
 	ss.lastActive = now
+	// A drain changes state the client observes (results leave the
+	// buffer; flush advances the matchers), so it is logged before it
+	// runs: replay re-runs it and discards the output, and the rows
+	// this response delivers are never delivered again after a crash.
+	if ss.reg.wal != nil && (flush || len(ss.results) > 0) {
+		if _, err := ss.reg.persist(recDrain, walDrain{Session: ss.id, Flush: flush}); err != nil {
+			return nil, nil, err
+		}
+	}
+	out, srcs := ss.drainLocked(flush)
+	return out, srcs, nil
+}
+
+// drainLocked is the drain state transition, shared by the live path
+// and WAL replay. Caller holds ss.mu.
+func (ss *streamSession) drainLocked(flush bool) ([]streamResult, []string) {
 	if flush {
 		emittedBefore := len(ss.results)
 		// Flush per source in first-appearance order — reorder buffer
@@ -540,18 +629,21 @@ func (ss *streamSession) drain(flush bool, now time.Time) ([]streamResult, []str
 	out := ss.results
 	ss.results = nil
 	srcs := append([]string(nil), ss.srcIDs...)
-	return out, srcs, nil
+	return out, srcs
 }
 
 // shutdown marks the session closed and returns how many events were
 // still pending (reorder buffers, matcher lag, undrained results).
-func (ss *streamSession) shutdown() int {
+func (ss *streamSession) shutdown(evicted bool) int {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if ss.closed {
 		return 0
 	}
 	ss.closed = true
+	if ss.reg.wal != nil {
+		ss.persistCloseLocked(evicted)
+	}
 	return ss.pendingReorderLocked() + len(ss.results)
 }
 
@@ -608,6 +700,10 @@ func (s *Service) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 	}
 	ss, err := s.streams.open(lateness, maxSpeed, lanes)
 	if err != nil {
+		if errors.Is(err, errDurability) {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		shed429(w, err)
 		return
 	}
@@ -639,7 +735,12 @@ func (s *Service) handleStreamIngest(w http.ResponseWriter, r *http.Request) {
 		bodyError(w, err)
 		return
 	}
-	ack, err := ss.ingest(events, s.streams.now())
+	clientSeq, err := queryUint(r, "seq")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ack, err := ss.ingest(events, clientSeq, s.streams.now())
 	if err != nil {
 		s.streamError(w, ss.id, err)
 		return
@@ -718,6 +819,11 @@ func (s *Service) streamError(w http.ResponseWriter, id string, err error) {
 		shed429(w, err)
 	case errors.Is(err, errSessionGone):
 		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, errDurability):
+		// The WAL could not persist the chunk, so it was not applied:
+		// the ack must fail rather than claim durability. 503 tells the
+		// client the data was NOT accepted.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
@@ -813,6 +919,20 @@ func queryFloat0(r *http.Request, key string, def float64) (float64, error) {
 	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, &paramError{key: key, value: s}
+	}
+	return v, nil
+}
+
+// queryUint parses a non-negative integer query parameter (0 when
+// absent).
+func queryUint(r *http.Request, key string) (uint64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
 		return 0, &paramError{key: key, value: s}
 	}
 	return v, nil

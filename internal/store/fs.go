@@ -1,0 +1,100 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the directory abstraction the log writes through. It exists so
+// fault-injection harnesses (internal/faults) can interpose short
+// writes, fsync failures, and crash images between the log and the
+// disk; production code uses OSFS. All paths are slash-joined under
+// the log's root directory.
+type FS interface {
+	// MkdirAll creates the directory (and parents) if absent.
+	MkdirAll(dir string) error
+	// Create opens a new read-write file, truncating any existing one.
+	Create(name string) (File, error)
+	// Open opens an existing file for read-write access without
+	// truncation (the recovery path reopens the active segment through
+	// it, then seeks to the durable end).
+	Open(name string) (File, error)
+	// ReadDir lists the file names (not paths) in dir, in any order.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// within it durable.
+	SyncDir(dir string) error
+}
+
+// File is the subset of *os.File the log needs: sequential writes,
+// random reads, fsync, and truncation (recovery cuts torn tails in
+// place).
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	Seek(offset int64, whence int) (int64, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// OSFS is the production FS backed by the operating system.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR, 0o644)
+}
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS. Directory fsync makes the entries themselves
+// (a freshly created segment, a renamed manifest) durable; on
+// platforms where directories cannot be fsynced the error is
+// surfaced, not swallowed — the caller decides.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

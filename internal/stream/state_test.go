@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// TestReordererStateRoundTrip: snapshot mid-stream (through gob, as
+// the server's WAL snapshots do), then feed both the original and the
+// restored reorderer an identical suffix — releases, late drops, and
+// counters must match exactly at every cut point.
+func TestReordererStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	events := make([]Event[int], 200)
+	now := 0.0
+	for i := range events {
+		now += rng.Float64() * 2
+		// Jittered event times create both reordering and late drops.
+		events[i] = Event[int]{Time: now + (rng.Float64()-0.5)*8, Value: i}
+	}
+	for cut := 0; cut <= len(events); cut += 17 {
+		orig := NewReorderer[int](3)
+		for _, e := range events[:cut] {
+			orig.Push(e)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(orig.State()); err != nil {
+			t.Fatalf("cut %d: encode: %v", cut, err)
+		}
+		var st ReordererState[int]
+		if err := gob.NewDecoder(&buf).Decode(&st); err != nil {
+			t.Fatalf("cut %d: decode: %v", cut, err)
+		}
+		restored := NewReordererFromState(st)
+		if restored.Watermark() != orig.Watermark() || restored.Pending() != orig.Pending() ||
+			restored.LateCount() != orig.LateCount() || restored.Emitted() != orig.Emitted() {
+			t.Fatalf("cut %d: restored counters diverge", cut)
+		}
+		var a, b []Event[int]
+		for _, e := range events[cut:] {
+			a = append(a, orig.Push(e)...)
+			b = append(b, restored.Push(e)...)
+		}
+		a = append(a, orig.Flush()...)
+		b = append(b, restored.Flush()...)
+		if len(a) != len(b) {
+			t.Fatalf("cut %d: released %d vs %d events", cut, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cut %d: release %d diverged: %+v vs %+v", cut, i, a[i], b[i])
+			}
+		}
+		if restored.LateCount() != orig.LateCount() || restored.Emitted() != orig.Emitted() {
+			t.Fatalf("cut %d: final counters diverge", cut)
+		}
+	}
+}
+
+// TestReordererStateEmpty: a fresh reorderer round-trips, including
+// the -Inf initial watermark.
+func TestReordererStateEmpty(t *testing.T) {
+	r := NewReorderer[string](5)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r.State()); err != nil {
+		t.Fatal(err)
+	}
+	var st ReordererState[string]
+	if err := gob.NewDecoder(&buf).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewReordererFromState(st)
+	if r2.Watermark() != r.Watermark() {
+		t.Fatalf("watermark %v != %v", r2.Watermark(), r.Watermark())
+	}
+	out := r2.Push(Event[string]{Time: -1e12, Value: "x"})
+	if r2.LateCount() != 0 || len(out) != 0 || r2.Pending() != 1 {
+		t.Fatal("restored empty reorderer mishandled a very old first event")
+	}
+}
+
+// TestReordererStateIsolation: mutating the snapshot buffer must not
+// affect the live reorderer.
+func TestReordererStateIsolation(t *testing.T) {
+	r := NewReorderer[int](10)
+	r.Push(Event[int]{Time: 1, Value: 1})
+	r.Push(Event[int]{Time: 2, Value: 2})
+	st := r.State()
+	st.Buf[0].Value = 99
+	if r.buf[0].Value == 99 {
+		t.Fatal("snapshot aliases the live buffer")
+	}
+}

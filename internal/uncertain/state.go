@@ -1,0 +1,63 @@
+package uncertain
+
+// Snapshot/restore support for online map matching. Byte-identical
+// session recovery needs the full Viterbi lattice: commitOldest
+// re-roots log-probabilities in place, so re-pushing the pending points
+// into a fresh matcher would NOT reproduce the same future commits.
+// The snapshot therefore carries the lattice columns verbatim.
+
+import (
+	"sidq/internal/roadnet"
+	"sidq/internal/trajectory"
+)
+
+// MatcherState is a serializable snapshot of an OnlineMatcher's
+// lattice. Graph, snapper, options, and lag are reconstruction inputs,
+// not part of the state: they come from the session's configuration.
+type MatcherState struct {
+	Pts   []trajectory.Point
+	Cands [][]roadnet.Snap
+	Logp  [][]float64
+	Back  [][]int
+}
+
+// State deep-copies the pending lattice.
+func (m *OnlineMatcher) State() MatcherState {
+	st := MatcherState{
+		Pts:   append([]trajectory.Point(nil), m.pts...),
+		Cands: make([][]roadnet.Snap, len(m.cands)),
+		Logp:  make([][]float64, len(m.logp)),
+		Back:  make([][]int, len(m.back)),
+	}
+	for i := range m.cands {
+		st.Cands[i] = append([]roadnet.Snap(nil), m.cands[i]...)
+	}
+	for i := range m.logp {
+		st.Logp[i] = append([]float64(nil), m.logp[i]...)
+	}
+	for i := range m.back {
+		st.Back[i] = append([]int(nil), m.back[i]...)
+	}
+	return st
+}
+
+// NewOnlineMatcherFromState rebuilds a matcher whose future Push and
+// Flush outputs are identical to the matcher State was called on,
+// given the same configuration it was built with.
+func NewOnlineMatcherFromState(g *roadnet.Graph, snapper *roadnet.Snapper, opt MatchOptions, lag int, st MatcherState) *OnlineMatcher {
+	m := NewOnlineMatcher(g, snapper, opt, lag)
+	m.pts = append([]trajectory.Point(nil), st.Pts...)
+	m.cands = make([][]roadnet.Snap, len(st.Cands))
+	for i := range st.Cands {
+		m.cands[i] = append([]roadnet.Snap(nil), st.Cands[i]...)
+	}
+	m.logp = make([][]float64, len(st.Logp))
+	for i := range st.Logp {
+		m.logp[i] = append([]float64(nil), st.Logp[i]...)
+	}
+	m.back = make([][]int, len(st.Back))
+	for i := range st.Back {
+		m.back[i] = append([]int(nil), st.Back[i]...)
+	}
+	return m
+}

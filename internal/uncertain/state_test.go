@@ -1,0 +1,87 @@
+package uncertain
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"sidq/internal/roadnet"
+	"sidq/internal/simulate"
+)
+
+// TestOnlineMatcherStateRoundTrip: snapshot a matcher mid-stream,
+// restore (through gob, as the server's WAL does), feed the identical
+// suffix to both — every future commit must match exactly. This is the
+// equivalence the crash-recovery acceptance test builds on.
+func TestOnlineMatcherStateRoundTrip(t *testing.T) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 8, NY: 8, Spacing: 110, Jitter: 6, Seed: 11})
+	snapper := roadnet.NewSnapper(g, 100)
+	trip := simulate.Trips(g, simulate.TripOptions{NumObjects: 1, MinHops: 14, Speed: 11, SampleInterval: 1, Seed: 12})[0]
+	noisy := simulate.AddGaussianNoise(trip, 8, 13)
+	opt := MatchOptions{EmissionSigma: 12}
+	const lag = 5
+
+	for cut := 0; cut <= noisy.Len(); cut += 3 {
+		orig := NewOnlineMatcher(g, snapper, opt, lag)
+		for _, p := range noisy.Points[:cut] {
+			orig.Push(p)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(orig.State()); err != nil {
+			t.Fatalf("cut %d: encode: %v", cut, err)
+		}
+		var st MatcherState
+		if err := gob.NewDecoder(&buf).Decode(&st); err != nil {
+			t.Fatalf("cut %d: decode: %v", cut, err)
+		}
+		restored := NewOnlineMatcherFromState(g, snapper, opt, lag, st)
+		if restored.Pending() != orig.Pending() {
+			t.Fatalf("cut %d: pending %d != %d", cut, restored.Pending(), orig.Pending())
+		}
+		var a, b []Matched
+		for _, p := range noisy.Points[cut:] {
+			a = append(a, orig.Push(p)...)
+			b = append(b, restored.Push(p)...)
+		}
+		a = append(a, orig.Flush()...)
+		b = append(b, restored.Flush()...)
+		if len(a) != len(b) {
+			t.Fatalf("cut %d: %d commits vs %d", cut, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cut %d: commit %d diverged:\n  orig     %+v\n  restored %+v", cut, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestOnlineMatcherStateIsolation: mutating the snapshot must not
+// affect the live matcher.
+func TestOnlineMatcherStateIsolation(t *testing.T) {
+	g := roadnet.GridCity(roadnet.GridCityOptions{NX: 5, NY: 5, Spacing: 100, Seed: 8})
+	snapper := roadnet.NewSnapper(g, 100)
+	trip := simulate.Trips(g, simulate.TripOptions{NumObjects: 1, MinHops: 6, Speed: 10, SampleInterval: 1, Seed: 9})[0]
+	m := NewOnlineMatcher(g, snapper, MatchOptions{}, 4)
+	for _, p := range trip.Points[:4] {
+		m.Push(p)
+	}
+	st := m.State()
+	for i := range st.Logp {
+		for j := range st.Logp[i] {
+			st.Logp[i][j] = 1e300
+		}
+	}
+	st.Pts[0].T = -1
+	want := m.State()
+	for i := range want.Logp {
+		for j := range want.Logp[i] {
+			if want.Logp[i][j] == 1e300 {
+				t.Fatal("snapshot aliases the live lattice")
+			}
+		}
+	}
+	if want.Pts[0].T == -1 {
+		t.Fatal("snapshot aliases the live points")
+	}
+}
