@@ -53,7 +53,7 @@ const (
 // leaves the server memory-only (the pre-durability behavior).
 type DurabilityConfig struct {
 	Dir           string          // WAL directory; "" disables durability
-	Fsync         store.FsyncMode // when chunks become durable (default FsyncBatch)
+	Fsync         store.FsyncMode // when chunks become durable (zero value FsyncAlways; the CLI flag defaults to batch)
 	SnapshotEvery int             // chunks between session snapshots (default 16)
 	SegmentBytes  int64           // segment roll size, for tests (default store's)
 	FS            store.FS        // filesystem, injectable for crash tests (default OS)
@@ -323,6 +323,13 @@ func (reg *sessionRegistry) recoverFrom(l *store.Log) error {
 	if records > 0 {
 		reg.svc.logf("wal: replayed %d records, %d sessions live, in %s",
 			records, len(reg.sessions), time.Since(start).Round(time.Millisecond))
+	}
+	// The janitor normally starts on the first live open(); restored
+	// sessions must not wait for one — a registry restored at
+	// MaxSessions would otherwise 429 every open and the janitor could
+	// never start.
+	if len(reg.sessions) > 0 {
+		reg.startJanitor()
 	}
 	return nil
 }

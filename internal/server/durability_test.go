@@ -13,6 +13,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"sidq/internal/faults"
 	"sidq/internal/store"
@@ -363,5 +364,67 @@ func TestHistoryDisabledWithoutData(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRecoveredSessionsJanitored: a restart that restores sessions
+// from the WAL must also start the idle janitor. Before the fix the
+// janitor only started on a live open(); a registry restored at
+// MaxSessions then 429'd every open, and with opens failing the
+// janitor could never start — streaming stayed wedged until another
+// restart with an empty WAL.
+func TestRecoveredSessionsJanitored(t *testing.T) {
+	cfg := func(fs store.FS) Config {
+		return Config{
+			Logger: DiscardLogger(),
+			Stream: StreamConfig{
+				MaxSessions:  1,
+				IdleTTL:      500 * time.Millisecond,
+				JanitorEvery: time.Millisecond,
+			},
+			Durability: DurabilityConfig{Dir: "wal", Fsync: store.FsyncAlways, FS: fs},
+		}
+	}
+	fs := faults.NewCrashFS()
+	svc, err := OpenService(cfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc)
+	openStream(t, srv, "")
+	srv.Close() // kill -9: the open record is durable, no close record
+
+	svc2, err := OpenService(cfg(fs.Crash(0, false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	reg := svc2.streams
+	reg.mu.Lock()
+	n := len(reg.sessions)
+	reg.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("restored %d sessions, want 1 (the registry is at MaxSessions)", n)
+	}
+	srv2 := httptest.NewServer(svc2)
+	defer srv2.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(srv2.URL+"/v1/stream/open", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusCreated {
+			return // the janitor evicted the restored idle session
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("open status %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restored-at-MaxSessions registry never unwedged: janitor not started by recovery")
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

@@ -22,36 +22,65 @@ func (l *Log) Replay(fn func(Record) error) error {
 func (l *Log) ReadRange(from, to uint64, fn func(Record) error) error {
 	l.mu.Lock()
 	sealed := append([]SegmentInfo(nil), l.sealed...)
+	wantFirst := l.activeFirst
 	l.mu.Unlock()
 	for _, s := range sealed {
-		if s.LastSeq < from || s.FirstSeq > to {
-			continue
-		}
-		f, err := l.fs.Open(path.Join(l.dir, s.Name))
-		if err != nil {
-			return fmt.Errorf("store: open sealed %s: %w", s.Name, err)
-		}
-		data, err := readAll(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("store: read sealed %s: %w", s.Name, err)
-		}
-		res := scanSegment(data)
-		if res.torn || uint64(len(res.records)) != s.LastSeq-s.FirstSeq+1 {
-			return fmt.Errorf("store: sealed segment %s corrupt (%d records, want %d, torn=%v)",
-				s.Name, len(res.records), s.LastSeq-s.FirstSeq+1, res.torn)
-		}
-		if err := emitRange(res.records, s.FirstSeq, from, to, fn); err != nil {
+		if err := l.emitSealed(s, from, to, fn); err != nil {
 			return err
 		}
 	}
 	recs, first := l.snapshotActive()
+	// A roll between the sealed-list copy and the active snapshot moves
+	// [wantFirst, first) into segments that are in neither: sealed too
+	// late for the copy, inactive too early for the snapshot. They are
+	// sealed (immutable) now, so read them from the current manifest
+	// before the active records — seq order is preserved because every
+	// copied segment ends below wantFirst.
+	if first != wantFirst {
+		l.mu.Lock()
+		var gap []SegmentInfo
+		for _, s := range l.sealed {
+			if s.FirstSeq >= wantFirst && s.LastSeq < first {
+				gap = append(gap, s)
+			}
+		}
+		l.mu.Unlock()
+		for _, s := range gap {
+			if err := l.emitSealed(s, from, to, fn); err != nil {
+				return err
+			}
+		}
+	}
 	if first > to {
 		return nil
 	}
 	return emitRange(recs, first, from, to, fn)
+}
+
+// emitSealed reads one sealed segment, verifies it against its
+// manifest entry, and emits its records in [from, to]. Segments
+// outside the range are not read at all.
+func (l *Log) emitSealed(s SegmentInfo, from, to uint64, fn func(Record) error) error {
+	if s.LastSeq < from || s.FirstSeq > to {
+		return nil
+	}
+	f, err := l.fs.Open(path.Join(l.dir, s.Name))
+	if err != nil {
+		return fmt.Errorf("store: open sealed %s: %w", s.Name, err)
+	}
+	data, err := readAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: read sealed %s: %w", s.Name, err)
+	}
+	res := scanSegment(data)
+	if res.torn || uint64(len(res.records)) != s.LastSeq-s.FirstSeq+1 {
+		return fmt.Errorf("store: sealed segment %s corrupt (%d records, want %d, torn=%v)",
+			s.Name, len(res.records), s.LastSeq-s.FirstSeq+1, res.torn)
+	}
+	return emitRange(res.records, s.FirstSeq, from, to, fn)
 }
 
 // snapshotActive flushes and scans the active segment under the log

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"path"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -128,7 +129,10 @@ type Log struct {
 	err         error // sticky failure; all appends fail after it
 	scratch     []byte
 
-	fsyncMu sync.Mutex // serializes fsync against segment-roll close
+	fsyncMu sync.Mutex    // serializes fsync against segment-roll close
+	gen     atomic.Uint64 // bumped under fsyncMu after each successful seal; lets
+	// syncNow detect a roll without reacquiring l.mu (lock order is
+	// always l.mu -> fsyncMu, never the reverse)
 
 	sc struct {
 		mu      sync.Mutex
@@ -433,12 +437,16 @@ func (l *Log) syncNow() (uint64, error) {
 	}
 	hi := l.nextSeq - 1
 	f := l.active
+	gen := l.gen.Load()
 	l.mu.Unlock()
 
 	l.fsyncMu.Lock()
-	l.mu.Lock()
-	stale := l.active != f // a roll sealed f meanwhile; its data is already durable
-	l.mu.Unlock()
+	// A generation bump means a roll sealed (fsynced and closed) f after
+	// our flush, so everything up to hi is already durable and f must
+	// not be touched. Checked under fsyncMu, where rolls publish the
+	// bump — l.mu is never taken here, which would invert the
+	// l.mu -> fsyncMu order rollLocked uses and deadlock.
+	stale := l.gen.Load() != gen
 	var err error
 	if !stale {
 		start := time.Now()
@@ -505,6 +513,10 @@ func (l *Log) rollLocked() error {
 	err := l.active.Sync()
 	if err == nil {
 		err = l.active.Close()
+		// Publish the seal while still under fsyncMu: a syncNow that
+		// captured this segment either holds fsyncMu now (its fsync hits
+		// the still-open file) or observes the new generation and skips.
+		l.gen.Add(1)
 	}
 	l.fsyncMu.Unlock()
 	if err != nil {
@@ -564,7 +576,11 @@ func (l *Log) batchLoop() {
 }
 
 // Close flushes, fsyncs, and closes the log. Further appends return
-// ErrClosed. Idempotent.
+// ErrClosed. Idempotent. Returns an error only for a failure that
+// happens during Close itself: a log already poisoned by an earlier
+// write/fsync error closes "cleanly" — that error was delivered to
+// the operation that hit it, and surfacing it again here would make
+// every shutdown look like a fresh failure.
 func (l *Log) Close() error {
 	var err error
 	l.closeOnce.Do(func() {
@@ -572,10 +588,16 @@ func (l *Log) Close() error {
 			close(l.batchStop)
 			<-l.batchDone
 		}
+		l.mu.Lock()
+		poisoned := l.err != nil
+		l.mu.Unlock()
 		_, serr := l.syncNow() // clean-shutdown durability, any mode
 		l.mu.Lock()
 		if cerr := l.active.Close(); serr == nil {
 			serr = cerr
+		}
+		if poisoned {
+			serr = nil
 		}
 		if l.err == nil {
 			l.err = ErrClosed

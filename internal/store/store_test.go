@@ -413,3 +413,125 @@ func TestVerifyCleanAndTorn(t *testing.T) {
 		t.Fatalf("recovery LastSeq %d, verify predicted %d", info.LastSeq, rep1.LastSeq)
 	}
 }
+
+// TestConcurrentAppendRollNoDeadlock races group-commit fsyncs against
+// segment rolls. syncNow's roll-staleness check must never reacquire
+// the log mutex while holding fsyncMu (rollLocked takes them in the
+// opposite order); before that check went lock-free via the segment
+// generation counter, this test wedged every appender.
+func TestConcurrentAppendRollNoDeadlock(t *testing.T) {
+	for _, mode := range []store.FsyncMode{store.FsyncAlways, store.FsyncBatch} {
+		t.Run(mode.String(), func(t *testing.T) {
+			fs := faults.NewCrashFS()
+			l, _, err := store.Open("wal", store.Options{
+				FS: fs, Fsync: mode, SegmentBytes: 64, BatchInterval: 100 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const writers, per = 4, 150
+			done := make(chan error, writers)
+			for w := 0; w < writers; w++ {
+				go func(w int) {
+					for i := 0; i < per; i++ {
+						if _, err := l.Append(1, payload(w*per+i)); err != nil {
+							done <- err
+							return
+						}
+					}
+					done <- nil
+				}(w)
+			}
+			timeout := time.After(30 * time.Second)
+			for w := 0; w < writers; w++ {
+				select {
+				case err := <-done:
+					if err != nil {
+						t.Fatalf("append: %v", err)
+					}
+				case <-timeout:
+					t.Fatal("appenders wedged: fsync vs segment-roll deadlock")
+				}
+			}
+			if got := len(collect(t, l)); got != writers*per {
+				t.Fatalf("replayed %d records, want %d", got, writers*per)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// hookFS wraps an FS and, while armed, runs fn before the next Open.
+// It deterministically lands writes inside ReadRange's window between
+// the sealed-list copy and the active-segment snapshot.
+type hookFS struct {
+	store.FS
+	mu    sync.Mutex
+	armed bool
+	fn    func()
+}
+
+func (h *hookFS) Open(name string) (store.File, error) {
+	h.mu.Lock()
+	fn := h.fn
+	if h.armed {
+		h.armed = false
+	} else {
+		fn = nil
+	}
+	h.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return h.FS.Open(name)
+}
+
+// TestReadRangeSealDuringRead: a segment sealed after ReadRange copied
+// the sealed list but before it snapshotted the active segment is in
+// neither view; its records must still be emitted, not silently
+// dropped from the range.
+func TestReadRangeSealDuringRead(t *testing.T) {
+	h := &hookFS{FS: faults.NewCrashFS()}
+	l, _, err := store.Open("wal", store.Options{FS: h, Fsync: store.FsyncOff, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// SegmentBytes 1: each Append first seals the previous record's
+	// segment, so every record gets its own segment.
+	for i := 1; i <= 2; i++ {
+		if _, err := l.Append(1, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fires when ReadRange opens the first sealed segment — after the
+	// sealed-list copy: appends seal the then-active segment (record 2)
+	// and record 3's, leaving record 4 active.
+	h.fn = func() {
+		for i := 3; i <= 4; i++ {
+			if _, err := l.Append(1, payload(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	h.mu.Lock()
+	h.armed = true
+	h.mu.Unlock()
+	var seqs []uint64
+	if err := l.ReadRange(1, 100, func(r store.Record) error {
+		seqs = append(seqs, r.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 4 {
+		t.Fatalf("read %v, want seqs 1..4 (mid-read seal dropped records)", seqs)
+	}
+	for i, seq := range seqs {
+		if seq != uint64(i+1) {
+			t.Fatalf("read %v out of order", seqs)
+		}
+	}
+}
