@@ -8,7 +8,8 @@
 #   make fmt-check      fail if any file needs gofmt
 #   make race           vet + race-detector run over the whole module
 #   make race-hammer    race-detector over the concurrency-hammer
-#                       packages only (uncertain, roadnet, index, obs)
+#                       packages only (uncertain, roadnet, index, obs,
+#                       plus the columnar hammers in core/trajectory)
 #   make chaos          the chaos-injection harness under -race (runner,
 #                       fault injectors, hardened server, stream engine
 #                       + streaming-session scenarios)
@@ -17,9 +18,9 @@
 #                       fault-injected durability wiring, and the
 #                       kill-mid-chunk byte-identity scenarios
 #   make bench          compile-and-run the benchmark suite briefly
-#   make bench-json     run the benchmarks for real and write a dated
-#                       BENCH_<date>.json baseline (ns/op, B/op,
-#                       allocs/op)
+#   make bench-json     run the benchmarks for real (best-of-BENCHCOUNT
+#                       per row) and write a dated BENCH_<date>.json
+#                       baseline (ns/op, B/op, allocs/op)
 #   make bench-compare  rerun the gated E1/E2 experiment benchmarks,
 #                       write the fresh rows to bench-fresh.json (NOT
 #                       BENCH_*.json — that glob is the committed
@@ -29,6 +30,7 @@
 
 GO ?= go
 BENCHTIME ?= 2x
+BENCHCOUNT ?= 3
 
 .PHONY: check ci fmt-check vet test race race-hammer chaos crash bench bench-json bench-compare
 
@@ -55,6 +57,7 @@ race:
 # the ones -race exists for. Cheap enough to ride in every `make check`.
 race-hammer:
 	$(GO) test -race -count=1 ./internal/uncertain ./internal/roadnet ./internal/index ./internal/obs
+	$(GO) test -race -count=1 -run 'Hammer' ./internal/core ./internal/trajectory
 
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos ./internal/core ./internal/server ./internal/stream
@@ -69,9 +72,12 @@ crash:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Best-of-N baseline: -count $(BENCHCOUNT) repeats each benchmark and
+# benchjson -fold keeps the minimum per metric, so the committed
+# baseline records the machine's floor, not one noisy sample.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... \
-		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) ./... \
+		| $(GO) run ./cmd/benchjson -fold > BENCH_$$(date +%F).json
 	@echo wrote BENCH_$$(date +%F).json
 
 # Best-of-N: benchcompare folds the -count repeats to their minimum,

@@ -14,6 +14,14 @@
 // the two documents is reported; only rows matching -gate (default:
 // the E1/E2 experiment rows) can fail the run, and only when ns/op or
 // allocs/op regressed by more than -threshold (default 20%).
+//
+// b_per_op is compared too, but advisorily: a gated row whose bytes/op
+// regressed beyond the threshold while ns/op and allocs/op stayed flat
+// is reported as a warning without failing the run. Layout regressions
+// usually show up in bytes first (bigger transient buffers at the same
+// allocation count), so the warning surfaces them in the bench job
+// before they grow into time; promote with -strict-bytes once a
+// baseline has settled.
 package main
 
 import (
@@ -104,8 +112,9 @@ func pctDelta(old, new float64) float64 {
 
 func main() {
 	baseline := flag.String("baseline", "", "baseline BENCH_*.json (default: lexicographically latest in cwd)")
-	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression in ns/op and allocs/op")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression in ns/op and allocs/op (and b/op when gated)")
 	gate := flag.String("gate", `^BenchmarkE[12]_`, "regexp of benchmark names that can fail the comparison")
+	strictBytes := flag.Bool("strict-bytes", false, "promote b_per_op regressions from advisory warnings to failures")
 	flag.Parse()
 
 	gateRe, err := regexp.Compile(*gate)
@@ -143,7 +152,7 @@ func main() {
 	// floor, noise only shifts the ceiling.
 	fresh.Benchmarks = foldBest(fresh.Benchmarks)
 	fmt.Printf("baseline: %s (%s)\n", path, old.Date)
-	var failures []string
+	var failures, advisories []string
 	compared := 0
 	for _, r := range fresh.Benchmarks {
 		b, ok := base[r.Name]
@@ -154,22 +163,36 @@ func main() {
 		compared++
 		nsDelta := pctDelta(b.NsPerOp, r.NsPerOp)
 		allocDelta := pctDelta(float64(b.AllocsPerOp), float64(r.AllocsPerOp))
+		bDelta := pctDelta(float64(b.BPerOp), float64(r.BPerOp))
 		gated := gateRe.MatchString(r.Name)
 		marker := " "
 		nsBad := b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+*threshold)
 		allocBad := b.AllocsPerOp > 0 && float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+*threshold)
-		if gated && (nsBad || allocBad) {
+		bBad := b.BPerOp > 0 && float64(r.BPerOp) > float64(b.BPerOp)*(1+*threshold)
+		switch {
+		case gated && (nsBad || allocBad || (bBad && *strictBytes)):
 			marker = "!"
 			failures = append(failures, fmt.Sprintf(
-				"%s: ns/op %.0f -> %.0f (%+.1f%%), allocs/op %d -> %d (%+.1f%%)",
-				r.Name, b.NsPerOp, r.NsPerOp, nsDelta, b.AllocsPerOp, r.AllocsPerOp, allocDelta))
+				"%s: ns/op %.0f -> %.0f (%+.1f%%), allocs/op %d -> %d (%+.1f%%), B/op %d -> %d (%+.1f%%)",
+				r.Name, b.NsPerOp, r.NsPerOp, nsDelta, b.AllocsPerOp, r.AllocsPerOp, allocDelta, b.BPerOp, r.BPerOp, bDelta))
+		case gated && bBad:
+			marker = "~"
+			advisories = append(advisories, fmt.Sprintf(
+				"%s: B/op %d -> %d (%+.1f%%)", r.Name, b.BPerOp, r.BPerOp, bDelta))
 		}
-		fmt.Printf("%s %-50s  ns/op %12.0f -> %12.0f (%+7.1f%%)   allocs/op %8d -> %8d (%+7.1f%%)\n",
-			marker, r.Name, b.NsPerOp, r.NsPerOp, nsDelta, b.AllocsPerOp, r.AllocsPerOp, allocDelta)
+		fmt.Printf("%s %-50s  ns/op %12.0f -> %12.0f (%+7.1f%%)   allocs/op %8d -> %8d (%+7.1f%%)   B/op %10d -> %10d (%+7.1f%%)\n",
+			marker, r.Name, b.NsPerOp, r.NsPerOp, nsDelta, b.AllocsPerOp, r.AllocsPerOp, allocDelta, b.BPerOp, r.BPerOp, bDelta)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchcompare: no overlapping benchmark rows with the baseline")
 		os.Exit(2)
+	}
+	if len(advisories) > 0 {
+		fmt.Printf("\nbenchcompare: %d advisory b_per_op regression(s) beyond %.0f%% (not failing; -strict-bytes promotes):\n",
+			len(advisories), *threshold*100)
+		for _, a := range advisories {
+			fmt.Printf("  ~ %s\n", a)
+		}
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "\nbenchcompare: %d gated regression(s) beyond %.0f%%:\n", len(failures), *threshold*100)

@@ -9,11 +9,18 @@
 //
 // Lines that are not benchmark results (goos/goarch/cpu/pkg headers)
 // are folded into the document metadata; anything else is ignored.
+//
+// With -fold, repeated rows from a `-count N` run collapse to one row
+// per benchmark holding the best (minimum) observation of each metric,
+// with runs summed — the same one-sided noise filter benchcompare
+// applies to fresh runs, so a committed baseline taken with -count 3
+// records the machine's floor rather than one arbitrary sample.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -49,7 +56,35 @@ type Document struct {
 // from different machines compare by benchmark identity.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
+// foldBest collapses repeated rows per name to the minimum observation
+// of each metric, summing runs. Mirrors cmd/benchcompare's fold.
+func foldBest(rows []Result) []Result {
+	idx := make(map[string]int, len(rows))
+	var out []Result
+	for _, r := range rows {
+		i, seen := idx[r.Name]
+		if !seen {
+			idx[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsPerOp < out[i].NsPerOp {
+			out[i].NsPerOp = r.NsPerOp
+		}
+		if r.AllocsPerOp < out[i].AllocsPerOp {
+			out[i].AllocsPerOp = r.AllocsPerOp
+		}
+		if r.BPerOp < out[i].BPerOp {
+			out[i].BPerOp = r.BPerOp
+		}
+		out[i].Runs += r.Runs
+	}
+	return out
+}
+
 func main() {
+	fold := flag.Bool("fold", false, "collapse repeated rows (a -count N run) to best-of-N per benchmark")
+	flag.Parse()
 	doc := Document{Date: time.Now().UTC().Format(time.RFC3339)}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -83,6 +118,9 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
 		os.Exit(1)
+	}
+	if *fold {
+		doc.Benchmarks = foldBest(doc.Benchmarks)
 	}
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin (did you pass -bench?)")

@@ -60,7 +60,7 @@ func main() {
 		cleanReadings(r, *out, reg)
 		return
 	}
-	trs, err := trajectory.ReadCSV(r)
+	trs, err := trajectory.ReadCSVColumns(r)
 	if err != nil {
 		log.Fatalf("sidqclean: %v", err)
 	}

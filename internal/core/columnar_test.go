@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sidq/internal/geo"
+	"sidq/internal/outlier"
+	"sidq/internal/stid"
+	"sidq/internal/trajectory"
+)
+
+// spikyDataset builds a dataset of noisy random walks with teleport
+// spikes and duplicate timestamps, plus a few readings so the
+// FinishColumns pass has work.
+func spikyDataset(rng *rand.Rand, nTraj, nPts int) *Dataset {
+	ds := &Dataset{MaxSpeed: 10, ExpectedInterval: 1, Now: float64(nPts)}
+	for k := 0; k < nTraj; k++ {
+		pts := make([]trajectory.Point, nPts)
+		x, y, t := rng.Float64()*100, rng.Float64()*100, 0.0
+		for i := range pts {
+			if rng.Intn(15) == 0 {
+				x += rng.NormFloat64() * 400
+				y += rng.NormFloat64() * 400
+			} else {
+				x += rng.NormFloat64() * 3
+				y += rng.NormFloat64() * 3
+			}
+			if rng.Intn(10) != 0 {
+				t += 1 + rng.Float64()
+			}
+			pts[i] = trajectory.Point{T: t, Pos: geo.Pt(x, y)}
+		}
+		ds.Trajectories = append(ds.Trajectories, trajectory.New(fmt.Sprintf("d%d", k), pts))
+	}
+	for i := 0; i < 40; i++ {
+		ds.Readings = append(ds.Readings, stid.Reading{
+			SensorID: fmt.Sprintf("s%d", i%3),
+			T:        float64(i),
+			Pos:      geo.Pt(rng.Float64()*100, rng.Float64()*100),
+			Value:    20 + rng.NormFloat64(),
+		})
+	}
+	return ds
+}
+
+// aosOutlierRemoval is the stage's pre-columnar implementation, kept as
+// the test reference: per-trajectory AoS detectors, merged flags,
+// point-slice compaction, then the readings pass.
+func aosOutlierRemoval(s OutlierRemovalStage, ds *Dataset) {
+	maxSpeed := s.MaxSpeed
+	if maxSpeed <= 0 {
+		maxSpeed = ds.MaxSpeed
+	}
+	for i, tr := range ds.Trajectories {
+		speedFlags := outlier.SpeedConstraint(tr, maxSpeed)
+		statFlags := outlier.Statistical(tr, outlier.StatisticalOptions{})
+		merged := make([]bool, tr.Len())
+		for j := range merged {
+			merged[j] = speedFlags[j] || statFlags[j]
+		}
+		ds.Trajectories[i] = outlier.Remove(tr, merged)
+	}
+	if len(ds.Readings) > 0 {
+		flags := outlier.Temporal(ds.Readings, outlier.TemporalOptions{})
+		ds.Readings = outlier.RemoveReadings(ds.Readings, flags)
+	}
+}
+
+func sameTrajectories(t *testing.T, got, want []*trajectory.Trajectory) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("trajectory count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("trajectory %d: id %q want %q", i, got[i].ID, want[i].ID)
+		}
+		if got[i].Len() != want[i].Len() {
+			t.Fatalf("trajectory %d: %d points, want %d", i, got[i].Len(), want[i].Len())
+		}
+		for j := range want[i].Points {
+			a, b := got[i].Points[j], want[i].Points[j]
+			if math.Float64bits(a.T) != math.Float64bits(b.T) ||
+				math.Float64bits(a.Pos.X) != math.Float64bits(b.Pos.X) ||
+				math.Float64bits(a.Pos.Y) != math.Float64bits(b.Pos.Y) {
+				t.Fatalf("trajectory %d point %d diverged: %+v vs %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+// TestOutlierRemovalColumnarMatchesAoS pins the columnar stage against
+// the pre-columnar AoS implementation bit for bit, including the
+// readings pass, across random dirty datasets and both entry points
+// (direct ApplyContext and a pipeline run).
+func TestOutlierRemovalColumnarMatchesAoS(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 25; trial++ {
+		ds := spikyDataset(rng, 1+rng.Intn(5), rng.Intn(120))
+		st := OutlierRemovalStage{}
+		if trial%3 == 0 {
+			st.MaxSpeed = 5
+		}
+
+		want := ds.Clone()
+		aosOutlierRemoval(st, want)
+
+		got := ds.Clone()
+		if err := st.ApplyContext(context.Background(), got); err != nil {
+			t.Fatalf("trial %d: ApplyContext: %v", trial, err)
+		}
+		sameTrajectories(t, got.Trajectories, want.Trajectories)
+		if len(got.Readings) != len(want.Readings) {
+			t.Fatalf("trial %d: %d readings, want %d", trial, len(got.Readings), len(want.Readings))
+		}
+		for i := range want.Readings {
+			if got.Readings[i] != want.Readings[i] {
+				t.Fatalf("trial %d: reading %d diverged", trial, i)
+			}
+		}
+	}
+}
+
+// TestOutlierRemovalColumnarAcrossWorkers runs the columnar stage under
+// the parallel runner at several worker counts and requires output
+// identical to the serial path — the sharding contract must survive the
+// columnar dispatch.
+func TestOutlierRemovalColumnarAcrossWorkers(t *testing.T) {
+	ds := spikyDataset(rand.New(rand.NewSource(72)), 9, 150)
+	p := NewPipeline(OutlierRemovalStage{})
+	base, _ := p.Run(ds)
+	for _, w := range []int{2, 4, 8} {
+		got, _ := p.RunParallel(ds, w)
+		sameTrajectories(t, got.Trajectories, base.Trajectories)
+	}
+}
+
+// recordingColumnarStage verifies dispatch: a stage that declares the
+// Columnar trait must be driven through TransformColumns by the runner,
+// never through Apply.
+type recordingColumnarStage struct {
+	transformed *int
+	finished    *int
+}
+
+func (s recordingColumnarStage) Name() string { return "recording-columnar" }
+func (s recordingColumnarStage) Task() Task   { return OutlierRemoval }
+func (s recordingColumnarStage) Traits() StageTraits {
+	return StageTraits{Shardable: true, ReplacesTrajectories: true, Columnar: true}
+}
+func (s recordingColumnarStage) Apply(ds *Dataset) {
+	panic("columnar stage dispatched through Apply")
+}
+func (s recordingColumnarStage) TransformColumns(dst, src *trajectory.Columns, ds *Dataset) {
+	*s.transformed++
+	dst.Reset()
+	n := src.Len()
+	dst.Grow(n)
+	for i := 0; i < n; i++ {
+		dst.Append(src.T[i], src.X[i], src.Y[i])
+	}
+}
+func (s recordingColumnarStage) FinishColumns(ctx context.Context, ds *Dataset) error {
+	*s.finished++
+	return nil
+}
+
+// TestRunnerDispatchesColumnarTrait pins the runner-side threading: the
+// Columnar trait routes the stage through the struct-of-arrays path.
+func TestRunnerDispatchesColumnarTrait(t *testing.T) {
+	ds := spikyDataset(rand.New(rand.NewSource(73)), 4, 30)
+	var transformed, finished int
+	st := recordingColumnarStage{transformed: &transformed, finished: &finished}
+	out, reports, err := DefaultRunner().Run(context.Background(), NewPipeline(st), ds)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Err != nil || reports[0].Skipped {
+		t.Fatalf("unexpected report: %+v", reports)
+	}
+	if transformed != len(ds.Trajectories) {
+		t.Fatalf("TransformColumns ran %d times, want %d", transformed, len(ds.Trajectories))
+	}
+	if finished != 1 {
+		t.Fatalf("FinishColumns ran %d times, want 1", finished)
+	}
+	sameTrajectories(t, out.Trajectories, ds.Trajectories)
+}
+
+// TestCloneSharesTruthMap pins Dataset.Clone's documented context
+// contract: the Truth map header is shared with the parent (ground
+// truth is reference material, not per-clone state), while the data
+// slices are fresh and trajectories deep-copied.
+func TestCloneSharesTruthMap(t *testing.T) {
+	truth := trajectory.New("a", []trajectory.Point{
+		{T: 0, Pos: geo.Pt(0, 0)}, {T: 1, Pos: geo.Pt(1, 1)},
+	})
+	ds := spikyDataset(rand.New(rand.NewSource(74)), 2, 20)
+	ds.Truth = map[string]*trajectory.Trajectory{"a": truth}
+
+	for _, tc := range []struct {
+		name  string
+		clone *Dataset
+	}{
+		{"Clone", ds.Clone()},
+		{"CloneCOW", ds.CloneCOW()},
+	} {
+		cl := tc.clone
+		// Same map, not a copy: an insertion through the clone is visible
+		// to the parent. (That visibility is exactly why the contract says
+		// clone holders must treat Truth as read-only.)
+		cl.Truth["probe-"+tc.name] = truth
+		if _, ok := ds.Truth["probe-"+tc.name]; !ok {
+			t.Fatalf("%s: Truth map was copied; the documented contract is sharing", tc.name)
+		}
+		delete(ds.Truth, "probe-"+tc.name)
+		if cl.Truth["a"] != truth {
+			t.Fatalf("%s: Truth entry not shared", tc.name)
+		}
+	}
+
+	// Trajectory isolation differs between the two clones: deep copies
+	// from Clone, shared pointers from CloneCOW.
+	deep := ds.Clone()
+	if deep.Trajectories[0] == ds.Trajectories[0] {
+		t.Fatal("Clone shares trajectory pointers; want deep copies")
+	}
+	orig := ds.Trajectories[0].Points[0]
+	deep.Trajectories[0].Points[0].Pos.X += 1000
+	if ds.Trajectories[0].Points[0] != orig {
+		t.Fatal("mutating a deep clone's points leaked into the parent")
+	}
+	cow := ds.CloneCOW()
+	if cow.Trajectories[0] != ds.Trajectories[0] {
+		t.Fatal("CloneCOW deep-copied trajectories; want shared pointers")
+	}
+}

@@ -44,6 +44,18 @@ type Dataset struct {
 
 // Clone returns a shallow copy with fresh slices (trajectories are
 // deep-copied so stages can edit in place; readings are copied).
+//
+// The assessment context is shared, not copied: the Truth map, the
+// TruthField function, and the scalar context fields of the clone alias
+// the parent's. This is deliberate — cloning exists so stages can
+// rewrite the *data* cheaply, while ground truth is immutable reference
+// material that may be megabytes of trajectories; copying it per stage
+// attempt would dwarf the cost of the stage itself. The contract this
+// imposes: holders of a clone must treat Truth (and the trajectories it
+// points to) as read-only — inserting, deleting, or mutating entries
+// through a clone is visible to the parent and to every sibling clone,
+// and is a data race under the parallel runner. CloneCOW shares Truth
+// the same way. TestCloneSharesTruthMap pins this contract.
 func (ds *Dataset) Clone() *Dataset {
 	out := *ds
 	out.Trajectories = make([]*trajectory.Trajectory, len(ds.Trajectories))

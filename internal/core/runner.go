@@ -339,6 +339,13 @@ func (r *Runner) attempt(parent context.Context, st Stage, work *Dataset) error 
 				done <- &panicError{stage: st.Name(), val: p}
 			}
 		}()
+		// Dispatch by declared shape: columnar stages get the pooled
+		// struct-of-arrays path, fallible stages get ctx, legacy stages
+		// get the plain Apply.
+		if cs, ok := st.(ColumnarStage); ok && TraitsOf(st).Columnar {
+			done <- applyColumnarStage(ctx, cs, work)
+			return
+		}
 		if fs, ok := st.(FallibleStage); ok {
 			done <- fs.ApplyContext(ctx, work)
 			return

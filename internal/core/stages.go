@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"sidq/internal/faults"
 	"sidq/internal/geo"
@@ -68,33 +69,55 @@ func (s OutlierRemovalStage) Name() string { return "outlier-removal" }
 // Task implements Stage.
 func (s OutlierRemovalStage) Task() Task { return OutlierRemoval }
 
-// Traits implements TraitedStage: trajectory-local and replace-only.
-func (s OutlierRemovalStage) Traits() StageTraits { return dataParallel }
+// Traits implements TraitedStage: trajectory-local, replace-only, and
+// columnar — the detectors run as batch kernels over flat columns.
+func (s OutlierRemovalStage) Traits() StageTraits { return columnarDataParallel }
 
 // Apply implements Stage.
 func (s OutlierRemovalStage) Apply(ds *Dataset) {
 	_ = s.ApplyContext(context.Background(), ds)
 }
 
-// ApplyContext implements FallibleStage.
+// ApplyContext implements FallibleStage by driving the same columnar
+// path the runner dispatches to, so direct callers and
+// pipeline-managed runs share one implementation.
 func (s OutlierRemovalStage) ApplyContext(ctx context.Context, ds *Dataset) error {
+	return applyColumnarStage(ctx, s, ds)
+}
+
+// orFlags is the per-trajectory flag scratch of the columnar outlier
+// stage, pooled so shard workers reuse buffers without sharing them.
+type orFlags struct{ speed, stat []bool }
+
+var orFlagsPool = sync.Pool{New: func() any { return new(orFlags) }}
+
+// TransformColumns implements ColumnarStage: the speed-gate and the
+// statistical scan run over the flat columns with pooled flag buffers,
+// their union is compacted into dst. Flags and removal are bit-for-bit
+// the AoS detectors' results (pinned by the columnar property tests and
+// the pipeline goldens).
+func (s OutlierRemovalStage) TransformColumns(dst, src *trajectory.Columns, ds *Dataset) {
 	maxSpeed := s.MaxSpeed
 	if maxSpeed <= 0 {
 		maxSpeed = ds.MaxSpeed
 	}
-	for i, tr := range ds.Trajectories {
+	scr := orFlagsPool.Get().(*orFlags)
+	defer orFlagsPool.Put(scr)
+	scr.speed = outlier.SpeedConstraintCols(src, maxSpeed, scr.speed)
+	scr.stat = outlier.StatisticalCols(src, outlier.StatisticalOptions{}, scr.stat)
+	for j := range scr.speed {
+		scr.speed[j] = scr.speed[j] || scr.stat[j]
+	}
+	outlier.RemoveCols(dst, src, scr.speed)
+}
+
+// FinishColumns implements ColumnarStage: the readings pass, unchanged
+// from the AoS form.
+func (s OutlierRemovalStage) FinishColumns(ctx context.Context, ds *Dataset) error {
+	if len(ds.Readings) > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		speedFlags := outlier.SpeedConstraint(tr, maxSpeed)
-		statFlags := outlier.Statistical(tr, outlier.StatisticalOptions{})
-		merged := make([]bool, tr.Len())
-		for j := range merged {
-			merged[j] = speedFlags[j] || statFlags[j]
-		}
-		ds.Trajectories[i] = outlier.Remove(tr, merged)
-	}
-	if len(ds.Readings) > 0 {
 		flags := outlier.Temporal(ds.Readings, outlier.TemporalOptions{})
 		ds.Readings = outlier.RemoveReadings(ds.Readings, flags)
 	}

@@ -19,6 +19,14 @@ type StageTraits struct {
 	// share trajectory pointers with the parent dataset instead of
 	// deep-copying every point.
 	ReplacesTrajectories bool
+	// Columnar means the stage implements ColumnarStage and wants the
+	// runner to drive its trajectory work through the struct-of-arrays
+	// path: pooled Columns conversion in, batch kernels, fresh
+	// trajectory out. Implies ReplacesTrajectories semantics for the
+	// trajectory side (each entry is swapped for a materialized copy).
+	// Stages that set it receive columns; everything else keeps
+	// receiving []Point through Apply/ApplyContext.
+	Columnar bool
 }
 
 // TraitedStage is implemented by stages that declare execution traits.
@@ -41,3 +49,7 @@ func TraitsOf(st Stage) StageTraits {
 // dataParallel is the trait set shared by every built-in stage: all of
 // them are trajectory-local and replace-only.
 var dataParallel = StageTraits{Shardable: true, ReplacesTrajectories: true}
+
+// columnarDataParallel is dataParallel plus the columnar batch-kernel
+// path — the trait set of stages whose hot loops run on flat columns.
+var columnarDataParallel = StageTraits{Shardable: true, ReplacesTrajectories: true, Columnar: true}

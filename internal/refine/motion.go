@@ -345,17 +345,38 @@ func KalmanSmoothTrajectory(tr *trajectory.Trajectory, q, r float64) *trajectory
 // a random-walk-velocity dynamics model and Gaussian position
 // likelihood. It handles non-linear/non-Gaussian settings the Kalman
 // filter cannot.
+//
+// All per-particle state lives in one contiguous float64 arena sliced
+// into columns (px|py|vx|vy|w plus a spare set for resampling), so the
+// propagate/weight/resample loops stream flat memory and Step runs
+// allocation-free: resampling writes into the spare columns and swaps
+// them in instead of allocating fresh slices every step.
 type ParticleFilter struct {
+	arena          []float64 // the 9n backing block (owned, poolable)
 	px, py, vx, vy []float64
 	w              []float64
-	q              float64 // velocity diffusion (m/s per sqrt(s))
-	r              float64 // measurement stddev (m)
-	rng            *rand.Rand
+	// spare columns the systematic resampler scatters into before the
+	// swap (double buffering; contents are dead between steps).
+	spx, spy, svx, svy []float64
+	q                  float64 // velocity diffusion (m/s per sqrt(s))
+	r                  float64 // measurement stddev (m)
+	rng                *rand.Rand
 }
+
+// pfArena pools particle-state arenas across trajectory runs: the
+// filter is rebuilt per trajectory per pipeline attempt, and its
+// backing block is the only steady-state allocation left.
+var pfArena = sync.Pool{New: func() any { return new([]float64) }}
 
 // NewParticleFilter returns a filter with n particles spread with
 // stddev spread around pos.
 func NewParticleFilter(n int, pos geo.Point, spread, q, r float64, seed int64) *ParticleFilter {
+	return newParticleFilter(nil, n, pos, spread, q, r, seed)
+}
+
+// newParticleFilter initializes the filter inside arena when it is
+// large enough (9n floats), allocating otherwise.
+func newParticleFilter(arena []float64, n int, pos geo.Point, spread, q, r float64, seed int64) *ParticleFilter {
 	if n < 10 {
 		n = 10
 	}
@@ -365,12 +386,29 @@ func NewParticleFilter(n int, pos geo.Point, spread, q, r float64, seed int64) *
 	if r <= 0 {
 		r = 1
 	}
+	if cap(arena) < 9*n {
+		arena = make([]float64, 9*n)
+	}
+	arena = arena[:9*n]
 	pf := &ParticleFilter{
-		px: make([]float64, n), py: make([]float64, n),
-		vx: make([]float64, n), vy: make([]float64, n),
-		w: make([]float64, n),
-		q: q, r: r,
+		arena: arena,
+		px:    arena[0*n : 1*n],
+		py:    arena[1*n : 2*n],
+		vx:    arena[2*n : 3*n],
+		vy:    arena[3*n : 4*n],
+		w:     arena[4*n : 5*n],
+		spx:   arena[5*n : 6*n],
+		spy:   arena[6*n : 7*n],
+		svx:   arena[7*n : 8*n],
+		svy:   arena[8*n : 9*n],
+		q:     q, r: r,
 		rng: rand.New(rand.NewSource(seed)),
+	}
+	// A pooled arena may carry stale velocities; the zero state is part
+	// of the filter contract.
+	for i := range pf.vx {
+		pf.vx[i] = 0
+		pf.vy[i] = 0
 	}
 	for i := 0; i < n; i++ {
 		pf.px[i] = pos.X + pf.rng.NormFloat64()*spread
@@ -387,70 +425,81 @@ func (pf *ParticleFilter) Step(dt float64, obs geo.Point) geo.Point {
 		dt = 1e-3
 	}
 	sq := math.Sqrt(dt) * pf.q
+	den := 2 * pf.r * pf.r
+	px, py, vx, vy, w := pf.px, pf.py, pf.vx, pf.vy, pf.w
+	rng := pf.rng
 	var wsum float64
-	for i := range pf.px {
-		pf.vx[i] += pf.rng.NormFloat64() * sq
-		pf.vy[i] += pf.rng.NormFloat64() * sq
-		pf.px[i] += pf.vx[i] * dt
-		pf.py[i] += pf.vy[i] * dt
-		dx := pf.px[i] - obs.X
-		dy := pf.py[i] - obs.Y
-		pf.w[i] = math.Exp(-(dx*dx + dy*dy) / (2 * pf.r * pf.r))
-		wsum += pf.w[i]
+	for i := range px {
+		vx[i] += rng.NormFloat64() * sq
+		vy[i] += rng.NormFloat64() * sq
+		px[i] += vx[i] * dt
+		py[i] += vy[i] * dt
+		dx := px[i] - obs.X
+		dy := py[i] - obs.Y
+		w[i] = math.Exp(-(dx*dx + dy*dy) / den)
+		wsum += w[i]
 	}
 	if wsum <= 0 {
 		// All particles far away: reinitialize around the observation.
-		for i := range pf.px {
-			pf.px[i] = obs.X + pf.rng.NormFloat64()*pf.r
-			pf.py[i] = obs.Y + pf.rng.NormFloat64()*pf.r
-			pf.w[i] = 1 / float64(len(pf.w))
+		for i := range px {
+			px[i] = obs.X + rng.NormFloat64()*pf.r
+			py[i] = obs.Y + rng.NormFloat64()*pf.r
+			w[i] = 1 / float64(len(w))
 		}
 		wsum = 1
 	}
 	var mx, my float64
-	for i := range pf.w {
-		pf.w[i] /= wsum
-		mx += pf.w[i] * pf.px[i]
-		my += pf.w[i] * pf.py[i]
+	for i := range w {
+		w[i] /= wsum
+		mx += w[i] * px[i]
+		my += w[i] * py[i]
 	}
 	pf.resample()
 	return geo.Pt(mx, my)
 }
 
-// resample performs systematic resampling.
+// resample performs systematic resampling into the spare columns and
+// swaps them in — no allocation, same draws and copy order as the
+// historical allocating form.
 func (pf *ParticleFilter) resample() {
 	n := len(pf.w)
-	npx := make([]float64, n)
-	npy := make([]float64, n)
-	nvx := make([]float64, n)
-	nvy := make([]float64, n)
+	w, px, py, vx, vy := pf.w, pf.px, pf.py, pf.vx, pf.vy
+	npx, npy, nvx, nvy := pf.spx, pf.spy, pf.svx, pf.svy
 	step := 1 / float64(n)
 	u := pf.rng.Float64() * step
 	var cum float64
 	j := 0
 	for i := 0; i < n; i++ {
 		target := u + float64(i)*step
-		for cum+pf.w[j] < target && j < n-1 {
-			cum += pf.w[j]
+		for cum+w[j] < target && j < n-1 {
+			cum += w[j]
 			j++
 		}
-		npx[i], npy[i] = pf.px[j], pf.py[j]
-		nvx[i], nvy[i] = pf.vx[j], pf.vy[j]
+		npx[i], npy[i] = px[j], py[j]
+		nvx[i], nvy[i] = vx[j], vy[j]
 	}
+	pf.spx, pf.spy, pf.svx, pf.svy = px, py, vx, vy
 	pf.px, pf.py, pf.vx, pf.vy = npx, npy, nvx, nvy
-	for i := range pf.w {
-		pf.w[i] = step
+	for i := range w {
+		w[i] = step
 	}
 }
 
 // ParticleFilterTrajectory runs the particle filter over a trajectory.
+// The particle arena is drawn from a pool shared across calls, so
+// repeated pipeline attempts reuse one block instead of reallocating
+// per trajectory.
 func ParticleFilterTrajectory(tr *trajectory.Trajectory, n int, q, r float64, seed int64) *trajectory.Trajectory {
 	out := &trajectory.Trajectory{ID: tr.ID}
 	if tr.Len() == 0 {
 		return out
 	}
-	pf := NewParticleFilter(n, tr.Points[0].Pos, r, q, r, seed)
+	arenaP := pfArena.Get().(*[]float64)
+	pf := newParticleFilter(*arenaP, n, tr.Points[0].Pos, r, q, r, seed)
+	*arenaP = pf.arena
+	defer pfArena.Put(arenaP)
 	prevT := tr.Points[0].T
+	out.Points = make([]trajectory.Point, 0, tr.Len())
 	for i, p := range tr.Points {
 		dt := p.T - prevT
 		if i == 0 {
@@ -467,6 +516,15 @@ func ParticleFilterTrajectory(tr *trajectory.Trajectory, n int, q, r float64, se
 // into cells, motion diffuses probability to neighboring cells, and
 // observations reweight by a Gaussian likelihood. It is the
 // probabilistic-graph-model representative of motion-based LR.
+//
+// The grid is stored struct-of-arrays style: the posterior lives in one
+// flat row-major probs slice, and the cell-center coordinates are
+// precomputed per axis (cxs/cys) so no inner loop ever does the i%nx /
+// i/nx index arithmetic of the old per-cell center lookup. The filter
+// additionally tracks the active window — the bounding box of cells
+// whose probability is not exactly +0 — and restricts every pass to it.
+// Outside that box the old full-grid loops only ever computed 0*k
+// products and +0 additions, so skipping them changes no output bit.
 type HMMGrid struct {
 	region     geo.Rect
 	cell       float64
@@ -474,7 +532,21 @@ type HMMGrid struct {
 	probs      []float64
 	speedSigma float64 // motion diffusion, m/s
 	measSigma  float64
+
+	cxs, cys []float64 // per-axis cell-center coordinates
+	ex2      []float64 // per-step scratch: squared x-distance to the observation
+	// Active window (inclusive): every cell outside
+	// [x0,x1]x[y0,y1] holds exactly +0.
+	x0, x1, y0, y1 int
 }
+
+// expZero is a conservative underflow bound: math.Exp returns exactly
+// +0 for every argument below it (the library cutoff is ~-745.134;
+// TestExpUnderflowCutoff pins the guarantee). Skipping the Exp call for
+// such arguments and writing 0 directly is bit-identical, because for
+// the non-negative probabilities a grid holds p*0 is +0 and sum+=0
+// leaves the accumulator unchanged.
+const expZero = -746.0
 
 // NewHMMGrid returns a uniform-prior grid filter.
 func NewHMMGrid(region geo.Rect, cell, speedSigma, measSigma float64) *HMMGrid {
@@ -499,6 +571,16 @@ func NewHMMGrid(region geo.Rect, cell, speedSigma, measSigma float64) *HMMGrid {
 		region: region, cell: cell, nx: nx, ny: ny,
 		probs:      make([]float64, nx*ny),
 		speedSigma: speedSigma, measSigma: measSigma,
+		cxs: make([]float64, nx),
+		cys: make([]float64, ny),
+		ex2: make([]float64, nx),
+		x0:  0, x1: nx - 1, y0: 0, y1: ny - 1,
+	}
+	for x := range h.cxs {
+		h.cxs[x] = region.Min.X + (float64(x)+0.5)*cell
+	}
+	for y := range h.cys {
+		h.cys[y] = region.Min.Y + (float64(y)+0.5)*cell
 	}
 	u := 1 / float64(nx*ny)
 	for i := range h.probs {
@@ -507,26 +589,92 @@ func NewHMMGrid(region geo.Rect, cell, speedSigma, measSigma float64) *HMMGrid {
 	return h
 }
 
-func (h *HMMGrid) center(i int) geo.Point {
-	cx, cy := i%h.nx, i/h.nx
-	return geo.Pt(
-		h.region.Min.X+(float64(cx)+0.5)*h.cell,
-		h.region.Min.Y+(float64(cy)+0.5)*h.cell,
-	)
-}
-
 // Step advances the filter dt seconds and folds in an observation,
 // returning the posterior-mean position estimate.
 func (h *HMMGrid) Step(dt float64, obs geo.Point) geo.Point {
 	if dt > 0 {
 		h.diffuse(dt)
 	}
-	// Emission update.
+	nx := h.nx
+	den := 2 * h.measSigma * h.measSigma
+	// Any cell with d2 > d2Zero has -d2/den < expZero even after
+	// division rounding (the 1.0001 margin dominates a 1-ulp error), so
+	// its emission weight is exactly +0 and the Exp call can be skipped.
+	d2Zero := -expZero * den * 1.0001
+	ex2 := h.ex2
+	for x := h.x0; x <= h.x1; x++ {
+		dx := h.cxs[x] - obs.X
+		ex2[x] = dx * dx
+	}
+	// Shrink the active window to the columns/rows that can survive the
+	// emission. ex2 is a discrete parabola in x, so {x: ex2[x] <= d2Zero}
+	// is an interval and trimming from both ends finds it exactly; same
+	// for y.
+	nx0, nx1 := h.x0, h.x1
+	for nx0 <= nx1 && ex2[nx0] > d2Zero {
+		nx0++
+	}
+	for nx1 >= nx0 && ex2[nx1] > d2Zero {
+		nx1--
+	}
+	ny0, ny1 := h.y0, h.y1
+	for ny0 <= ny1 {
+		dy := h.cys[ny0] - obs.Y
+		if dy*dy > d2Zero {
+			ny0++
+		} else {
+			break
+		}
+	}
+	for ny1 >= ny0 {
+		dy := h.cys[ny1] - obs.Y
+		if dy*dy > d2Zero {
+			ny1--
+		} else {
+			break
+		}
+	}
+	// Cells of the old window that fall outside the survivable box get
+	// weight exactly 0 (p *= +0 for non-negative p).
+	for y := h.y0; y <= h.y1; y++ {
+		row := h.probs[y*nx : (y+1)*nx]
+		if y < ny0 || y > ny1 {
+			for x := h.x0; x <= h.x1; x++ {
+				row[x] = 0
+			}
+			continue
+		}
+		for x := h.x0; x < nx0; x++ {
+			row[x] = 0
+		}
+		for x := nx1 + 1; x <= h.x1; x++ {
+			row[x] = 0
+		}
+	}
+	// Emission update over the surviving window, in the same row-major
+	// cell order as the full-grid loop. d2 = ex2[x] + dy*dy is the same
+	// two-products-one-add as the old inline DistSq.
 	var sum float64
-	for i := range h.probs {
-		d2 := h.center(i).DistSq(obs)
-		h.probs[i] *= math.Exp(-d2 / (2 * h.measSigma * h.measSigma))
-		sum += h.probs[i]
+	for y := ny0; y <= ny1; y++ {
+		dy := h.cys[y] - obs.Y
+		dy2 := dy * dy
+		row := h.probs[y*nx : (y+1)*nx]
+		for x := nx0; x <= nx1; x++ {
+			p := row[x]
+			if p == 0 {
+				// p stays +0 without the Exp call: p*e is +0 for any
+				// finite weight and sum += +0 is a no-op.
+				continue
+			}
+			d2 := ex2[x] + dy2
+			if d2 > d2Zero {
+				row[x] = 0
+				continue
+			}
+			p *= math.Exp(-d2 / den)
+			row[x] = p
+			sum += p
+		}
 	}
 	if sum <= 0 {
 		u := 1 / float64(len(h.probs))
@@ -534,14 +682,31 @@ func (h *HMMGrid) Step(dt float64, obs geo.Point) geo.Point {
 			h.probs[i] = u
 		}
 		sum = 1
+		nx0, nx1, ny0, ny1 = 0, nx-1, 0, h.ny-1
 	}
+	// Normalize and take the posterior mean. Outside the window every
+	// term is +0/sum = +0 and mx += ±0 never changes the accumulator
+	// (it can never be -0: it starts at +0 and only exact -0+-0 could
+	// produce -0), so the restriction is bit-identical.
 	var mx, my float64
-	for i := range h.probs {
-		h.probs[i] /= sum
-		c := h.center(i)
-		mx += h.probs[i] * c.X
-		my += h.probs[i] * c.Y
+	for y := ny0; y <= ny1; y++ {
+		cy := h.cys[y]
+		row := h.probs[y*nx : (y+1)*nx]
+		for x := nx0; x <= nx1; x++ {
+			p := row[x]
+			if p == 0 {
+				// +0/sum is +0 and mx += ±0 never changes the
+				// accumulator (it starts at +0 and only -0 + -0 could
+				// make it -0), so skipping zero cells is bit-identical.
+				continue
+			}
+			p /= sum
+			row[x] = p
+			mx += p * h.cxs[x]
+			my += p * cy
+		}
 	}
+	h.x0, h.x1, h.y0, h.y1 = nx0, nx1, ny0, ny1
 	return geo.Pt(mx, my)
 }
 
@@ -582,37 +747,132 @@ func (h *HMMGrid) diffuse(dt float64) {
 	for i := range kernel {
 		kernel[i] /= ksum
 	}
-	// Horizontal then vertical pass.
+	// Horizontal then vertical pass, restricted to the active window
+	// expanded by the kernel radius. A tap that lands outside the
+	// window reads an exact +0 (window invariant) and a tap outside the
+	// grid was skipped by the old bounds check; clamping the tap range
+	// to the window drops only +0 contributions, and each surviving
+	// cell still accumulates its taps in ascending-k order, so the
+	// output is bit-identical to the full-grid form.
 	if cap(scr.tmp) < len(h.probs) {
 		scr.tmp = make([]float64, len(h.probs))
 	}
 	tmp := scr.tmp[:len(h.probs)]
-	for y := 0; y < h.ny; y++ {
-		for x := 0; x < h.nx; x++ {
-			var v float64
-			for k := -radius; k <= radius; k++ {
-				xx := x + k
-				if xx < 0 || xx >= h.nx {
-					continue
+	nx := h.nx
+	x0, x1, y0, y1 := h.x0, h.x1, h.y0, h.y1
+	ex0, ex1 := max(0, x0-radius), min(nx-1, x1+radius)
+	ey0, ey1 := max(0, y0-radius), min(h.ny-1, y1+radius)
+	if radius == 1 {
+		// The common small-sigma shape (every E1 configuration lands
+		// here): fully unrolled 3-tap expressions. Left-to-right
+		// evaluation ((a+b)+c) matches the generic loop's
+		// ((0+a)+b)+c because 0+a == a for the non-negative taps a
+		// probability grid produces.
+		k0, k1, k2 := kernel[0], kernel[1], kernel[2]
+		for y := y0; y <= y1; y++ {
+			src := h.probs[y*nx : (y+1)*nx]
+			dst := tmp[y*nx : (y+1)*nx]
+			if x0 == x1 {
+				dst[x0] = src[x0] * k1
+				if x0 > 0 {
+					dst[x0-1] = src[x0] * k2
 				}
-				v += h.probs[y*h.nx+xx] * kernel[k+radius]
+				if x1 < nx-1 {
+					dst[x1+1] = src[x1] * k0
+				}
+				continue
 			}
-			tmp[y*h.nx+x] = v
+			if ex0 < x0 {
+				dst[ex0] = src[x0] * k2
+			}
+			lo, hi := max(x0, 1), min(x1, nx-2)
+			if x0 == 0 {
+				dst[0] = src[0]*k1 + src[1]*k2
+			}
+			for x := lo; x <= hi; x++ {
+				dst[x] = src[x-1]*k0 + src[x]*k1 + src[x+1]*k2
+			}
+			if x1 == nx-1 {
+				dst[nx-1] = src[nx-2]*k0 + src[nx-1]*k1
+			}
+			if ex1 > x1 {
+				dst[ex1] = src[x1] * k0
+			}
+		}
+		for y := ey0; y <= ey1; y++ {
+			out := h.probs[y*nx : (y+1)*nx]
+			switch {
+			case y > y0 && y < y1:
+				a := tmp[(y-1)*nx : y*nx]
+				b := tmp[y*nx : (y+1)*nx]
+				c := tmp[(y+1)*nx : (y+2)*nx]
+				for x := ex0; x <= ex1; x++ {
+					out[x] = a[x]*k0 + b[x]*k1 + c[x]*k2
+				}
+			case y < y0: // one row above the window: only the k=+1 tap
+				c := tmp[y0*nx : (y0+1)*nx]
+				for x := ex0; x <= ex1; x++ {
+					out[x] = c[x] * k2
+				}
+			case y > y1: // one row below: only the k=-1 tap
+				a := tmp[y1*nx : (y1+1)*nx]
+				for x := ex0; x <= ex1; x++ {
+					out[x] = a[x] * k0
+				}
+			case y0 == y1: // single-row window
+				b := tmp[y*nx : (y+1)*nx]
+				for x := ex0; x <= ex1; x++ {
+					out[x] = b[x] * k1
+				}
+			case y == y0: // top row of a taller window
+				b := tmp[y*nx : (y+1)*nx]
+				c := tmp[(y+1)*nx : (y+2)*nx]
+				for x := ex0; x <= ex1; x++ {
+					out[x] = b[x]*k1 + c[x]*k2
+				}
+			default: // y == y1: bottom row
+				a := tmp[(y-1)*nx : y*nx]
+				b := tmp[y*nx : (y+1)*nx]
+				for x := ex0; x <= ex1; x++ {
+					out[x] = a[x]*k0 + b[x]*k1
+				}
+			}
+		}
+		h.x0, h.x1, h.y0, h.y1 = ex0, ex1, ey0, ey1
+		return
+	}
+	for y := y0; y <= y1; y++ {
+		src := h.probs[y*nx : (y+1)*nx]
+		dst := tmp[y*nx : (y+1)*nx]
+		for x := ex0; x <= ex1; x++ {
+			kmin := max(-radius, x0-x)
+			kmax := min(radius, x1-x)
+			var v float64
+			for k := kmin; k <= kmax; k++ {
+				v += src[x+k] * kernel[k+radius]
+			}
+			dst[x] = v
 		}
 	}
-	for y := 0; y < h.ny; y++ {
-		for x := 0; x < h.nx; x++ {
-			var v float64
-			for k := -radius; k <= radius; k++ {
-				yy := y + k
-				if yy < 0 || yy >= h.ny {
-					continue
-				}
-				v += tmp[yy*h.nx+x] * kernel[k+radius]
+	// Vertical pass, row-streaming: the valid tap rows are uniform
+	// across a whole output row, so the k loop hoists out of the x loop
+	// and the inner loop walks contiguous rows.
+	for y := ey0; y <= ey1; y++ {
+		kmin := max(-radius, y0-y)
+		kmax := min(radius, y1-y)
+		out := h.probs[y*nx : (y+1)*nx]
+		for x := ex0; x <= ex1; x++ {
+			out[x] = 0
+		}
+		for k := kmin; k <= kmax; k++ {
+			row := tmp[(y+k)*nx : (y+k+1)*nx]
+			kv := kernel[k+radius]
+			for x := ex0; x <= ex1; x++ {
+				out[x] += row[x] * kv
 			}
-			h.probs[y*h.nx+x] = v
 		}
 	}
+	h.x0, h.x1, h.y0, h.y1 = ex0, ex1, ey0, ey1
 }
 
 // HMMGridTrajectory runs the grid filter over a trajectory.
@@ -623,6 +883,7 @@ func HMMGridTrajectory(tr *trajectory.Trajectory, region geo.Rect, cell, speedSi
 	}
 	h := NewHMMGrid(region, cell, speedSigma, measSigma)
 	prevT := tr.Points[0].T
+	out.Points = make([]trajectory.Point, 0, tr.Len())
 	for i, p := range tr.Points {
 		dt := p.T - prevT
 		if i == 0 {

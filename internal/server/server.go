@@ -245,7 +245,7 @@ func trajectoryDataset(r *http.Request) (*core.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	trs, err := trajectory.ReadCSV(r.Body)
+	trs, err := trajectory.ReadCSVColumns(r.Body)
 	if err != nil {
 		return nil, fmt.Errorf("parse trajectory csv: %w", err)
 	}

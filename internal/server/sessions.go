@@ -839,14 +839,17 @@ func shed429(w http.ResponseWriter, err error) {
 // trajectory.ReadCSV produces for the same rows, so a fully drained
 // in-order session serializes byte-identically to the batch path.
 func resultTrajectories(results []streamResult, srcs []string) []*trajectory.Trajectory {
-	bySrc := map[string][]trajectory.Point{}
+	// Columns build incrementally per source — flat T/X/Y appends
+	// instead of per-source []Point growth — and materialize in emitted
+	// order (no sorting), exactly as the AoS grouping did.
+	b := trajectory.NewColumnsBuilder()
 	for _, res := range results {
-		bySrc[res.Source] = append(bySrc[res.Source], trajectory.Point{T: res.T, Pos: geo.Pt(res.X, res.Y)})
+		b.Add(res.Source, res.T, res.X, res.Y)
 	}
 	var out []*trajectory.Trajectory
 	for _, src := range srcs {
-		if pts := bySrc[src]; len(pts) > 0 {
-			out = append(out, &trajectory.Trajectory{ID: src, Points: pts})
+		if tr := b.Trajectory(src); tr != nil {
+			out = append(out, tr)
 		}
 	}
 	return out

@@ -1,0 +1,177 @@
+package trajectory
+
+import (
+	"math"
+
+	"sidq/internal/geo"
+)
+
+// Columns is the struct-of-arrays form of a timestamped point sequence:
+// parallel T/X/Y slices instead of a []Point. The hot cleaning kernels
+// (speed gate, outlier scans, simplification, motion refinement) run
+// their inner loops over these flat slices — one contiguous stream per
+// coordinate, no per-point pointer chasing — while conversion to and
+// from the []Point form is lossless (NaN and ±Inf coordinates survive
+// a round trip bit for bit; the float values are copied, never
+// re-derived).
+//
+// The three slices always have equal length. A Columns value is cheap
+// to reuse: Reset keeps capacity, and every From*/append helper grows
+// all three slices together.
+type Columns struct {
+	T, X, Y []float64
+}
+
+// Len returns the number of samples.
+func (c *Columns) Len() int { return len(c.T) }
+
+// Reset empties the columns, retaining capacity for reuse.
+func (c *Columns) Reset() {
+	c.T = c.T[:0]
+	c.X = c.X[:0]
+	c.Y = c.Y[:0]
+}
+
+// Grow ensures capacity for at least n additional samples.
+func (c *Columns) Grow(n int) {
+	if need := len(c.T) + n; cap(c.T) < need {
+		t := make([]float64, len(c.T), need)
+		x := make([]float64, len(c.X), need)
+		y := make([]float64, len(c.Y), need)
+		copy(t, c.T)
+		copy(x, c.X)
+		copy(y, c.Y)
+		c.T, c.X, c.Y = t, x, y
+	}
+}
+
+// Append adds one sample.
+func (c *Columns) Append(t, x, y float64) {
+	c.T = append(c.T, t)
+	c.X = append(c.X, x)
+	c.Y = append(c.Y, y)
+}
+
+// AppendPoint adds one Point sample.
+func (c *Columns) AppendPoint(p Point) { c.Append(p.T, p.Pos.X, p.Pos.Y) }
+
+// At returns sample i in Point form.
+func (c *Columns) At(i int) Point {
+	return Point{T: c.T[i], Pos: geo.Point{X: c.X[i], Y: c.Y[i]}}
+}
+
+// FromPoints replaces the columns' contents with pts. The receiver's
+// capacity is reused when possible, so a pooled Columns converts a
+// trajectory without allocating in steady state.
+func (c *Columns) FromPoints(pts []Point) {
+	n := len(pts)
+	c.Reset()
+	c.Grow(n)
+	c.T = c.T[:n]
+	c.X = c.X[:n]
+	c.Y = c.Y[:n]
+	for i := range pts {
+		c.T[i] = pts[i].T
+		c.X[i] = pts[i].Pos.X
+		c.Y[i] = pts[i].Pos.Y
+	}
+}
+
+// ToPoints appends the columns' samples to dst in Point form and
+// returns it (pass nil to allocate exactly).
+func (c *Columns) ToPoints(dst []Point) []Point {
+	n := c.Len()
+	if cap(dst)-len(dst) < n {
+		grown := make([]Point, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, Point{T: c.T[i], Pos: geo.Point{X: c.X[i], Y: c.Y[i]}})
+	}
+	return dst
+}
+
+// FromTrajectory fills the columns from tr's points.
+func (c *Columns) FromTrajectory(tr *Trajectory) { c.FromPoints(tr.Points) }
+
+// Trajectory materializes the columns as a fresh trajectory with the
+// given id.
+func (c *Columns) Trajectory(id string) *Trajectory {
+	return &Trajectory{ID: id, Points: c.ToPoints(make([]Point, 0, c.Len()))}
+}
+
+// Equal reports whether c and o hold bit-identical samples (NaN
+// compares equal to NaN here: equality is on the bit pattern of every
+// float64, which is what lossless round-tripping means).
+func (c *Columns) Equal(o *Columns) bool {
+	if c.Len() != o.Len() {
+		return false
+	}
+	eq := func(a, b []float64) bool {
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(c.T, o.T) && eq(c.X, o.X) && eq(c.Y, o.Y)
+}
+
+// IsSorted reports whether the samples are in non-decreasing time
+// order — one linear pass, the fast-path check trajectory.New and the
+// decode/stream-flush paths use to skip the copy-then-stable-sort.
+// NaN timestamps report false so such inputs keep taking the sorting
+// path (sort order with NaNs is what sort.SliceStable made it, and
+// only that path reproduces it).
+func (c *Columns) IsSorted() bool { return timesSorted(c.T) }
+
+func timesSorted(ts []float64) bool {
+	for i := 1; i < len(ts); i++ {
+		// Not ">=": equal stamps are fine (stable sort keeps their
+		// order). A NaN comparison is always false, which would wrongly
+		// pass, so test NaN explicitly.
+		if ts[i] < ts[i-1] || math.IsNaN(ts[i]) {
+			return false
+		}
+	}
+	if len(ts) > 0 && math.IsNaN(ts[0]) {
+		return false
+	}
+	return true
+}
+
+// pointsSorted is timesSorted over the AoS form.
+func pointsSorted(pts []Point) bool {
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T < pts[i-1].T || math.IsNaN(pts[i].T) {
+			return false
+		}
+	}
+	if len(pts) > 0 && math.IsNaN(pts[0].T) {
+		return false
+	}
+	return true
+}
+
+// SpeedsInto writes the per-segment speeds (m/s) into dst, which must
+// have length Len()-1 (Len() < 2 writes nothing). Element i is the
+// speed between samples i and i+1; non-increasing timestamps report
+// +Inf, mirroring Trajectory.Speeds.
+func (c *Columns) SpeedsInto(dst []float64) {
+	n := c.Len()
+	if n < 2 {
+		return
+	}
+	ts, xs, ys := c.T, c.X, c.Y
+	for i := 1; i < n; i++ {
+		dt := ts[i] - ts[i-1]
+		d := math.Hypot(xs[i-1]-xs[i], ys[i-1]-ys[i])
+		if dt <= 0 {
+			dst[i-1] = math.Inf(1)
+		} else {
+			dst[i-1] = d / dt
+		}
+	}
+}

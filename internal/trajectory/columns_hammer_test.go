@@ -1,0 +1,68 @@
+package trajectory
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sidq/internal/geo"
+)
+
+// TestColumnsConversionHammer round-trips shared source trajectories
+// through pooled Columns from many goroutines at once. The sources are
+// read concurrently and the scratch columns are recycled across
+// goroutines, so under -race (make race-hammer) this catches any write
+// into shared point slices or pool misuse in the conversion path; the
+// bit-compare catches cross-goroutine buffer mixups that happen to be
+// race-silent.
+func TestColumnsConversionHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var srcs []*Trajectory
+	for k := 0; k < 6; k++ {
+		tr := &Trajectory{ID: "h"}
+		for i := 0; i < 300; i++ {
+			tr.Points = append(tr.Points, Point{
+				T:   float64(i) + rng.Float64(),
+				Pos: geo.Pt(rng.NormFloat64()*100, rng.NormFloat64()*100),
+			})
+		}
+		srcs = append(srcs, tr)
+	}
+
+	pool := sync.Pool{New: func() any { return new(Columns) }}
+	const workers, rounds = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				src := srcs[(w+r)%len(srcs)]
+				c := pool.Get().(*Columns)
+				c.FromTrajectory(src)
+				got := c.Trajectory(src.ID)
+				pool.Put(c)
+				if got.Len() != src.Len() {
+					errs <- "round-trip changed length"
+					return
+				}
+				for i := range src.Points {
+					a, b := got.Points[i], src.Points[i]
+					if math.Float64bits(a.T) != math.Float64bits(b.T) ||
+						math.Float64bits(a.Pos.X) != math.Float64bits(b.Pos.X) ||
+						math.Float64bits(a.Pos.Y) != math.Float64bits(b.Pos.Y) {
+						errs <- "round-trip diverged under concurrency"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

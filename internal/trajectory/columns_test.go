@@ -1,0 +1,149 @@
+package trajectory
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sidq/internal/geo"
+)
+
+// randPoints draws n points whose coordinates occasionally degenerate
+// to NaN/±Inf — the round-trip must preserve them bit for bit.
+func randPoints(rng *rand.Rand, n int, withSpecials bool) []Point {
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)}
+	draw := func() float64 {
+		if withSpecials && rng.Intn(8) == 0 {
+			return specials[rng.Intn(len(specials))]
+		}
+		return rng.NormFloat64() * 1e3
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{T: draw(), Pos: geo.Point{X: draw(), Y: draw()}}
+	}
+	return pts
+}
+
+func bitsEqualPoints(a, b []Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].T) != math.Float64bits(b[i].T) ||
+			math.Float64bits(a[i].Pos.X) != math.Float64bits(b[i].Pos.X) ||
+			math.Float64bits(a[i].Pos.Y) != math.Float64bits(b[i].Pos.Y) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestColumnsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		pts := randPoints(rng, rng.Intn(50), true)
+		var c Columns
+		c.FromPoints(pts)
+		if c.Len() != len(pts) {
+			t.Fatalf("trial %d: Len=%d want %d", trial, c.Len(), len(pts))
+		}
+		back := c.ToPoints(nil)
+		if !bitsEqualPoints(pts, back) {
+			t.Fatalf("trial %d: ToPoints(FromPoints(pts)) != pts (specials must survive)", trial)
+		}
+		var c2 Columns
+		c2.FromPoints(back)
+		if !c.Equal(&c2) {
+			t.Fatalf("trial %d: FromPoints(ToPoints(c)) != c", trial)
+		}
+		// Per-sample accessor agrees with the AoS form.
+		for i := range pts {
+			if got := c.At(i); math.Float64bits(got.T) != math.Float64bits(pts[i].T) ||
+				math.Float64bits(got.Pos.X) != math.Float64bits(pts[i].Pos.X) ||
+				math.Float64bits(got.Pos.Y) != math.Float64bits(pts[i].Pos.Y) {
+				t.Fatalf("trial %d: At(%d) mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestColumnsReuseDoesNotAllocate(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewSource(1)), 256, false)
+	var c Columns
+	c.FromPoints(pts) // warm the capacity
+	allocs := testing.AllocsPerRun(50, func() {
+		c.FromPoints(pts)
+	})
+	if allocs != 0 {
+		t.Fatalf("FromPoints on warm Columns allocated %.1f times/op, want 0", allocs)
+	}
+}
+
+func TestColumnsIsSorted(t *testing.T) {
+	var c Columns
+	if !c.IsSorted() {
+		t.Fatal("empty columns must report sorted")
+	}
+	c.Append(1, 0, 0)
+	c.Append(1, 1, 1) // equal stamps are in order
+	c.Append(2, 2, 2)
+	if !c.IsSorted() {
+		t.Fatal("non-decreasing stamps must report sorted")
+	}
+	c.Append(1.5, 3, 3)
+	if c.IsSorted() {
+		t.Fatal("regressing stamp must report unsorted")
+	}
+	var n Columns
+	n.Append(math.NaN(), 0, 0)
+	if n.IsSorted() {
+		t.Fatal("NaN stamp must report unsorted (sorting path owns NaN order)")
+	}
+}
+
+// TestNewFastPathMatchesSort pins the satellite contract: New on
+// already-ordered input must produce exactly what the historical
+// copy-then-stable-sort produced, and unsorted/NaN input must still be
+// sorted.
+func TestNewFastPathMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		pts := randPoints(rng, 1+rng.Intn(40), trial%3 == 0)
+		if trial%2 == 0 {
+			// Pre-sort (NaNs removed) to exercise the fast path.
+			for i := range pts {
+				if math.IsNaN(pts[i].T) {
+					pts[i].T = float64(i)
+				}
+			}
+			sort.SliceStable(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+		}
+		want := append([]Point(nil), pts...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].T < want[j].T })
+		got := New("t", pts)
+		if !bitsEqualPoints(got.Points, want) {
+			t.Fatalf("trial %d: New output diverged from copy-then-stable-sort", trial)
+		}
+	}
+}
+
+func TestColumnsSpeedsInto(t *testing.T) {
+	tr := New("s", []Point{
+		{T: 0, Pos: geo.Pt(0, 0)},
+		{T: 1, Pos: geo.Pt(3, 4)},
+		{T: 1, Pos: geo.Pt(6, 8)}, // zero dt -> +Inf
+		{T: 3, Pos: geo.Pt(6, 8)},
+	})
+	var c Columns
+	c.FromTrajectory(tr)
+	got := make([]float64, c.Len()-1)
+	c.SpeedsInto(got)
+	want := tr.Speeds()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("speed[%d]: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
