@@ -21,7 +21,8 @@
 #   make bench-json     run the benchmarks for real (best-of-BENCHCOUNT
 #                       per row) and write a dated BENCH_<date>.json
 #                       baseline (ns/op, B/op, allocs/op)
-#   make bench-compare  rerun the gated E1/E2 experiment benchmarks,
+#   make bench-compare  rerun the gated E1/E2 experiment benchmarks
+#                       plus the warm CH query row,
 #                       write the fresh rows to bench-fresh.json (NOT
 #                       BENCH_*.json — that glob is the committed
 #                       baseline set), and diff against the latest
@@ -84,7 +85,7 @@ bench-json:
 # so scheduler noise can't fail the gate (a real regression moves the
 # floor, noise only moves the ceiling).
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkE[12]_' -benchmem -benchtime $(BENCHTIME) -count 3 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkE[12]_|BenchmarkCHQuery/warm' -benchmem -benchtime $(BENCHTIME) -count 3 . \
 		| $(GO) run ./cmd/benchjson \
 		| tee bench-fresh.json \
 		| $(GO) run ./cmd/benchcompare

@@ -12,7 +12,7 @@
 // the working directory is used, so dated baselines supersede each
 // other naturally (see `make bench-json`). Every row shared between
 // the two documents is reported; only rows matching -gate (default:
-// the E1/E2 experiment rows) can fail the run, and only when ns/op or
+// the E1/E2 experiment rows and the warm CH query row) can fail the run, and only when ns/op or
 // allocs/op regressed by more than -threshold (default 20%).
 //
 // b_per_op is compared too, but advisorily: a gated row whose bytes/op
@@ -113,7 +113,7 @@ func pctDelta(old, new float64) float64 {
 func main() {
 	baseline := flag.String("baseline", "", "baseline BENCH_*.json (default: lexicographically latest in cwd)")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression in ns/op and allocs/op (and b/op when gated)")
-	gate := flag.String("gate", `^BenchmarkE[12]_`, "regexp of benchmark names that can fail the comparison")
+	gate := flag.String("gate", `^BenchmarkE[12]_|^BenchmarkCHQuery/warm`, "regexp of benchmark names that can fail the comparison")
 	strictBytes := flag.Bool("strict-bytes", false, "promote b_per_op regressions from advisory warnings to failures")
 	flag.Parse()
 

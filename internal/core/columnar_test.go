@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"sidq/internal/geo"
+	"sidq/internal/integrate"
 	"sidq/internal/outlier"
 	"sidq/internal/stid"
 	"sidq/internal/trajectory"
@@ -237,5 +238,101 @@ func TestCloneSharesTruthMap(t *testing.T) {
 	cow := ds.CloneCOW()
 	if cow.Trajectories[0] != ds.Trajectories[0] {
 		t.Fatal("CloneCOW deep-copied trajectories; want shared pointers")
+	}
+}
+
+// aosDeduplicate is DeduplicateStage's pre-columnar implementation,
+// kept as the test reference: per-trajectory map[Point]bool dedup,
+// then the readings merge.
+func aosDeduplicate(s DeduplicateStage, ds *Dataset) {
+	for i, tr := range ds.Trajectories {
+		out := &trajectory.Trajectory{ID: tr.ID}
+		seen := make(map[trajectory.Point]bool, tr.Len())
+		for _, p := range tr.Points {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			out.Points = append(out.Points, p)
+		}
+		ds.Trajectories[i] = out
+	}
+	if len(ds.Readings) > 0 {
+		ds.Readings = integrate.Deduplicate(ds.Readings, s.CellSize, s.TimeBucket)
+	}
+}
+
+// dupDataset builds trajectories rich in exact duplicates plus the
+// float equality edge cases (NaN points, ±0 coordinates) and readings
+// for the FinishColumns pass.
+func dupDataset(rng *rand.Rand, nTraj, nPts int) *Dataset {
+	ds := spikyDataset(rng, nTraj, 0)
+	for k := range ds.Trajectories {
+		pts := make([]trajectory.Point, 0, nPts)
+		for len(pts) < nPts {
+			switch rng.Intn(6) {
+			case 0: // exact repeat of an earlier point
+				if len(pts) > 0 {
+					pts = append(pts, pts[rng.Intn(len(pts))])
+					continue
+				}
+			case 1: // NaN point, possibly repeated verbatim
+				pts = append(pts, trajectory.Point{T: math.NaN(), Pos: geo.Pt(1, 2)})
+				continue
+			case 2: // zero spellings
+				pts = append(pts, trajectory.Point{
+					T:   float64(rng.Intn(3)),
+					Pos: geo.Pt(math.Copysign(0, -1), 0),
+				})
+				continue
+			}
+			pts = append(pts, trajectory.Point{
+				T:   float64(rng.Intn(8)),
+				Pos: geo.Pt(float64(rng.Intn(4)), float64(rng.Intn(4))),
+			})
+		}
+		ds.Trajectories[k].Points = pts
+	}
+	return ds
+}
+
+// TestDeduplicateColumnarMatchesAoS pins the columnar dedup stage
+// against the pre-columnar AoS implementation bit for bit, including
+// map-key float semantics (NaN kept, +0 == -0) and the readings pass.
+func TestDeduplicateColumnarMatchesAoS(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 25; trial++ {
+		ds := dupDataset(rng, 1+rng.Intn(5), rng.Intn(120))
+		st := DeduplicateStage{}
+
+		want := ds.Clone()
+		aosDeduplicate(st, want)
+
+		got := ds.Clone()
+		if err := st.ApplyContext(context.Background(), got); err != nil {
+			t.Fatalf("trial %d: ApplyContext: %v", trial, err)
+		}
+		sameTrajectories(t, got.Trajectories, want.Trajectories)
+		if len(got.Readings) != len(want.Readings) {
+			t.Fatalf("trial %d: %d readings, want %d", trial, len(got.Readings), len(want.Readings))
+		}
+		for i := range want.Readings {
+			if got.Readings[i] != want.Readings[i] {
+				t.Fatalf("trial %d: reading %d diverged", trial, i)
+			}
+		}
+	}
+}
+
+// TestDeduplicateColumnarAcrossWorkers runs the columnar dedup under
+// the parallel runner at several worker counts and requires output
+// identical to the serial path.
+func TestDeduplicateColumnarAcrossWorkers(t *testing.T) {
+	ds := dupDataset(rand.New(rand.NewSource(74)), 9, 150)
+	p := NewPipeline(DeduplicateStage{})
+	base, _ := p.Run(ds)
+	for _, w := range []int{2, 4, 8} {
+		out, _ := p.RunParallel(ds, w)
+		sameTrajectories(t, out.Trajectories, base.Trajectories)
 	}
 }

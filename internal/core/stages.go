@@ -288,32 +288,37 @@ func (s DeduplicateStage) Name() string { return "deduplicate" }
 // Task implements Stage.
 func (s DeduplicateStage) Task() Task { return DataIntegration }
 
-// Traits implements TraitedStage: trajectory-local and replace-only.
-func (s DeduplicateStage) Traits() StageTraits { return dataParallel }
+// Traits implements TraitedStage: trajectory-local, replace-only, and
+// columnar — exact-duplicate removal runs as a flat kernel.
+func (s DeduplicateStage) Traits() StageTraits { return columnarDataParallel }
 
 // Apply implements Stage.
 func (s DeduplicateStage) Apply(ds *Dataset) {
 	_ = s.ApplyContext(context.Background(), ds)
 }
 
-// ApplyContext implements FallibleStage.
+// ApplyContext implements FallibleStage by driving the same columnar
+// path the runner dispatches to, so direct callers and
+// pipeline-managed runs share one implementation.
 func (s DeduplicateStage) ApplyContext(ctx context.Context, ds *Dataset) error {
-	for i, tr := range ds.Trajectories {
+	return applyColumnarStage(ctx, s, ds)
+}
+
+// TransformColumns implements ColumnarStage: first-occurrence exact
+// dedup over the flat columns, with map[Point]bool float semantics
+// (NaN always kept, +0 == -0) so output matches the pre-columnar AoS
+// implementation bit for bit.
+func (s DeduplicateStage) TransformColumns(dst, src *trajectory.Columns, ds *Dataset) {
+	trajectory.DeduplicateCols(dst, src)
+}
+
+// FinishColumns implements ColumnarStage: the readings merge pass,
+// unchanged from the AoS form.
+func (s DeduplicateStage) FinishColumns(ctx context.Context, ds *Dataset) error {
+	if len(ds.Readings) > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		out := &trajectory.Trajectory{ID: tr.ID}
-		seen := make(map[trajectory.Point]bool, tr.Len())
-		for _, p := range tr.Points {
-			if seen[p] {
-				continue
-			}
-			seen[p] = true
-			out.Points = append(out.Points, p)
-		}
-		ds.Trajectories[i] = out
-	}
-	if len(ds.Readings) > 0 {
 		ds.Readings = integrate.Deduplicate(ds.Readings, s.CellSize, s.TimeBucket)
 	}
 	return nil

@@ -24,6 +24,13 @@ import "math"
 // sidq generates, growing to 16 on larger networks.
 const (
 	altMinNodes = 32 // below this, plain Euclidean A* wins
+	// Above altMaxNodes the landmark tables are skipped: 2*16 full
+	// sweeps plus 16 O(n) vectors per landmark stop paying off once the
+	// contraction hierarchy serves the distance queries, and on
+	// continental-scale graphs they dominate build time and memory.
+	// A* falls back to the Euclidean bound — results are identical,
+	// only the search's steering changes.
+	altMaxNodes = 1 << 18
 	altSlack    = 1e-9
 )
 
@@ -44,7 +51,7 @@ func altLandmarkCount(n int) int {
 // when the graph is too small for ALT to pay for itself.
 func buildALT(e *Engine) *altData {
 	n := len(e.pos)
-	if n < altMinNodes {
+	if n < altMinNodes || n > altMaxNodes {
 		return nil
 	}
 	l := altLandmarkCount(n)

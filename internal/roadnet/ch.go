@@ -1,0 +1,518 @@
+package roadnet
+
+// Contraction hierarchies (CH) preprocessing. Nodes are contracted one
+// by one in importance order; contracting node v inserts shortcut arcs
+// u -> w (for uncontracted neighbors u, w) whenever the path u -> v -> w
+// is not dominated by a witness path that avoids v. The contraction
+// order becomes a rank, and the surviving arcs — originals plus
+// shortcuts — are split into an upward CSR (tail rank < head rank,
+// relaxed by the forward search) and a downward CSR keyed by the lower
+// endpoint (relaxed by the backward search). Every shortest path in the
+// original graph is then representable as an "up-down" path, so a
+// bidirectional Dijkstra restricted to the two upward graphs visits a
+// tiny fraction of the nodes a flat search would.
+//
+// # Exactness
+//
+// Shortcut weights are float64 sums of their constituent arc weights,
+// which makes them associativity-sensitive: (a+b)+c need not equal the
+// left-to-right accumulation Dijkstra performs along the unpacked
+// path. The query side therefore uses arc weights only to ORDER the
+// search; the distance it returns is recomputed by unpacking the
+// winning up-down path into original edge ids and re-accumulating
+// left-to-right from the source (chAccum). That is exactly the
+// arithmetic the flat Dijkstra performs along the same path, so CH
+// distances are bit-identical to ShortestPath/ManyDist results — the
+// property sweep in ch_test.go pins this over hundreds of random
+// graphs, and the map-match goldens pin it end to end.
+//
+// Node order: priority = edgeDifference + contractedNeighbors, served
+// from a lazy-update queue (recompute on pop; reinsert if the fresh
+// priority no longer wins). Witness searches are settle-capped — a
+// capped search can only miss witnesses, which adds a redundant
+// shortcut but never an incorrect one.
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+const (
+	// chMinNodes gates CH preprocessing the same way altMinNodes gates
+	// ALT: tiny graphs search faster flat than through a hierarchy.
+	chMinNodes = 32
+	// Witness-search settle caps. Larger values find more witnesses
+	// (fewer shortcuts, slower build); smaller values build faster with
+	// denser upward graphs. Priority simulation runs far more often
+	// than contraction and only steers the order, so it gets the
+	// cheaper cap; the capped search can only ADD redundant shortcuts,
+	// never wrong ones.
+	chWitnessSettlesSim      = 24
+	chWitnessSettlesContract = 64
+	// chParallelOrderNodes gates the parallel initial-priority pass:
+	// below it, goroutine startup costs more than it saves.
+	chParallelOrderNodes = 1 << 15
+)
+
+// chAutoNodes gates *automatic* CH preprocessing in newEngine. CH
+// build cost is front-loaded (~1ms even at 100 nodes, dominated by
+// witness searches) and only amortizes on graphs that are large or
+// long-lived; small graphs answer quickly through ALT + the route
+// cache anyway, and workloads that rebuild small graphs frequently
+// (the E2 experiment builds a fresh city per iteration) must not pay
+// preprocessing on every build. Tests that pin CH semantics on small
+// graphs lower this to chMinNodes via forceCHAuto. A variable, not a
+// const, for exactly that reason.
+var chAutoNodes = 4096
+
+// chData is the compiled hierarchy: contraction ranks, the arc store
+// (originals + shortcuts, immutable after build), and the two CSR
+// views the query searches relax. Safe for concurrent readers.
+type chData struct {
+	rank []int32 // node -> contraction order (0 contracted first)
+
+	// Arc store. Arcs are append-only: a parallel arc superseded by a
+	// cheaper shortcut is marked dead but its record survives, so
+	// left/right child references of later shortcuts stay valid for
+	// unpacking.
+	aFrom, aTo    []int32
+	aW            []float64
+	aMid          []int32 // contracted middle node; -1 = original edge
+	aLeft, aRight []int32 // child arc ids (shortcuts only)
+	aEid          []int32 // original edge id (originals only)
+
+	// Query CSR views, indexed by RANK rather than node id: node ids
+	// are permuted through rank[] on entry, and arc endpoints hold
+	// ranks. Every query's search space lives near the top of the
+	// hierarchy, so rank-ordering clusters the hot nodes of ALL queries
+	// into the same few cache lines of the scratch arrays — the classic
+	// CH renumbering trick, worth a multiple in warm-query latency.
+	// Arc records are interleaved (chArc) rather than parallel arrays
+	// for the same reason: one line fetch per arc group, not three.
+	//
+	// Upward CSR: arcs u -> v with rank[u] < rank[v], grouped by u.
+	upOff []int32
+	up    []chArc
+	// Downward CSR: arcs x -> v with rank[x] > rank[v], grouped by the
+	// HEAD v — the backward search walks them head-to-tail (chArc.other
+	// is the tail's rank).
+	dnOff []int32
+	dn    []chArc
+
+	shortcuts int   // live shortcut arcs
+	buildNs   int64 // wall-clock preprocessing time
+}
+
+// buildCH preprocesses e into a contraction hierarchy, or returns nil
+// when the graph is below chMinNodes.
+func buildCH(e *Engine) *chData {
+	n := len(e.pos)
+	if n < chMinNodes {
+		return nil
+	}
+	start := time.Now()
+	b := newCHBuilder(e)
+	b.order()
+	d := b.finish()
+	d.buildNs = time.Since(start).Nanoseconds()
+	return d
+}
+
+// chBuilder is the preprocessing state: a mutable adjacency over the
+// growing arc store, contraction bookkeeping, and witness-search
+// scratch. Everything is slice-based — no map iteration anywhere — so
+// builds are deterministic for a given graph.
+type chBuilder struct {
+	n int
+
+	aFrom, aTo    []int32
+	aW            []float64
+	aMid          []int32
+	aLeft, aRight []int32
+	aEid          []int32
+	alive         []bool
+
+	out, in [][]int32 // arc ids per tail/head; dead ids pruned lazily
+
+	contracted []bool
+	rank       []int32
+	nextRank   int32
+	delNbrs    []int32 // contracted-neighbors term of the priority
+	dirty      []bool  // neighborhood changed since priority last computed
+
+	pq nodeHeap // lazy-update contraction queue
+
+	// wit is the sequential phase's witness scratch; the parallel
+	// initial-priority pass gives each worker its own.
+	wit chWitScratch
+}
+
+// chWitScratch bundles the state one witness search needs: the
+// epoch-stamped label arrays, the search heap, and the neighbor
+// snapshots of the node being simulated or contracted. Keeping it
+// explicit (rather than on chBuilder) lets the initial-priority pass
+// run one scratch per worker over the read-only seed graph.
+type chWitScratch struct {
+	ins, outs []chNbr
+	wDist     []float64
+	wSeen     []uint32
+	wEpoch    uint32
+	wHeap     chHeap
+}
+
+func newCHWitScratch(n int) chWitScratch {
+	return chWitScratch{
+		wDist: make([]float64, n),
+		wSeen: make([]uint32, n),
+	}
+}
+
+// chArc is one packed query-CSR arc: the far endpoint's rank, the arc
+// store id (for path unpacking), and the search weight.
+type chArc struct {
+	other int32
+	arc   int32
+	w     float64
+}
+
+// chNbr is one uncontracted neighbor arc of the contraction candidate.
+type chNbr struct {
+	node int32
+	w    float64
+	arc  int32
+}
+
+func newCHBuilder(e *Engine) *chBuilder {
+	n := len(e.pos)
+	m := len(e.w)
+	b := &chBuilder{
+		n:          n,
+		aFrom:      make([]int32, 0, m+m/2),
+		aTo:        make([]int32, 0, m+m/2),
+		aW:         make([]float64, 0, m+m/2),
+		aMid:       make([]int32, 0, m+m/2),
+		aLeft:      make([]int32, 0, m+m/2),
+		aRight:     make([]int32, 0, m+m/2),
+		aEid:       make([]int32, 0, m+m/2),
+		alive:      make([]bool, 0, m+m/2),
+		out:        make([][]int32, n),
+		in:         make([][]int32, n),
+		contracted: make([]bool, n),
+		rank:       make([]int32, n),
+		delNbrs:    make([]int32, n),
+		dirty:      make([]bool, n),
+		wit:        newCHWitScratch(n),
+	}
+	// Seed the arc store from the CSR, dropping self-loops and keeping
+	// only the cheapest of parallel arcs (first wins ties, matching the
+	// strict-improvement rule of the flat searches — an equal-weight
+	// duplicate never changes a Dijkstra distance).
+	for u := 0; u < n; u++ {
+		for i := e.off[u]; i < e.off[u+1]; i++ {
+			if v := e.to[i]; v != int32(u) {
+				b.addArc(int32(u), v, e.w[i], -1, -1, -1, e.eid[i])
+			}
+		}
+	}
+	return b
+}
+
+// addArc inserts u -> v unless an alive arc at most as cheap already
+// exists; a strictly more expensive parallel arc is superseded (marked
+// dead, record retained for unpacking).
+func (b *chBuilder) addArc(u, v int32, w float64, mid, left, right, eid int32) {
+	for _, id := range b.out[u] {
+		if b.alive[id] && b.aTo[id] == v {
+			if b.aW[id] <= w {
+				return
+			}
+			b.alive[id] = false
+			break
+		}
+	}
+	id := int32(len(b.aFrom))
+	b.aFrom = append(b.aFrom, u)
+	b.aTo = append(b.aTo, v)
+	b.aW = append(b.aW, w)
+	b.aMid = append(b.aMid, mid)
+	b.aLeft = append(b.aLeft, left)
+	b.aRight = append(b.aRight, right)
+	b.aEid = append(b.aEid, eid)
+	b.alive = append(b.alive, true)
+	b.out[u] = append(b.out[u], id)
+	b.in[v] = append(b.in[v], id)
+}
+
+// gather snapshots v's alive arcs to/from uncontracted neighbors into
+// s.ins/s.outs. With compact=true it also squeezes dead ids out of the
+// adjacency lists on the way through; the parallel initial pass runs
+// with compact=false so it never writes shared builder state.
+func (b *chBuilder) gather(s *chWitScratch, v int32, compact bool) {
+	s.ins = s.ins[:0]
+	live := b.in[v][:0]
+	for _, id := range b.in[v] {
+		if !b.alive[id] {
+			continue
+		}
+		if compact {
+			live = append(live, id)
+		}
+		if u := b.aFrom[id]; !b.contracted[u] && u != v {
+			s.ins = append(s.ins, chNbr{node: u, w: b.aW[id], arc: id})
+		}
+	}
+	if compact {
+		b.in[v] = live
+	}
+	s.outs = s.outs[:0]
+	live = b.out[v][:0]
+	for _, id := range b.out[v] {
+		if !b.alive[id] {
+			continue
+		}
+		if compact {
+			live = append(live, id)
+		}
+		if w := b.aTo[id]; !b.contracted[w] && w != v {
+			s.outs = append(s.outs, chNbr{node: w, w: b.aW[id], arc: id})
+		}
+	}
+	if compact {
+		b.out[v] = live
+	}
+}
+
+// witness runs a bounded, settle-capped Dijkstra from u over the
+// remaining (uncontracted) graph with node excl removed. Labels stay
+// valid in wDist/wSeen at the new wEpoch; every label is the length of
+// a real path, so even unsettled labels soundly prove a witness.
+func (b *chBuilder) witness(s *chWitScratch, u, excl int32, bound float64, settleCap int) {
+	if s.wEpoch == math.MaxUint32 {
+		for i := range s.wSeen {
+			s.wSeen[i] = 0
+		}
+		s.wEpoch = 0
+	}
+	s.wEpoch++
+	s.wHeap.reset()
+	s.wDist[u] = 0
+	s.wSeen[u] = s.wEpoch
+	s.wHeap.push(u, 0)
+	settles := 0
+	for s.wHeap.len() > 0 {
+		cur := s.wHeap.pop()
+		if cur.prio > s.wDist[cur.node] {
+			continue // stale entry; node already settled cheaper
+		}
+		if cur.prio > bound {
+			break
+		}
+		settles++
+		if settles > settleCap {
+			break
+		}
+		d := s.wDist[cur.node]
+		for _, id := range b.out[cur.node] {
+			if !b.alive[id] {
+				continue
+			}
+			y := b.aTo[id]
+			if y == excl || b.contracted[y] {
+				continue
+			}
+			nd := d + b.aW[id]
+			if s.wSeen[y] != s.wEpoch || nd < s.wDist[y] {
+				s.wDist[y] = nd
+				s.wSeen[y] = s.wEpoch
+				s.wHeap.push(y, nd)
+			}
+		}
+	}
+}
+
+// shortcutsFor counts the shortcuts contracting v would need; with
+// add=true it also inserts them (and compacts adjacency lists). Leaves
+// the gathered neighbor snapshots in s.ins/s.outs for the caller.
+func (b *chBuilder) shortcutsFor(s *chWitScratch, v int32, add, compact bool) int {
+	b.gather(s, v, compact)
+	if len(s.ins) == 0 || len(s.outs) == 0 {
+		return 0
+	}
+	maxOut := 0.0
+	for _, o := range s.outs {
+		if o.w > maxOut {
+			maxOut = o.w
+		}
+	}
+	settleCap := chWitnessSettlesSim
+	if add {
+		settleCap = chWitnessSettlesContract
+	}
+	count := 0
+	for _, ia := range s.ins {
+		b.witness(s, ia.node, v, ia.w+maxOut, settleCap)
+		for _, oa := range s.outs {
+			if oa.node == ia.node {
+				continue
+			}
+			sw := ia.w + oa.w
+			if s.wSeen[oa.node] == s.wEpoch && s.wDist[oa.node] <= sw {
+				continue // witness path avoids v
+			}
+			count++
+			if add {
+				b.addArc(ia.node, oa.node, sw, v, ia.arc, oa.arc, -1)
+			}
+		}
+	}
+	return count
+}
+
+// priority is the contraction importance of v: edge difference
+// (weighted toward shortcuts added, minus arcs removed) plus the count
+// of already contracted neighbors, which spreads contraction evenly
+// across the graph instead of eating one region at a time.
+func (b *chBuilder) priority(s *chWitScratch, v int32, compact bool) float64 {
+	sc := b.shortcutsFor(s, v, false, compact)
+	return float64(2*sc) - 1.5*float64(len(s.ins)+len(s.outs)) + float64(b.delNbrs[v])
+}
+
+// order contracts every node in lazy-update priority order. The
+// initial priorities are a pure function of the read-only seed graph,
+// so above chParallelOrderNodes they are computed by one worker per
+// core (each with a private scratch) and bulk-heapified — identical
+// results to the sequential pass, a fraction of the wall clock.
+func (b *chBuilder) order() {
+	prios := make([]float64, b.n)
+	if b.n >= chParallelOrderNodes {
+		workers := runtime.GOMAXPROCS(0)
+		chunk := (b.n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > b.n {
+				hi = b.n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				s := newCHWitScratch(b.n)
+				for v := lo; v < hi; v++ {
+					prios[v] = b.priority(&s, int32(v), false)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for v := 0; v < b.n; v++ {
+			prios[v] = b.priority(&b.wit, int32(v), false)
+		}
+	}
+	b.pq.items = make([]heapItem, b.n)
+	for v, p := range prios {
+		b.pq.items[v] = heapItem{node: int32(v), prio: p}
+	}
+	b.pq.init()
+	for b.pq.len() > 0 {
+		cur := b.pq.pop()
+		v := cur.node
+		if b.contracted[v] {
+			continue
+		}
+		// Lazy update: the stored priority is stale only if v's
+		// neighborhood changed since it was computed (a neighbor was
+		// contracted, or gained/lost an incident shortcut) — priority is
+		// a pure function of that neighborhood, so a clean node contracts
+		// without re-running its witness searches. Each uncontracted node
+		// holds exactly one queue entry (every pop pushes back at most
+		// once), so a clean pop really is the current minimum.
+		if b.dirty[v] {
+			b.dirty[v] = false
+			if p := b.priority(&b.wit, v, true); b.pq.len() > 0 && p > b.pq.items[0].prio {
+				b.pq.push(v, p)
+				continue
+			}
+		}
+		b.contract(v)
+	}
+}
+
+// contract inserts v's shortcuts, assigns its rank, and bumps the
+// contracted-neighbors term of its remaining neighbors.
+func (b *chBuilder) contract(v int32) {
+	b.shortcutsFor(&b.wit, v, true, true)
+	b.contracted[v] = true
+	b.rank[v] = b.nextRank
+	b.nextRank++
+	for _, ia := range b.wit.ins {
+		b.delNbrs[ia.node]++
+		b.dirty[ia.node] = true
+	}
+	for _, oa := range b.wit.outs {
+		b.delNbrs[oa.node]++
+		b.dirty[oa.node] = true
+	}
+}
+
+// finish splits the alive arcs into the upward and downward CSR views.
+func (b *chBuilder) finish() *chData {
+	d := &chData{
+		rank:   b.rank,
+		aFrom:  b.aFrom,
+		aTo:    b.aTo,
+		aW:     b.aW,
+		aMid:   b.aMid,
+		aLeft:  b.aLeft,
+		aRight: b.aRight,
+		aEid:   b.aEid,
+	}
+	n := b.n
+	d.upOff = make([]int32, n+1)
+	d.dnOff = make([]int32, n+1)
+	up, dn := 0, 0
+	for id := range b.aFrom {
+		if !b.alive[id] {
+			continue
+		}
+		ru, rv := b.rank[b.aFrom[id]], b.rank[b.aTo[id]]
+		if ru < rv {
+			d.upOff[ru+1]++
+			up++
+		} else {
+			d.dnOff[rv+1]++
+			dn++
+		}
+		if b.aMid[id] >= 0 {
+			d.shortcuts++
+		}
+	}
+	for i := 0; i < n; i++ {
+		d.upOff[i+1] += d.upOff[i]
+		d.dnOff[i+1] += d.dnOff[i]
+	}
+	d.up = make([]chArc, up)
+	d.dn = make([]chArc, dn)
+	upFill := make([]int32, n)
+	dnFill := make([]int32, n)
+	for id := range b.aFrom {
+		if !b.alive[id] {
+			continue
+		}
+		ru, rv := b.rank[b.aFrom[id]], b.rank[b.aTo[id]]
+		if ru < rv {
+			slot := d.upOff[ru] + upFill[ru]
+			upFill[ru]++
+			d.up[slot] = chArc{other: rv, arc: int32(id), w: b.aW[id]}
+		} else {
+			slot := d.dnOff[rv] + dnFill[rv]
+			dnFill[rv]++
+			d.dn[slot] = chArc{other: ru, arc: int32(id), w: b.aW[id]}
+		}
+	}
+	return d
+}

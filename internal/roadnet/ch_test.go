@@ -1,0 +1,312 @@
+package roadnet
+
+// Contraction-hierarchy property tests. The acceptance bar is
+// bit-exactness: every distance the hierarchy serves must equal the
+// flat Dijkstra's float64 result exactly — not approximately — across
+// hundreds of random graphs, bounded and unbounded, point-to-point and
+// one-to-many, sequential and concurrent.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// forceCHAuto lowers the automatic-build gate to the hard floor so
+// sweep-sized graphs (well below the production chAutoNodes threshold)
+// still compile a hierarchy. The package's tests never run in
+// parallel, so mutating the package var with a cleanup is safe, and —
+// unlike forcing a one-shot build on a single engine — it survives
+// graph mutation + rebuild, which the invalidation test depends on.
+func forceCHAuto(t *testing.T) {
+	t.Helper()
+	old := chAutoNodes
+	chAutoNodes = chMinNodes
+	t.Cleanup(func() { chAutoNodes = old })
+}
+
+// chSweepGraph generates a random graph guaranteed to be above
+// chMinNodes, so the hierarchy is always the code path under test
+// (callers lower the auto-build gate with forceCHAuto).
+func chSweepGraph(trial int) (*Graph, *rand.Rand) {
+	seed := int64(40000 + trial)
+	rng := rand.New(rand.NewSource(seed))
+	g := GridCity(GridCityOptions{
+		NX:         6 + rng.Intn(7),
+		NY:         6 + rng.Intn(7),
+		Spacing:    60 + rng.Float64()*120,
+		Jitter:     rng.Float64() * 15,
+		RemoveFrac: rng.Float64() * 0.4,
+		Seed:       seed,
+	})
+	return g, rng
+}
+
+func TestCHDistMatchesReferenceDijkstra(t *testing.T) {
+	forceCHAuto(t)
+	const graphs = 500
+	for trial := 0; trial < graphs; trial++ {
+		g, rng := chSweepGraph(trial)
+		e := g.Engine()
+		if !e.HasCH() {
+			t.Fatalf("trial %d: %d-node graph built no hierarchy", trial, g.NumNodes())
+		}
+		src := NodeID(rng.Intn(g.NumNodes()))
+		ref := refDijkstra(g, src)
+
+		// Point-to-point: CHDist must be the reference value exactly.
+		for probe := 0; probe < 8; probe++ {
+			dst := NodeID(rng.Intn(g.NumNodes()))
+			d, err := e.CHDist(src, dst)
+			want, reachable := ref[dst]
+			if !reachable {
+				if err == nil {
+					t.Fatalf("trial %d: CHDist(%d,%d) = %v, reference says unreachable", trial, src, dst, d)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d: CHDist(%d,%d): %v (reference %v)", trial, src, dst, err, want)
+			}
+			if d != want {
+				t.Fatalf("trial %d: CHDist(%d,%d) = %v, reference %v (diff %g)", trial, src, dst, d, want, d-want)
+			}
+		}
+
+		// One-to-many over every node: exact values, exact reached count.
+		targets := make([]NodeID, g.NumNodes())
+		for i := range targets {
+			targets[i] = NodeID(i)
+		}
+		out := make([]float64, len(targets))
+		reached := e.CHManyDist(src, targets, math.Inf(1), out)
+		if reached != len(ref) {
+			t.Fatalf("trial %d: CHManyDist reached %d, reference %d", trial, reached, len(ref))
+		}
+		for i, tgt := range targets {
+			want, ok := ref[tgt]
+			if !ok {
+				want = math.Inf(1)
+			}
+			if out[i] != want && !(math.IsInf(out[i], 1) && math.IsInf(want, 1)) {
+				t.Fatalf("trial %d: CHManyDist d(%d,%d) = %v, reference %v", trial, src, tgt, out[i], want)
+			}
+		}
+	}
+}
+
+func TestCHManyDistBoundedSemantics(t *testing.T) {
+	forceCHAuto(t)
+	for trial := 0; trial < 100; trial++ {
+		g, rng := chSweepGraph(10000 + trial)
+		e := g.Engine()
+		src := NodeID(rng.Intn(g.NumNodes()))
+		ref := refDijkstra(g, src)
+
+		// Bound at an exactly achievable distance: the boundary target
+		// itself must be included (d <= maxCost, not <), everything
+		// beyond must be +Inf.
+		var finite []float64
+		for _, d := range ref {
+			finite = append(finite, d)
+		}
+		sort.Float64s(finite)
+		maxCost := finite[len(finite)/2]
+		targets := make([]NodeID, g.NumNodes())
+		for i := range targets {
+			targets[i] = NodeID(i)
+		}
+		out := make([]float64, len(targets))
+		reached := e.CHManyDist(src, targets, maxCost, out)
+		wantReached := 0
+		for i, tgt := range targets {
+			want, ok := ref[tgt]
+			if ok && want <= maxCost {
+				wantReached++
+				if out[i] != want {
+					t.Fatalf("trial %d: bounded CH d(%d,%d) = %v, want exact %v (bound %v)", trial, src, tgt, out[i], want, maxCost)
+				}
+			} else if !math.IsInf(out[i], 1) {
+				t.Fatalf("trial %d: CH d(%d,%d) = %v beyond bound %v, want +Inf", trial, src, tgt, out[i], maxCost)
+			}
+		}
+		if reached != wantReached {
+			t.Fatalf("trial %d: bounded CHManyDist reported %d reached, want %d", trial, reached, wantReached)
+		}
+	}
+}
+
+func TestCHTinyGraphFallback(t *testing.T) {
+	g := GridCity(GridCityOptions{NX: 3, NY: 3, Seed: 7}) // 9 nodes < chMinNodes
+	e := g.Engine()
+	if e.HasCH() {
+		t.Fatal("tiny graph built a hierarchy")
+	}
+	if _, err := e.CHDist(0, 8); err == nil {
+		t.Error("CHDist on a CH-less engine should error")
+	}
+	out := make([]float64, 1)
+	if got := e.CHManyDist(0, []NodeID{8}, math.Inf(1), out); got != -1 {
+		t.Errorf("CHManyDist on a CH-less engine = %d, want -1", got)
+	}
+	// The generic entry points still serve queries via the flat sweep.
+	ref := refDijkstra(g, 0)
+	d, err := e.Dist(0, 8)
+	if err != nil || d != ref[8] {
+		t.Fatalf("fallback Dist = (%v, %v), want %v", d, err, ref[8])
+	}
+}
+
+func TestCHSnapDistsMatchesContract(t *testing.T) {
+	forceCHAuto(t)
+	for trial := 0; trial < 50; trial++ {
+		g, rng := chSweepGraph(20000 + trial)
+		e := g.Engine()
+		if !e.HasCH() {
+			t.Fatal("sweep graph built no hierarchy")
+		}
+		// Random snaps; the reference is the documented arithmetic over
+		// reference distances (identical float expression order).
+		snap := func() Snap {
+			return Snap{Edge: EdgeID(rng.Intn(g.NumEdges())), Param: rng.Float64()}
+		}
+		a := snap()
+		bs := make([]Snap, 6)
+		for i := range bs {
+			bs[i] = snap()
+		}
+		u := g.Edge(a.Edge).To
+		ref := refDijkstra(g, u)
+		rem := (1 - a.Param) * g.Edge(a.Edge).Length
+		// Bounded first: cache hits legitimately bypass the bound (the
+		// documented pass-1 behavior), so the unbounded round must not
+		// pre-warm the cache with beyond-bound values.
+		for _, maxCost := range []float64{rem + 300, math.Inf(1)} {
+			core := maxCost
+			if !math.IsInf(core, 1) {
+				core -= rem
+				if core < 0 {
+					core = 0
+				}
+			}
+			out := make([]float64, len(bs))
+			e.SnapDists(a, bs, maxCost, out)
+			for j, b := range bs {
+				var want float64
+				if b.Edge == a.Edge && b.Param >= a.Param {
+					want = (b.Param - a.Param) * g.Edge(a.Edge).Length
+				} else {
+					d, ok := ref[g.Edge(b.Edge).From]
+					if ok && d <= core {
+						want = rem + d + b.Param*g.Edge(b.Edge).Length
+					} else {
+						want = math.Inf(1)
+					}
+				}
+				if out[j] != want && !(math.IsInf(out[j], 1) && math.IsInf(want, 1)) {
+					t.Fatalf("trial %d (bound %v): SnapDists[%d] = %v, want %v", trial, maxCost, j, out[j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCHContinental(t *testing.T) {
+	forceCHAuto(t)
+	g := Continental(ContinentalOptions{
+		CitiesX: 3, CitiesY: 3,
+		CityNX: 6, CityNY: 6,
+		Jitter: 4, RemoveFrac: 0.2,
+		Seed: 11,
+	})
+	if got, want := g.NumNodes(), 3*3*6*6; got != want {
+		t.Fatalf("NumNodes = %d, want %d", got, want)
+	}
+	e := g.Engine()
+	if !e.HasCH() {
+		t.Fatal("continental graph built no hierarchy")
+	}
+	// Strong connectivity + exactness from a corner node across cities.
+	ref := refDijkstra(g, 0)
+	if len(ref) != g.NumNodes() {
+		t.Fatalf("reference reached %d of %d nodes: not strongly connected", len(ref), g.NumNodes())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for probe := 0; probe < 40; probe++ {
+		dst := NodeID(rng.Intn(g.NumNodes()))
+		d, err := e.CHDist(0, dst)
+		if err != nil || d != ref[dst] {
+			t.Fatalf("CHDist(0,%d) = (%v, %v), reference %v", dst, d, err, ref[dst])
+		}
+	}
+	// Determinism: the generator must reproduce the same graph.
+	g2 := Continental(ContinentalOptions{
+		CitiesX: 3, CitiesY: 3,
+		CityNX: 6, CityNY: 6,
+		Jitter: 4, RemoveFrac: 0.2,
+		Seed: 11,
+	})
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("regenerated edge count %d != %d", g2.NumEdges(), g.NumEdges())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Node(NodeID(i)).Pos != g2.Node(NodeID(i)).Pos {
+			t.Fatalf("regenerated node %d moved", i)
+		}
+	}
+}
+
+// TestConcurrentCHQueriesHammer drives every CH query shape from many
+// goroutines against one engine (the pooled scratch is the shared
+// state under test; make race-hammer runs this under -race).
+func TestConcurrentCHQueriesHammer(t *testing.T) {
+	forceCHAuto(t)
+	g, _ := chSweepGraph(31337)
+	e := g.Engine()
+	if !e.HasCH() {
+		t.Fatal("hammer graph built no hierarchy")
+	}
+	n := g.NumNodes()
+	// Single-threaded expected values first.
+	type pair struct{ a, b NodeID }
+	rng := rand.New(rand.NewSource(99))
+	pairs := make([]pair, 64)
+	want := make([]float64, len(pairs))
+	for i := range pairs {
+		pairs[i] = pair{NodeID(rng.Intn(n)), NodeID(rng.Intn(n))}
+		d, err := e.Dist(pairs[i].a, pairs[i].b)
+		if err != nil {
+			d = math.Inf(1)
+		}
+		want[i] = d
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]float64, len(pairs))
+			targets := make([]NodeID, len(pairs))
+			for i := range pairs {
+				targets[i] = pairs[i].b
+			}
+			for iter := 0; iter < 50; iter++ {
+				for i, p := range pairs {
+					d, err := e.Dist(p.a, p.b)
+					if err != nil {
+						d = math.Inf(1)
+					}
+					if d != want[i] && !(math.IsInf(d, 1) && math.IsInf(want[i], 1)) {
+						t.Errorf("worker %d: Dist(%d,%d) = %v, want %v", w, p.a, p.b, d, want[i])
+						return
+					}
+				}
+				src := pairs[iter%len(pairs)].a
+				e.CHManyDist(src, targets, math.Inf(1), out)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

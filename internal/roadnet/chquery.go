@@ -1,0 +1,374 @@
+package roadnet
+
+// CH query algorithms: the bidirectional point-to-point search
+// (CHDist) and the shared-forward one-to-many search (CHManyDist).
+// Both relax only upward arcs — the forward search over the upward
+// CSR, the backward search over the downward CSR walked head-to-tail —
+// and stop a direction as soon as its frontier passes the best meeting
+// candidate µ. Returned distances are re-accumulated along the
+// unpacked original-edge path (see the exactness note in ch.go), so
+// they are bit-identical to the flat Dijkstra.
+
+import "math"
+
+// chLabel is one node's search state, packed into a single 16-byte
+// record so that first touch of a node costs one cache line rather
+// than one per parallel array — at continental node counts the scratch
+// arrays dwarf the LLC and the searches are miss-bound.
+type chLabel struct {
+	d     float64
+	stamp uint32 // epoch<<1 = labeled, epoch<<1|1 = settled, 0 = never
+	par   int32  // best incoming arc id, -1 = search root
+}
+
+// chScratch is the pooled per-query state of the CH searches: forward
+// and backward label arrays with independent epoch stamps (CHManyDist
+// keeps one forward epoch alive across many backward epochs), the two
+// heaps, and unpack buffers. Labels are indexed by RANK, not node id
+// (see the CSR note in chData).
+type chScratch struct {
+	labF, labB     []chLabel
+	epochF, epochB uint32
+	hf, hb         chHeap
+
+	chain []int32 // forward parent chain (arc ids, meet -> source)
+	stack []int32 // shortcut unpack stack
+
+	heads []int32   // SnapDists: deduplicated miss head nodes
+	headD []float64 // SnapDists: distances per head
+}
+
+func newCHScratch(n int) *chScratch {
+	return &chScratch{
+		labF: make([]chLabel, n),
+		labB: make([]chLabel, n),
+	}
+}
+
+func (s *chScratch) beginF() {
+	if s.epochF >= math.MaxUint32>>1 {
+		for i := range s.labF {
+			s.labF[i].stamp = 0
+		}
+		s.epochF = 0
+	}
+	s.epochF++
+	s.hf.reset()
+}
+
+func (s *chScratch) beginB() {
+	if s.epochB >= math.MaxUint32>>1 {
+		for i := range s.labB {
+			s.labB[i].stamp = 0
+		}
+		s.epochB = 0
+	}
+	s.epochB++
+	s.hb.reset()
+}
+
+func (e *Engine) getCHScratch() *chScratch {
+	s := e.chScratch.Get().(*chScratch)
+	if len(s.labF) < len(e.pos) { // defensive; pool is per-engine
+		s = newCHScratch(len(e.pos))
+	}
+	return s
+}
+
+func (e *Engine) putCHScratch(s *chScratch) { e.chScratch.Put(s) }
+
+// chPointDist runs the bidirectional upward search a -> b and returns
+// the exact re-accumulated distance (ok=false when no path exists).
+// Inside the search, nodes are addressed by RANK (see the CSR note in
+// chData); a and b are node ids and translated on entry.
+func (e *Engine) chPointDist(s *chScratch, a, b int32) (float64, bool) {
+	c := e.ch
+	ra, rb := c.rank[a], c.rank[b]
+	s.beginF()
+	s.beginB()
+	labeledF, doneF := s.epochF<<1, s.epochF<<1|1
+	labeledB, doneB := s.epochB<<1, s.epochB<<1|1
+	s.labF[ra] = chLabel{d: 0, stamp: labeledF, par: -1}
+	s.hf.push(ra, 0)
+	s.labB[rb] = chLabel{d: 0, stamp: labeledB, par: -1}
+	s.hb.push(rb, 0)
+	mu := math.Inf(1)
+	meet := int32(-1)
+	var pops uint64
+	for {
+		fLive := s.hf.len() > 0 && s.hf.items[0].prio <= mu
+		bLive := s.hb.len() > 0 && s.hb.items[0].prio <= mu
+		if !fLive && !bLive {
+			break
+		}
+		// Balanced alternation: settle the side with the nearer frontier.
+		if fLive && (!bLive || s.hf.items[0].prio <= s.hb.items[0].prio) {
+			cur := s.hf.pop()
+			pops++
+			u := cur.node
+			if s.labF[u].stamp == doneF {
+				continue
+			}
+			s.labF[u].stamp = doneF
+			if s.labB[u].stamp>>1 == s.epochB {
+				if cand := s.labF[u].d + s.labB[u].d; cand < mu {
+					mu, meet = cand, u
+				}
+			}
+			d := s.labF[u].d
+			if chStallF(c, s, u, d) {
+				continue
+			}
+			for _, a := range c.up[c.upOff[u]:c.upOff[u+1]] {
+				l := &s.labF[a.other]
+				if l.stamp == doneF {
+					continue
+				}
+				nd := d + a.w
+				if nd >= mu {
+					continue // cannot beat the best candidate: µ only shrinks
+				}
+				if l.stamp != labeledF || nd < l.d {
+					*l = chLabel{d: nd, stamp: labeledF, par: a.arc}
+					s.hf.push(a.other, nd)
+					// Candidate at label time: µ shrinks as early as
+					// possible, stopping both frontiers sooner.
+					if s.labB[a.other].stamp>>1 == s.epochB {
+						if cand := nd + s.labB[a.other].d; cand < mu {
+							mu, meet = cand, a.other
+						}
+					}
+				}
+			}
+		} else {
+			cur := s.hb.pop()
+			pops++
+			u := cur.node
+			if s.labB[u].stamp == doneB {
+				continue
+			}
+			s.labB[u].stamp = doneB
+			if s.labF[u].stamp>>1 == s.epochF {
+				if cand := s.labF[u].d + s.labB[u].d; cand < mu {
+					mu, meet = cand, u
+				}
+			}
+			d := s.labB[u].d
+			if chStallB(c, s, u, d) {
+				continue
+			}
+			for _, a := range c.dn[c.dnOff[u]:c.dnOff[u+1]] {
+				l := &s.labB[a.other]
+				if l.stamp == doneB {
+					continue
+				}
+				nd := d + a.w
+				if nd >= mu {
+					continue
+				}
+				if l.stamp != labeledB || nd < l.d {
+					*l = chLabel{d: nd, stamp: labeledB, par: a.arc}
+					s.hb.push(a.other, nd)
+					if s.labF[a.other].stamp>>1 == s.epochF {
+						if cand := nd + s.labF[a.other].d; cand < mu {
+							mu, meet = cand, a.other
+						}
+					}
+				}
+			}
+		}
+	}
+	obsAdd(&e.ctr.heapPops, &pkgObs.heapPops, pops)
+	if meet < 0 {
+		return 0, false
+	}
+	return e.chExactDist(s, meet), true
+}
+
+// Stall-on-demand: a settled label that some higher-ranked node already
+// reaches strictly cheaper cannot lie on a shortest up-down path, so
+// its out-arcs need not be relaxed. Nodes on an optimal chain are never
+// stalled — a strictly cheaper detour through them would contradict the
+// chain's optimality — so pruning stalled labels preserves exactness.
+// The label itself stays valid as a meeting candidate (it is still the
+// length of a real path).
+func chStallF(c *chData, s *chScratch, u int32, d float64) bool {
+	for _, a := range c.dn[c.dnOff[u]:c.dnOff[u+1]] {
+		if l := &s.labF[a.other]; l.stamp>>1 == s.epochF && l.d+a.w < d {
+			return true
+		}
+	}
+	return false
+}
+
+func chStallB(c *chData, s *chScratch, u int32, d float64) bool {
+	for _, a := range c.up[c.upOff[u]:c.upOff[u+1]] {
+		if l := &s.labB[a.other]; l.stamp>>1 == s.epochB && l.d+a.w < d {
+			return true
+		}
+	}
+	return false
+}
+
+// chForward runs the forward upward search from src to completion,
+// leaving exact upward labels in labF at the current epochF.
+func (e *Engine) chForward(s *chScratch, src int32) {
+	c := e.ch
+	r := c.rank[src]
+	s.beginF()
+	labeledF, doneF := s.epochF<<1, s.epochF<<1|1
+	s.labF[r] = chLabel{d: 0, stamp: labeledF, par: -1}
+	s.hf.push(r, 0)
+	var pops uint64
+	for s.hf.len() > 0 {
+		cur := s.hf.pop()
+		pops++
+		u := cur.node
+		if s.labF[u].stamp == doneF {
+			continue
+		}
+		s.labF[u].stamp = doneF
+		d := s.labF[u].d
+		if chStallF(c, s, u, d) {
+			continue
+		}
+		for _, a := range c.up[c.upOff[u]:c.upOff[u+1]] {
+			l := &s.labF[a.other]
+			if l.stamp == doneF {
+				continue
+			}
+			nd := d + a.w
+			if l.stamp != labeledF || nd < l.d {
+				*l = chLabel{d: nd, stamp: labeledF, par: a.arc}
+				s.hf.push(a.other, nd)
+			}
+		}
+	}
+	obsAdd(&e.ctr.heapPops, &pkgObs.heapPops, pops)
+}
+
+// chBackwardOne runs one µ-pruned backward search from t against the
+// forward labels left by chForward, returning the exact distance
+// src -> t (ok=false when no path exists).
+func (e *Engine) chBackwardOne(s *chScratch, t int32) (float64, bool) {
+	c := e.ch
+	r := c.rank[t]
+	s.beginB()
+	labeledB, doneB := s.epochB<<1, s.epochB<<1|1
+	s.labB[r] = chLabel{d: 0, stamp: labeledB, par: -1}
+	s.hb.push(r, 0)
+	mu := math.Inf(1)
+	meet := int32(-1)
+	var pops uint64
+	for s.hb.len() > 0 {
+		cur := s.hb.pop()
+		pops++
+		u := cur.node
+		if s.labB[u].stamp == doneB {
+			continue
+		}
+		if cur.prio > mu {
+			break // frontier passed the best candidate: µ is final
+		}
+		s.labB[u].stamp = doneB
+		if s.labF[u].stamp>>1 == s.epochF {
+			if cand := s.labF[u].d + s.labB[u].d; cand < mu {
+				mu, meet = cand, u
+			}
+		}
+		d := s.labB[u].d
+		if chStallB(c, s, u, d) {
+			continue
+		}
+		for _, a := range c.dn[c.dnOff[u]:c.dnOff[u+1]] {
+			l := &s.labB[a.other]
+			if l.stamp == doneB {
+				continue
+			}
+			nd := d + a.w
+			if nd >= mu {
+				continue // cannot beat the best candidate: µ only shrinks
+			}
+			if l.stamp != labeledB || nd < l.d {
+				*l = chLabel{d: nd, stamp: labeledB, par: a.arc}
+				s.hb.push(a.other, nd)
+				if s.labF[a.other].stamp>>1 == s.epochF {
+					if cand := nd + s.labF[a.other].d; cand < mu {
+						mu, meet = cand, a.other
+					}
+				}
+			}
+		}
+	}
+	obsAdd(&e.ctr.heapPops, &pkgObs.heapPops, pops)
+	if meet < 0 {
+		return 0, false
+	}
+	return e.chExactDist(s, meet), true
+}
+
+// chManyDist fills out[i] with the exact distance src -> heads[i]
+// (+Inf when unreachable): one full forward search shared by a
+// µ-pruned backward search per head.
+func (e *Engine) chManyDist(s *chScratch, src int32, heads []int32, out []float64) {
+	e.chForward(s, src)
+	for i, t := range heads {
+		if d, ok := e.chBackwardOne(s, t); ok {
+			out[i] = d
+		} else {
+			out[i] = math.Inf(1)
+		}
+	}
+}
+
+// chExactDist unpacks the up-down path through meet (a rank) into
+// original edges and re-accumulates the distance left-to-right from the
+// source — the same arithmetic the flat Dijkstra performs along that
+// path. The parent chains live in rank space; the arc store speaks node
+// ids, so each hop translates back through rank[].
+func (e *Engine) chExactDist(s *chScratch, meet int32) float64 {
+	c := e.ch
+	d := 0.0
+	// Forward half: the parent chain runs meet -> source; collect it,
+	// then accumulate source -> meet.
+	s.chain = s.chain[:0]
+	for x := meet; ; {
+		arc := s.labF[x].par
+		if arc < 0 {
+			break
+		}
+		s.chain = append(s.chain, arc)
+		x = c.rank[c.aFrom[arc]]
+	}
+	for i := len(s.chain) - 1; i >= 0; i-- {
+		d = c.accum(s, s.chain[i], d, e.elen)
+	}
+	// Backward half: the parent chain already runs meet -> target in
+	// path order.
+	for x := meet; ; {
+		arc := s.labB[x].par
+		if arc < 0 {
+			break
+		}
+		d = c.accum(s, arc, d, e.elen)
+		x = c.rank[c.aTo[arc]]
+	}
+	return d
+}
+
+// accum unpacks arc recursively (explicit stack) and folds each
+// original edge length into d in path order.
+func (c *chData) accum(s *chScratch, arc int32, d float64, elen []float64) float64 {
+	s.stack = append(s.stack[:0], arc)
+	for len(s.stack) > 0 {
+		a := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		if c.aMid[a] < 0 {
+			d += elen[c.aEid[a]]
+			continue
+		}
+		// Right pushed first so the left child unpacks first.
+		s.stack = append(s.stack, c.aRight[a], c.aLeft[a])
+	}
+	return d
+}

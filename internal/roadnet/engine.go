@@ -33,11 +33,13 @@ type Engine struct {
 	eto   []int32     // edge id -> target node
 	elen  []float64   // edge id -> length
 
-	alt *altData // landmark lower-bound tables (nil for tiny graphs)
+	alt *altData // landmark lower-bound tables (nil for tiny or huge graphs)
+	ch  *chData  // contraction hierarchy (nil for tiny graphs)
 
-	cache   *RouteCache
-	scratch sync.Pool // *searchScratch
-	ctr     engineCounters
+	cache     *RouteCache
+	scratch   sync.Pool // *searchScratch
+	chScratch sync.Pool // *chScratch
+	ctr       engineCounters
 }
 
 // newEngine compiles g. The graph must not be mutated while the engine
@@ -74,7 +76,11 @@ func newEngine(g *Graph) *Engine {
 	}
 	e.off[n] = int32(len(e.to))
 	e.scratch.New = func() any { return newSearchScratch(n) }
+	e.chScratch.New = func() any { return newCHScratch(n) }
 	e.alt = buildALT(e)
+	if n >= chAutoNodes {
+		e.ch = buildCH(e)
+	}
 	e.cache = NewRouteCache(routeCacheCapacity(m))
 	return e
 }
@@ -266,10 +272,23 @@ func (e *Engine) heuristic(dst int32) func(int32) float64 {
 
 // Dist returns the shortest network distance from a to b without
 // reconstructing the path (and therefore without allocating). The
-// value is identical to ShortestPath(a, b).Dist.
+// value is identical to ShortestPath(a, b).Dist. When the engine has a
+// contraction hierarchy it is served by the bidirectional upward
+// search; otherwise by one bounded Dijkstra sweep. Both produce the
+// same bits (see ch.go).
 func (e *Engine) Dist(a, b NodeID) (float64, error) {
 	if e.badNodes(a, b) {
 		return 0, fmt.Errorf("roadnet: search bad nodes %d->%d (have %d): %w", a, b, len(e.pos), ErrNoPath)
+	}
+	if e.ch != nil {
+		obsAdd(&e.ctr.chDist, &pkgObs.chDist, 1)
+		s := e.getCHScratch()
+		d, ok := e.chPointDist(s, int32(a), int32(b))
+		e.putCHScratch(s)
+		if !ok {
+			return 0, fmt.Errorf("roadnet: %d -> %d: %w", a, b, ErrNoPath)
+		}
+		return d, nil
 	}
 	s := e.getScratch()
 	defer e.putScratch(s)
@@ -279,6 +298,21 @@ func (e *Engine) Dist(a, b NodeID) (float64, error) {
 	}
 	return s.dist[int32(b)], nil
 }
+
+// CHDist is the explicit contraction-hierarchy point-to-point query:
+// identical contract (and identical bits) to Dist, but it reports
+// ErrNoPath with ok=false semantics when the engine has no hierarchy
+// instead of falling back, so tests and benchmarks can pin the CH code
+// path specifically. Production callers should use Dist.
+func (e *Engine) CHDist(a, b NodeID) (float64, error) {
+	if e.ch == nil {
+		return 0, fmt.Errorf("roadnet: CHDist %d -> %d: no contraction hierarchy (graph below %d nodes)", a, b, chAutoNodes)
+	}
+	return e.Dist(a, b)
+}
+
+// HasCH reports whether the engine compiled a contraction hierarchy.
+func (e *Engine) HasCH() bool { return e.ch != nil }
 
 // ManyDist computes the shortest network distance from source to every
 // target in one truncated Dijkstra sweep, writing the distances into
@@ -301,6 +335,9 @@ func (e *Engine) ManyDist(source NodeID, targets []NodeID, maxCost float64, out 
 		}
 		return 0
 	}
+	if e.ch != nil {
+		return e.chManyDistNodes(source, targets, maxCost, out)
+	}
 	s := e.getScratch()
 	defer e.putScratch(s)
 	e.manyDist(s, int32(source), func(mark func(int32)) {
@@ -319,6 +356,57 @@ func (e *Engine) ManyDist(source NodeID, targets []NodeID, maxCost float64, out 
 		} else {
 			out[i] = inf
 		}
+	}
+	return reached
+}
+
+// CHManyDist is the explicit contraction-hierarchy one-to-many query —
+// same contract and same bits as ManyDist, which delegates here
+// whenever a hierarchy exists. Exposed (like CHDist) so tests and
+// benchmarks can assert the hierarchy is the code path being measured.
+func (e *Engine) CHManyDist(source NodeID, targets []NodeID, maxCost float64, out []float64) int {
+	if e.ch == nil {
+		return -1
+	}
+	if len(out) < len(targets) {
+		panic("roadnet: CHManyDist out slice too short")
+	}
+	if int(source) >= len(e.pos) || source < 0 {
+		for i := range targets {
+			out[i] = math.Inf(1)
+		}
+		return 0
+	}
+	return e.chManyDistNodes(source, targets, maxCost, out)
+}
+
+// chManyDistNodes serves the ManyDist contract from the hierarchy: a
+// shared forward upward search, one pruned backward search per target,
+// and the exact maxCost filter applied to the re-accumulated distances
+// (the searches themselves run unbounded — upward search spaces are
+// small, and filtering exact values afterwards keeps the boundary
+// semantics bit-identical to the truncated flat sweep, which settles
+// targets at exactly maxCost).
+func (e *Engine) chManyDistNodes(source NodeID, targets []NodeID, maxCost float64, out []float64) int {
+	obsAdd(&e.ctr.chMany, &pkgObs.chMany, 1)
+	s := e.getCHScratch()
+	defer e.putCHScratch(s)
+	e.chForward(s, int32(source))
+	bounded := !math.IsInf(maxCost, 1)
+	inf := math.Inf(1)
+	reached := 0
+	for i, t := range targets {
+		if int(t) >= len(e.pos) || t < 0 {
+			out[i] = inf
+			continue
+		}
+		d, ok := e.chBackwardOne(s, int32(t))
+		if !ok || (bounded && d > maxCost) {
+			out[i] = inf
+			continue
+		}
+		out[i] = d
+		reached++
 	}
 	return reached
 }
@@ -425,13 +513,18 @@ func (e *Engine) SnapDists(a Snap, bs []Snap, maxCost float64, out []float64) {
 	if misses == 0 {
 		return
 	}
-	// Pass 2: one truncated sweep for all missing head nodes.
+	// Pass 2: resolve the missing head nodes — through the contraction
+	// hierarchy when one exists, otherwise with one truncated sweep.
 	core := maxCost
 	if !math.IsInf(core, 1) {
 		core -= rem // param offsets are non-negative
 		if core < 0 {
 			core = 0
 		}
+	}
+	if e.ch != nil {
+		e.snapMissesCH(u, bs, core, rem, out)
+		return
 	}
 	s := e.getScratch()
 	e.manyDist(s, u, func(mark func(int32)) {
@@ -460,6 +553,73 @@ func (e *Engine) SnapDists(a Snap, bs []Snap, maxCost float64, out []float64) {
 		}
 	}
 	e.putScratch(s)
+}
+
+// snapMissesCH resolves SnapDists cache misses (out[j] == NaN) through
+// the hierarchy: the distinct head nodes are deduplicated, served by
+// one shared forward search plus one pruned backward search each, and
+// gated by the same d <= core test that decides membership in the
+// truncated sweep's settle set — so out is bit-identical to the flat
+// path. Unlike the truncated sweep, the CH searches are unbounded, so
+// a no-path verdict is definitive for any maxCost and can always be
+// negative-cached.
+func (e *Engine) snapMissesCH(u int32, bs []Snap, core, rem float64, out []float64) {
+	obsAdd(&e.ctr.chMany, &pkgObs.chMany, 1)
+	inf := math.Inf(1)
+	s := e.getCHScratch()
+	s.heads = s.heads[:0]
+	for j, b := range bs {
+		if !math.IsNaN(out[j]) {
+			continue
+		}
+		v := e.efrom[b.Edge]
+		dup := false
+		for _, h := range s.heads {
+			if h == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			s.heads = append(s.heads, v)
+		}
+	}
+	if cap(s.headD) < len(s.heads) {
+		s.headD = make([]float64, len(s.heads))
+	}
+	s.headD = s.headD[:len(s.heads)]
+	e.chForward(s, u)
+	for k, v := range s.heads {
+		d, ok := e.chBackwardOne(s, v)
+		if !ok {
+			e.cache.put(u, v, inf, false)
+			s.headD[k] = inf
+			continue
+		}
+		s.headD[k] = d
+		if d <= core {
+			e.cache.put(u, v, d, true)
+		}
+	}
+	for j, b := range bs {
+		if !math.IsNaN(out[j]) {
+			continue
+		}
+		v := e.efrom[b.Edge]
+		d := inf
+		for k, h := range s.heads {
+			if h == v {
+				d = s.headD[k]
+				break
+			}
+		}
+		if !math.IsInf(d, 1) && d <= core {
+			out[j] = rem + d + b.Param*e.elen[b.Edge]
+		} else {
+			out[j] = inf
+		}
+	}
+	e.putCHScratch(s)
 }
 
 // NetworkDist is the engine-side single-pair form: the shortest network

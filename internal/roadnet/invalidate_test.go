@@ -1,0 +1,102 @@
+package roadnet
+
+// Stale-shortcut bug guard: a graph mutation must invalidate the
+// compiled engine as a unit — CSR, ALT tables, contraction hierarchy,
+// and route cache together. A CH rebuilt without the cache (or vice
+// versa) would serve distances from a stale road network: shortcuts
+// spanning edges that no longer dominate, or cached routes missing a
+// newly added bypass.
+
+import (
+	"math"
+	"testing"
+
+	"sidq/internal/geo"
+)
+
+func TestMutationInvalidatesCHAndRouteCacheTogether(t *testing.T) {
+	forceCHAuto(t)
+	g := GridCity(GridCityOptions{NX: 8, NY: 8, Seed: 21}) // 64 nodes: ALT + CH active
+	e1 := g.Engine()
+	if !e1.HasCH() {
+		t.Fatal("seed graph built no hierarchy")
+	}
+	a, _ := g.NodeAt(gridCorner(0, 0))
+	b, _ := g.NodeAt(gridCorner(7, 7))
+
+	// Warm the old engine: a CH distance and a cached route.
+	before, err := e1.Dist(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.NetworkDist(EdgeID(0), 0.5, EdgeID(g.NumEdges()-1), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if e1.Cache().Len() == 0 {
+		t.Fatal("route cache unexpectedly empty after NetworkDist")
+	}
+
+	// Mutate: a highway-style bypass straight across the grid through a
+	// new midpoint node, far shorter than any street route.
+	mid := g.AddNode(geo.Pt(350, 350))
+	g.AddBidirectional(a, mid, 30)
+	g.AddBidirectional(mid, b, 30)
+
+	e2 := g.Engine()
+	if e2 == e1 {
+		t.Fatal("Engine() returned the stale compiled engine after mutation")
+	}
+	if !e2.HasCH() {
+		t.Fatal("rebuilt engine has no hierarchy")
+	}
+	if e2.Cache() == e1.Cache() {
+		t.Fatal("rebuilt engine kept the stale route cache")
+	}
+	if e2.Cache().Len() != 0 {
+		t.Fatalf("rebuilt route cache has %d stale entries, want 0", e2.Cache().Len())
+	}
+
+	// The rebuilt hierarchy must see the bypass: exact agreement with a
+	// reference Dijkstra on the mutated graph, and strictly shorter than
+	// the pre-mutation distance.
+	ref := refDijkstra(g, a)
+	after, err := e2.CHDist(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != ref[b] {
+		t.Fatalf("post-mutation CHDist = %v, reference %v", after, ref[b])
+	}
+	if !(after < before) {
+		t.Fatalf("bypass did not shorten the route: before %v, after %v", before, after)
+	}
+
+	// One-to-many and the cached-route path agree on the new graph too.
+	out := make([]float64, 1)
+	e2.CHManyDist(a, []NodeID{b}, math.Inf(1), out)
+	if out[0] != ref[b] {
+		t.Fatalf("post-mutation CHManyDist = %v, reference %v", out[0], ref[b])
+	}
+
+	// The old engine snapshot stays internally consistent (build-then-
+	// query contract): it still answers with the old graph's distances.
+	stale, err := e1.Dist(a, b)
+	if err != nil || stale != before {
+		t.Fatalf("stale engine answer changed: (%v, %v), want %v", stale, err, before)
+	}
+}
+
+// TestAddNodeAloneInvalidates pins that node insertion alone (no new
+// edges yet) already drops the compiled engine — the CSR's node count
+// is part of the snapshot.
+func TestAddNodeAloneInvalidates(t *testing.T) {
+	g := GridCity(GridCityOptions{NX: 8, NY: 8, Seed: 3})
+	e1 := g.Engine()
+	g.AddNode(geo.Pt(1000, 1000))
+	if g.Engine() == e1 {
+		t.Fatal("AddNode did not invalidate the compiled engine")
+	}
+	if got, want := g.Engine().NumNodes(), g.NumNodes(); got != want {
+		t.Fatalf("rebuilt engine has %d nodes, want %d", got, want)
+	}
+}

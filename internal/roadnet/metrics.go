@@ -19,6 +19,8 @@ type engineCounters struct {
 	astarALT    atomic.Uint64 // A* searches using ALT lower bounds
 	astarEuclid atomic.Uint64 // A* searches on the Euclidean fallback (no ALT tables)
 	manySweeps  atomic.Uint64 // truncated one-to-many sweeps (Dist/ManyDist/SnapDists)
+	chDist      atomic.Uint64 // CH bidirectional point-to-point queries
+	chMany      atomic.Uint64 // CH one-to-many queries (shared forward search)
 	heapPops    atomic.Uint64 // total heap pops across all searches
 }
 
@@ -30,6 +32,7 @@ var pkgObs struct {
 
 	dijkstra, astarALT, astarEuclid atomic.Uint64
 	manySweeps, heapPops            atomic.Uint64
+	chDist, chMany                  atomic.Uint64
 
 	cacheHits, cacheMisses, cacheDedups atomic.Uint64
 }
@@ -49,8 +52,13 @@ type EngineStats struct {
 	Dijkstra    uint64 // ShortestPath searches
 	AStarALT    uint64 // AStar searches that used ALT lower bounds
 	AStarEuclid uint64 // AStar searches that fell back to the Euclidean bound
-	ManySweeps  uint64 // one-to-many sweeps (Dist, ManyDist, SnapDists misses)
+	ManySweeps  uint64 // one-to-many flat sweeps (fallback Dist/ManyDist/SnapDists misses)
+	CHDist      uint64 // CH bidirectional point-to-point queries
+	CHMany      uint64 // CH one-to-many queries (ManyDist / SnapDists misses)
 	HeapPops    uint64 // heap pops across every search
+
+	CHShortcuts int   // shortcut arcs in the compiled hierarchy (0 = no CH)
+	CHBuildNs   int64 // wall-clock CH preprocessing time (0 = no CH)
 
 	CacheHits   uint64 // route-cache lookups served from cache
 	CacheMisses uint64 // route-cache lookups that required a search
@@ -60,17 +68,24 @@ type EngineStats struct {
 
 // Stats returns the engine's current counters.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{
+	st := EngineStats{
 		Dijkstra:    e.ctr.dijkstra.Load(),
 		AStarALT:    e.ctr.astarALT.Load(),
 		AStarEuclid: e.ctr.astarEuclid.Load(),
 		ManySweeps:  e.ctr.manySweeps.Load(),
+		CHDist:      e.ctr.chDist.Load(),
+		CHMany:      e.ctr.chMany.Load(),
 		HeapPops:    e.ctr.heapPops.Load(),
 		CacheHits:   e.cache.Hits(),
 		CacheMisses: e.cache.Misses(),
 		CacheDedups: e.cache.Dedups(),
 		CacheLen:    e.cache.Len(),
 	}
+	if e.ch != nil {
+		st.CHShortcuts = e.ch.shortcuts
+		st.CHBuildNs = e.ch.buildNs
+	}
+	return st
 }
 
 // InstrumentTo enables process-wide roadnet aggregation and registers
@@ -84,6 +99,8 @@ func InstrumentTo(reg *obs.Registry) {
 	reg.Help("sidq_roadnet_astar_alt_total", "A* searches using ALT landmark lower bounds.")
 	reg.Help("sidq_roadnet_astar_euclid_total", "A* searches on the Euclidean fallback (graph too small for ALT).")
 	reg.Help("sidq_roadnet_many_sweeps_total", "Truncated one-to-many Dijkstra sweeps.")
+	reg.Help("sidq_roadnet_ch_dist_total", "Contraction-hierarchy bidirectional point-to-point queries.")
+	reg.Help("sidq_roadnet_ch_many_total", "Contraction-hierarchy one-to-many queries (shared forward search).")
 	reg.Help("sidq_roadnet_heap_pops_total", "Heap pops across every road-network search.")
 	reg.Help("sidq_roadnet_route_cache_hits_total", "Route-cache lookups served from cache.")
 	reg.Help("sidq_roadnet_route_cache_misses_total", "Route-cache lookups that required a graph search.")
@@ -95,6 +112,8 @@ func InstrumentTo(reg *obs.Registry) {
 	counter("sidq_roadnet_astar_alt_total", &pkgObs.astarALT)
 	counter("sidq_roadnet_astar_euclid_total", &pkgObs.astarEuclid)
 	counter("sidq_roadnet_many_sweeps_total", &pkgObs.manySweeps)
+	counter("sidq_roadnet_ch_dist_total", &pkgObs.chDist)
+	counter("sidq_roadnet_ch_many_total", &pkgObs.chMany)
 	counter("sidq_roadnet_heap_pops_total", &pkgObs.heapPops)
 	counter("sidq_roadnet_route_cache_hits_total", &pkgObs.cacheHits)
 	counter("sidq_roadnet_route_cache_misses_total", &pkgObs.cacheMisses)

@@ -12,7 +12,8 @@ import (
 )
 
 func TestEngineStatsCountQueries(t *testing.T) {
-	g := GridCity(GridCityOptions{NX: 8, NY: 8, Seed: 3}) // 64 nodes: ALT active
+	forceCHAuto(t)
+	g := GridCity(GridCityOptions{NX: 8, NY: 8, Seed: 3}) // 64 nodes: ALT + CH active
 	e := g.Engine()
 	a, _ := g.NodeAt(gridCorner(0, 0))
 	b, _ := g.NodeAt(gridCorner(7, 7))
@@ -36,11 +37,48 @@ func TestEngineStatsCountQueries(t *testing.T) {
 	if st.AStarALT != 1 || st.AStarEuclid != 0 {
 		t.Errorf("AStarALT = %d, AStarEuclid = %d, want 1, 0", st.AStarALT, st.AStarEuclid)
 	}
-	if st.ManySweeps != 2 { // Dist + ManyDist each run one sweep
-		t.Errorf("ManySweeps = %d, want 2", st.ManySweeps)
+	if st.CHDist != 1 { // Dist is served by the hierarchy here
+		t.Errorf("CHDist = %d, want 1", st.CHDist)
+	}
+	if st.CHMany != 1 { // so is ManyDist
+		t.Errorf("CHMany = %d, want 1", st.CHMany)
+	}
+	if st.ManySweeps != 0 { // the flat sweep is the fallback only
+		t.Errorf("ManySweeps = %d, want 0", st.ManySweeps)
+	}
+	if st.CHShortcuts <= 0 {
+		t.Errorf("CHShortcuts = %d, want > 0", st.CHShortcuts)
+	}
+	if st.CHBuildNs <= 0 {
+		t.Errorf("CHBuildNs = %d, want > 0", st.CHBuildNs)
 	}
 	if st.HeapPops == 0 {
 		t.Error("HeapPops = 0, want > 0")
+	}
+}
+
+func TestEngineStatsFlatFallbackCounters(t *testing.T) {
+	g := GridCity(GridCityOptions{NX: 3, NY: 3, Seed: 1}) // 9 nodes: no CH
+	e := g.Engine()
+	if e.HasCH() {
+		t.Fatal("9-node graph unexpectedly built a hierarchy")
+	}
+	a, _ := g.NodeAt(gridCorner(0, 0))
+	b, _ := g.NodeAt(gridCorner(2, 2))
+	if _, err := e.Dist(a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 1)
+	e.ManyDist(a, []NodeID{b}, math.Inf(1), out)
+	st := e.Stats()
+	if st.ManySweeps != 2 { // Dist + ManyDist both fall back to the flat sweep
+		t.Errorf("ManySweeps = %d, want 2", st.ManySweeps)
+	}
+	if st.CHDist != 0 || st.CHMany != 0 {
+		t.Errorf("CHDist = %d, CHMany = %d, want 0, 0", st.CHDist, st.CHMany)
+	}
+	if st.CHShortcuts != 0 || st.CHBuildNs != 0 {
+		t.Errorf("CHShortcuts = %d, CHBuildNs = %d, want 0, 0", st.CHShortcuts, st.CHBuildNs)
 	}
 }
 

@@ -211,8 +211,9 @@ type GridCityOptions struct {
 // GridCity generates a Manhattan-style street grid: NX x NY
 // intersections with jittered positions and a fraction of interior
 // segments removed to create non-trivial shortest paths. All streets
-// are bidirectional. The boundary ring is never removed, so the graph
-// stays strongly connected.
+// are bidirectional. The boundary ring is never removed and a repair
+// pass reinstates removed segments for any intersection pocket the
+// random removal cut off, so the graph is always strongly connected.
 func GridCity(opt GridCityOptions) *Graph {
 	if opt.NX < 2 {
 		opt.NX = 2
@@ -237,27 +238,120 @@ func GridCity(opt GridCityOptions) *Graph {
 			ids[x][y] = g.AddNode(geo.Pt(float64(x)*opt.Spacing+jx, float64(y)*opt.Spacing+jy))
 		}
 	}
+	gridStreets(g, ids, opt.RemoveFrac, opt.SpeedCap, rng)
+	return g
+}
+
+// gridStreets lays the street segments of one ids[x][y] grid: boundary
+// ring always kept, interior segments removed with probability
+// removeFrac, followed by the connectivity repair pass. Shared by
+// GridCity and the per-city loop of Continental.
+func gridStreets(g *Graph, ids [][]NodeID, removeFrac, speed float64, rng *rand.Rand) {
+	nx, ny := len(ids), len(ids[0])
+	keptH := make([][]bool, nx) // keptH[x][y]: segment (x,y)-(x+1,y)
+	keptV := make([][]bool, nx) // keptV[x][y]: segment (x,y)-(x,y+1)
+	for x := 0; x < nx; x++ {
+		keptH[x] = make([]bool, ny)
+		keptV[x] = make([]bool, ny)
+	}
 	interior := func(x, y int, horizontal bool) bool {
 		if horizontal {
-			return y > 0 && y < opt.NY-1
+			return y > 0 && y < ny-1
 		}
-		return x > 0 && x < opt.NX-1
+		return x > 0 && x < nx-1
 	}
-	for x := 0; x < opt.NX; x++ {
-		for y := 0; y < opt.NY; y++ {
-			if x+1 < opt.NX {
-				if !(interior(x, y, true) && rng.Float64() < opt.RemoveFrac) {
-					g.AddBidirectional(ids[x][y], ids[x+1][y], opt.SpeedCap)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			if x+1 < nx {
+				if !(interior(x, y, true) && rng.Float64() < removeFrac) {
+					g.AddBidirectional(ids[x][y], ids[x+1][y], speed)
+					keptH[x][y] = true
 				}
 			}
-			if y+1 < opt.NY {
-				if !(interior(x, y, false) && rng.Float64() < opt.RemoveFrac) {
-					g.AddBidirectional(ids[x][y], ids[x][y+1], opt.SpeedCap)
+			if y+1 < ny {
+				if !(interior(x, y, false) && rng.Float64() < removeFrac) {
+					g.AddBidirectional(ids[x][y], ids[x][y+1], speed)
+					keptV[x][y] = true
 				}
 			}
 		}
 	}
-	return g
+	ensureGridConnected(g, ids, keptH, keptV, speed)
+}
+
+// ensureGridConnected reinstates removed street segments until every
+// intersection is reachable from the kept boundary ring — independent
+// removal can strand an interior pocket (all incident segments gone
+// with probability removeFrac^4 per node, a near-certainty at
+// continental node counts). The repair is deterministic (fixed scan
+// order, no rng) and adds nothing when the grid is already connected,
+// so previously valid seeds keep byte-identical topology.
+func ensureGridConnected(g *Graph, ids [][]NodeID, keptH, keptV [][]bool, speed float64) {
+	nx, ny := len(ids), len(ids[0])
+	visited := make([][]bool, nx)
+	for x := range visited {
+		visited[x] = make([]bool, ny)
+	}
+	var stack [][2]int
+	absorb := func(sx, sy int) {
+		visited[sx][sy] = true
+		stack = append(stack[:0], [2]int{sx, sy})
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := p[0], p[1]
+			if x+1 < nx && keptH[x][y] && !visited[x+1][y] {
+				visited[x+1][y] = true
+				stack = append(stack, [2]int{x + 1, y})
+			}
+			if x > 0 && keptH[x-1][y] && !visited[x-1][y] {
+				visited[x-1][y] = true
+				stack = append(stack, [2]int{x - 1, y})
+			}
+			if y+1 < ny && keptV[x][y] && !visited[x][y+1] {
+				visited[x][y+1] = true
+				stack = append(stack, [2]int{x, y + 1})
+			}
+			if y > 0 && keptV[x][y-1] && !visited[x][y-1] {
+				visited[x][y-1] = true
+				stack = append(stack, [2]int{x, y - 1})
+			}
+		}
+	}
+	absorb(0, 0)
+	for {
+		repaired := false
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				if visited[x][y] {
+					continue
+				}
+				// Bridge to a visited grid neighbor if one exists; the
+				// stranded component then joins via the kept edges.
+				switch {
+				case x > 0 && visited[x-1][y]:
+					g.AddBidirectional(ids[x-1][y], ids[x][y], speed)
+					keptH[x-1][y] = true
+				case x+1 < nx && visited[x+1][y]:
+					g.AddBidirectional(ids[x][y], ids[x+1][y], speed)
+					keptH[x][y] = true
+				case y > 0 && visited[x][y-1]:
+					g.AddBidirectional(ids[x][y-1], ids[x][y], speed)
+					keptV[x][y-1] = true
+				case y+1 < ny && visited[x][y+1]:
+					g.AddBidirectional(ids[x][y], ids[x][y+1], speed)
+					keptV[x][y] = true
+				default:
+					continue
+				}
+				absorb(x, y)
+				repaired = true
+			}
+		}
+		if !repaired {
+			return // every pocket reachable: nothing left to bridge
+		}
+	}
 }
 
 // NodeAt returns the id of the node nearest to p (linear scan; the

@@ -6,6 +6,7 @@ package store
 // so the group-commit path never does a registry lookup.
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +29,47 @@ var pkgObs struct {
 }
 
 var fsyncHist atomic.Pointer[obs.Histogram]
+
+// liveLogs tracks every open Log so the disk-footprint gauges can sum
+// over them at scrape time. Registration is unconditional (not gated
+// on pkgObs.enabled): a map insert per Open/Close is noise next to the
+// file creation they bracket, and it means logs opened before
+// InstrumentTo still show up in the gauges.
+var liveLogs struct {
+	mu   sync.Mutex
+	logs map[*Log]struct{}
+}
+
+func registerLog(l *Log) {
+	liveLogs.mu.Lock()
+	if liveLogs.logs == nil {
+		liveLogs.logs = make(map[*Log]struct{})
+	}
+	liveLogs.logs[l] = struct{}{}
+	liveLogs.mu.Unlock()
+}
+
+func deregisterLog(l *Log) {
+	liveLogs.mu.Lock()
+	delete(liveLogs.logs, l)
+	liveLogs.mu.Unlock()
+}
+
+// sumLiveSegments walks every open log's Segments() snapshot. Called
+// only from registry scrapes, so taking each log's mutex briefly is
+// fine; lock order is liveLogs.mu -> l.mu, and nothing under l.mu ever
+// touches liveLogs.mu.
+func sumLiveSegments() (bytes, segments float64) {
+	liveLogs.mu.Lock()
+	defer liveLogs.mu.Unlock()
+	for l := range liveLogs.logs {
+		for _, s := range l.Segments() {
+			bytes += float64(s.Bytes)
+			segments++
+		}
+	}
+	return bytes, segments
+}
 
 func obsAppend(payloadBytes int) {
 	if pkgObs.enabled.Load() {
@@ -97,6 +139,8 @@ func InstrumentTo(reg *obs.Registry) {
 	reg.Help("sidq_store_recovered_records_total", "Records scanned from unsealed segments during recovery.")
 	reg.Help("sidq_store_torn_truncations_total", "Torn tails truncated during recovery.")
 	reg.Help("sidq_store_replays_total", "Full Replay passes started.")
+	reg.Help("sidq_store_disk_bytes", "Bytes held by open durable logs (sealed segments plus active, including buffered writes).")
+	reg.Help("sidq_store_segments", "Segment count across open durable logs (sealed plus active).")
 	counter := func(name string, v *atomic.Uint64) {
 		reg.Func(name, obs.FuncCounter, func() float64 { return float64(v.Load()) })
 	}
@@ -110,5 +154,13 @@ func InstrumentTo(reg *obs.Registry) {
 	counter("sidq_store_recovered_records_total", &pkgObs.recovered)
 	counter("sidq_store_torn_truncations_total", &pkgObs.torn)
 	counter("sidq_store_replays_total", &pkgObs.replays)
+	reg.Func("sidq_store_disk_bytes", obs.FuncGauge, func() float64 {
+		bytes, _ := sumLiveSegments()
+		return bytes
+	})
+	reg.Func("sidq_store_segments", obs.FuncGauge, func() float64 {
+		_, segs := sumLiveSegments()
+		return segs
+	})
 	fsyncHist.Store(reg.Histogram("sidq_store_fsync_ns"))
 }

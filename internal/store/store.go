@@ -160,6 +160,7 @@ func Open(dir string, opt Options) (*Log, RecoveryInfo, error) {
 		return nil, info, err
 	}
 	obsRecovery(&info)
+	registerLog(l)
 	if opt.Fsync == FsyncBatch {
 		l.batchStop = make(chan struct{})
 		l.batchDone = make(chan struct{})
@@ -584,6 +585,7 @@ func (l *Log) batchLoop() {
 func (l *Log) Close() error {
 	var err error
 	l.closeOnce.Do(func() {
+		deregisterLog(l)
 		if l.batchStop != nil {
 			close(l.batchStop)
 			<-l.batchDone

@@ -1,0 +1,44 @@
+package trajectory
+
+import "math"
+
+// DeduplicateCols compacts src into dst, keeping the first occurrence
+// of each exact (T, X, Y) sample. Equality is Go map-key float
+// equality — the semantics deduplicating through a map[Point]bool has,
+// which the columnar DeduplicateStage must reproduce bit for bit:
+//
+//   - NaN compares unequal to everything, itself included, so any
+//     sample with a NaN field is always kept.
+//   - +0 equals -0, so the first spelling encountered wins and later
+//     ones are dropped regardless of sign bit.
+//
+// Kept samples are copied with their original bits (a -0 surviving as
+// the first occurrence stays -0). dst is reset first; src is untouched.
+func DeduplicateCols(dst, src *Columns) {
+	n := src.Len()
+	dst.Reset()
+	dst.Grow(n)
+	seen := make(map[[3]uint64]struct{}, n)
+	for i := 0; i < n; i++ {
+		t, x, y := src.T[i], src.X[i], src.Y[i]
+		if t != t || x != x || y != y { // NaN field: never a duplicate
+			dst.Append(t, x, y)
+			continue
+		}
+		key := [3]uint64{dedupBits(t), dedupBits(x), dedupBits(y)}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		dst.Append(t, x, y)
+	}
+}
+
+// dedupBits canonicalizes a non-NaN float for equality keying: both
+// zeros share one key, everything else keys on its exact bits.
+func dedupBits(f float64) uint64 {
+	if f == 0 {
+		return 0
+	}
+	return math.Float64bits(f)
+}
