@@ -27,13 +27,25 @@
 #                       BENCH_*.json — that glob is the committed
 #                       baseline set), and diff against the latest
 #                       committed BENCH_*.json; fails on a >20% ns/op
-#                       or allocs/op regression
+#                       or allocs/op regression (BENCHCOMPARE_ARGS
+#                       passes extra flags, e.g. -advisory in CI)
+#   make load-check     the SLO gate: spawn sidqserve, replay the
+#                       deterministic CI load profile with sidqload,
+#                       snapshot pprof at peak, and diff the fresh SLO
+#                       document against the committed SLO_*.json
+#                       baseline with slocompare; fails on a blocking
+#                       latency/error/shed/drain regression
+#   make load-json      run the CI load profile and write a dated
+#                       SLO_<date>.json baseline (commit it to move
+#                       the gate)
 
 GO ?= go
 BENCHTIME ?= 2x
 BENCHCOUNT ?= 3
+BENCHCOMPARE_ARGS ?=
+SLOCOMPARE_ARGS ?=
 
-.PHONY: check ci fmt-check vet test race race-hammer chaos crash bench bench-json bench-compare
+.PHONY: check ci fmt-check vet test race race-hammer chaos crash bench bench-json bench-compare load-check load-json
 
 check: vet test race-hammer crash bench-compare
 
@@ -88,4 +100,24 @@ bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkE[12]_|BenchmarkCHQuery/warm' -benchmem -benchtime $(BENCHTIME) -count 3 . \
 		| $(GO) run ./cmd/benchjson \
 		| tee bench-fresh.json \
-		| $(GO) run ./cmd/benchcompare
+		| $(GO) run ./cmd/benchcompare $(BENCHCOMPARE_ARGS)
+
+# The SLO gate. sidqload spawns the freshly-built sidqserve on a free
+# port with a temp durable data dir, replays the fixed-seed CI profile
+# for 30s, verifies graceful SIGTERM drain, and writes slo-fresh.json
+# (NOT SLO_*.json — that glob is the committed baseline set);
+# slocompare then diffs it against the latest committed SLO_*.json.
+# SIDQ_TEST_DELAY=50ms make load-check demonstrates the gate catching
+# an injected latency regression.
+load-check:
+	$(GO) build -o bin/sidqserve ./cmd/sidqserve
+	$(GO) run ./cmd/sidqload -spawn bin/sidqserve -profile ci \
+		-pprof-dir pprof-load -out slo-fresh.json
+	$(GO) run ./cmd/slocompare -fresh slo-fresh.json $(SLOCOMPARE_ARGS)
+
+# Regenerate the committed baseline (same profile as load-check).
+load-json:
+	$(GO) build -o bin/sidqserve ./cmd/sidqserve
+	$(GO) run ./cmd/sidqload -spawn bin/sidqserve -profile ci \
+		-out SLO_$$(date +%F).json
+	@echo wrote SLO_$$(date +%F).json

@@ -22,6 +22,12 @@
 // allocation count), so the warning surfaces them in the bench job
 // before they grow into time; promote with -strict-bytes once a
 // baseline has settled.
+//
+// -advisory downgrades gated failures to an explicit "ADVISORY
+// REGRESSION" summary line with exit 0, for shared CI runners whose
+// timing noise makes a hard gate flap — the bench job greps for the
+// line and annotates the build instead of silently swallowing a
+// non-zero exit with continue-on-error.
 package main
 
 import (
@@ -115,6 +121,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression in ns/op and allocs/op (and b/op when gated)")
 	gate := flag.String("gate", `^BenchmarkE[12]_|^BenchmarkCHQuery/warm`, "regexp of benchmark names that can fail the comparison")
 	strictBytes := flag.Bool("strict-bytes", false, "promote b_per_op regressions from advisory warnings to failures")
+	advisory := flag.Bool("advisory", false, "report gated regressions as an explicit ADVISORY REGRESSION summary and exit 0 (shared-runner bench jobs)")
 	flag.Parse()
 
 	gateRe, err := regexp.Compile(*gate)
@@ -198,6 +205,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "\nbenchcompare: %d gated regression(s) beyond %.0f%%:\n", len(failures), *threshold*100)
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		if *advisory {
+			// Shared CI runners are too noisy for a hard timing gate, but a
+			// silent continue-on-error buries real regressions. -advisory
+			// makes the outcome explicit and greppable: the bench job scans
+			// for this line and annotates the build instead of failing it.
+			fmt.Printf("ADVISORY REGRESSION: %d gated regression(s) beyond %.0f%% (advisory mode, not failing the job)\n",
+				len(failures), *threshold*100)
+			return
 		}
 		os.Exit(1)
 	}

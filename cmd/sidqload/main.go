@@ -1,0 +1,157 @@
+// Command sidqload is the production load harness: a closed-loop
+// generator that drives a configurable mix of traffic against a live
+// sidqserve and emits a machine-readable SLO document, the way
+// cmd/benchjson emits BENCH_*.json rows for cmd/benchcompare.
+//
+// The mix is the serving layer's real workload shape:
+//
+//   - N concurrent streaming sessions replaying the deterministic
+//     simulate.Replay feed through /v1/stream/open → ingest → results,
+//     with persist-before-ack ?seq= retries on shed or failed chunks;
+//   - batch POST /v1/clean workers posting corrupted trajectory CSV;
+//   - GET /v1/history/range readers sweeping seeded random windows
+//     over the feed's spatio-temporal extent.
+//
+// Every request is timed client-side into internal/obs sharded
+// histograms; the emitted document records per-route p50/p99/p999
+// latency (interpolated quantile estimates), achieved throughput, and
+// error and 429-shed rates. cmd/slocompare diffs a fresh document
+// against the committed SLO_<date>.json baseline with per-metric
+// tolerance bands.
+//
+// Usage:
+//
+//	sidqload -addr http://127.0.0.1:8080            # target a running server
+//	sidqload -spawn bin/sidqserve -profile ci       # spawn one, run the CI profile
+//
+// -spawn launches the given sidqserve binary on a free port with a
+// temporary durable data directory (-data, -pprof, -quiet), waits for
+// readiness, and tears it down afterwards. With -drain-check (the
+// default when spawning) the run ends by verifying graceful drain:
+// an in-flight ingest ack must complete during SIGTERM drain and
+// post-drain requests must receive an orderly 503, not a connection
+// reset; the result lands in the document's drain_ok field, which
+// slocompare gates on. -pprof-dir snapshots the server's goroutine
+// and heap profiles at peak load for artifact upload.
+//
+// -profile ci pins the deterministic fixed-seed, fixed-duration
+// profile the CI latency gate replays (see `make load-check`);
+// explicit flags override individual profile values.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"sidq/internal/simulate"
+)
+
+// config is the resolved harness configuration.
+type config struct {
+	addr           string
+	spawn          string
+	profile        string
+	duration       time.Duration
+	sessions       int
+	sources        int
+	chunk          int
+	drainEvery     int
+	cleanWorkers   int
+	cleanTraj      int
+	historyWorkers int
+	seed           int64
+	out            string
+	pprofDir       string
+	drainCheck     bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sidqload: ")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "base URL of a running sidqserve (e.g. http://127.0.0.1:8080)")
+	flag.StringVar(&cfg.spawn, "spawn", "", "path to a sidqserve binary to spawn on a free port with a temp durable data dir")
+	flag.StringVar(&cfg.profile, "profile", "", "named load profile: ci (fixed seed and duration for the CI gate)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measured load window")
+	flag.IntVar(&cfg.sessions, "sessions", 8, "concurrent streaming sessions")
+	flag.IntVar(&cfg.sources, "sources", 4, "sources per streaming session")
+	flag.IntVar(&cfg.chunk, "chunk", 64, "points per ingest chunk")
+	flag.IntVar(&cfg.drainEvery, "drain-every", 8, "drain /results every N ingested chunks")
+	flag.IntVar(&cfg.cleanWorkers, "clean-workers", 2, "concurrent batch /v1/clean workers")
+	flag.IntVar(&cfg.cleanTraj, "clean-traj", 4, "trajectories per batch clean body")
+	flag.IntVar(&cfg.historyWorkers, "history-workers", 2, "concurrent /v1/history/range readers")
+	flag.Int64Var(&cfg.seed, "seed", 1, "feed seed (the whole workload is a pure function of it)")
+	flag.StringVar(&cfg.out, "out", "-", "SLO JSON output path ('-' = stdout)")
+	flag.StringVar(&cfg.pprofDir, "pprof-dir", "", "snapshot server goroutine/heap profiles into this directory at peak load")
+	flag.BoolVar(&cfg.drainCheck, "drain-check", true, "verify graceful SIGTERM drain after the run (spawn mode only)")
+	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if cfg.profile == "ci" {
+		// The CI profile is the committed-baseline contract: fixed seed,
+		// fixed duration, fixed mix. Explicit flags still win so a local
+		// run can shrink the window.
+		for name, apply := range map[string]func(){
+			"duration":      func() { cfg.duration = 30 * time.Second },
+			"sessions":      func() { cfg.sessions = 16 },
+			"seed":          func() { cfg.seed = 41 },
+			"clean-workers": func() { cfg.cleanWorkers = 4 },
+			"clean-traj":    func() { cfg.cleanTraj = 6 },
+		} {
+			if !explicit[name] {
+				apply()
+			}
+		}
+	} else if cfg.profile != "" {
+		log.Fatalf("unknown -profile %q (want: ci)", cfg.profile)
+	}
+	if (cfg.addr == "") == (cfg.spawn == "") {
+		log.Fatal("exactly one of -addr or -spawn is required")
+	}
+
+	base := cfg.addr
+	var sp *spawned
+	if cfg.spawn != "" {
+		var err error
+		sp, err = spawnServe(cfg)
+		if err != nil {
+			log.Fatalf("spawn %s: %v", cfg.spawn, err)
+		}
+		defer sp.cleanup()
+		base = sp.base
+		log.Printf("spawned %s on %s (data %s)", cfg.spawn, sp.base, sp.dataDir)
+	}
+
+	log.Printf("profile=%q seed=%d duration=%s sessions=%d clean=%d history=%d chunk=%d",
+		cfg.profile, cfg.seed, cfg.duration, cfg.sessions, cfg.cleanWorkers, cfg.historyWorkers, cfg.chunk)
+	feed := simulate.NewReplay(simulate.ReplayOptions{Seed: cfg.seed, Sources: cfg.sources})
+	col, elapsed := runWorkload(cfg, base, feed)
+
+	var drainOK *bool
+	if sp != nil {
+		if cfg.drainCheck {
+			ok, detail := sp.drainCheck(cfg, feed)
+			drainOK = &ok
+			log.Printf("drain check: ok=%v (%s)", ok, detail)
+		}
+		sp.stop()
+	}
+
+	doc := buildDoc(cfg, col, elapsed, drainOK)
+	for _, r := range doc.Routes {
+		log.Printf("%-16s req=%-7d rps=%8.1f p50=%8.2fms p99=%8.2fms p999=%8.2fms err=%.3f shed=%.3f",
+			r.Route, r.Requests, r.ThroughputRPS, r.P50Ms, r.P99Ms, r.P999Ms, r.ErrorRate, r.ShedRate)
+	}
+	if err := writeDoc(cfg.out, doc); err != nil {
+		log.Fatalf("write %s: %v", cfg.out, err)
+	}
+	if cfg.out != "-" {
+		log.Printf("wrote %s", cfg.out)
+	}
+	if drainOK != nil && !*drainOK {
+		os.Exit(1)
+	}
+}

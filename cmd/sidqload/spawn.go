@@ -1,0 +1,236 @@
+package main
+
+// Spawn mode: launch a sidqserve binary on a free port with a
+// temporary durable data directory, wait for readiness, and at the end
+// of the run verify the graceful-drain contract the hardened server
+// promises: in-flight ingest acks complete during SIGTERM drain, and
+// requests arriving while the drain window is open receive an orderly
+// 503 — never a connection reset.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"syscall"
+	"time"
+
+	"sidq/internal/simulate"
+)
+
+// spawned is a sidqserve child process under harness control.
+type spawned struct {
+	cmd     *exec.Cmd
+	base    string
+	dataDir string
+	done    chan error // closed-over cmd.Wait result
+	stopped bool
+}
+
+// spawnServe launches the binary and blocks until /v1/healthz answers.
+func spawnServe(cfg config) (*spawned, error) {
+	port, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	dataDir, err := os.MkdirTemp("", "sidqload-data-")
+	if err != nil {
+		return nil, err
+	}
+	addr := "127.0.0.1:" + strconv.Itoa(port)
+	cmd := exec.Command(cfg.spawn,
+		"-addr", addr,
+		"-data", dataDir,
+		"-quiet",
+		"-pprof",
+		"-max-inflight", "256",
+		"-stream-max-sessions", strconv.Itoa(cfg.sessions+8),
+		"-grace", "10s",
+		"-drain-linger", "750ms",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		os.RemoveAll(dataDir)
+		return nil, err
+	}
+	sp := &spawned{
+		cmd:     cmd,
+		base:    "http://" + addr,
+		dataDir: dataDir,
+		done:    make(chan error, 1),
+	}
+	go func() { sp.done <- cmd.Wait() }()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get(sp.base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return sp, nil
+			}
+		}
+		select {
+		case werr := <-sp.done:
+			os.RemoveAll(dataDir)
+			return nil, fmt.Errorf("server exited before ready: %v", werr)
+		default:
+		}
+		if time.Now().After(deadline) {
+			sp.stop()
+			return nil, errors.New("server not ready after 15s")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// drainCheck exercises the SIGTERM drain: it opens a dedicated
+// session, fires a large ingest chunk, signals the server while that
+// chunk is in flight, and then probes with new requests. Passing
+// means the in-flight ack completed (2xx) AND at least one post-drain
+// request received an orderly 503 AND no probe saw a connection
+// reset. The server is left exiting; stop() reaps it.
+func (sp *spawned) drainCheck(cfg config, feed *simulate.Replay) (bool, string) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	status, body := postForm(client, sp.base+"/v1/stream/open")
+	if status != http.StatusCreated {
+		return false, fmt.Sprintf("open session: status %d", status)
+	}
+	id := sessionFrom(body)
+	if id == "" {
+		return false, "open session: no id in ack"
+	}
+
+	// Hold an ingest request in flight deterministically: stream the
+	// chunk body through a pipe, send SIGTERM while the server is
+	// mid-body-read, then finish the body. The ack must still be 2xx —
+	// in-flight work completes during drain. (The stream index far
+	// outside the worker range keeps its source ids disjoint from the
+	// measured feed's.)
+	chunk := feed.AppendChunk(nil, 1<<20, 0, 2000)
+	half := len(chunk) / 2
+	pr, pw := io.Pipe()
+	type result struct {
+		status int
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := client.Post(sp.base+"/v1/stream/ingest?session="+id+"&seq=1", "text/csv", pr)
+		if err != nil {
+			inflight <- result{0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflight <- result{resp.StatusCode, nil}
+	}()
+	if _, err := pw.Write(chunk[:half]); err != nil {
+		return false, fmt.Sprintf("write body: %v", err)
+	}
+	// Let the server reach the body read before signaling. The spawned
+	// child inherits SIDQ_TEST_DELAY, whose injected sleep runs before
+	// the service sees the request — lead the SIGTERM by that much too,
+	// or the delayed request would arrive at the service after the
+	// drain flag and be 503d despite predating the signal.
+	lead := 20 * time.Millisecond
+	if d, err := time.ParseDuration(os.Getenv("SIDQ_TEST_DELAY")); err == nil && d > 0 {
+		lead += d
+	}
+	time.Sleep(lead)
+	if err := sp.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return false, fmt.Sprintf("signal: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond) // SIGTERM lands while we are mid-body
+	if _, err := pw.Write(chunk[half:]); err != nil {
+		return false, fmt.Sprintf("write body: %v", err)
+	}
+	pw.Close()
+	r := <-inflight
+	if r.err != nil || r.status < 200 || r.status >= 300 {
+		return false, fmt.Sprintf("in-flight ingest during drain: status %d err %v", r.status, r.err)
+	}
+
+	// The drain window is open: new work must 503, never reset.
+	saw503 := false
+	probe := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := probe.Post(sp.base+"/v1/stream/open", "", nil)
+		if err != nil {
+			if errors.Is(err, syscall.ECONNREFUSED) {
+				break // listener closed after the linger: drain is over
+			}
+			return false, fmt.Sprintf("post-drain probe: %v (want 503, got a broken connection)", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			saw503 = true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !saw503 {
+		return false, "no post-drain request observed a 503 before the listener closed"
+	}
+	return true, "in-flight ack completed; post-drain requests got 503"
+}
+
+// stop terminates the child (idempotent) and removes its data dir.
+func (sp *spawned) stop() {
+	if sp.stopped {
+		return
+	}
+	sp.stopped = true
+	sp.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-sp.done:
+	case <-time.After(15 * time.Second):
+		sp.cmd.Process.Kill()
+		<-sp.done
+	}
+}
+
+// cleanup is the deferred teardown: reap the child and drop its data.
+func (sp *spawned) cleanup() {
+	sp.stop()
+	os.RemoveAll(sp.dataDir)
+}
+
+func postForm(client *http.Client, url string) (int, []byte) {
+	resp, err := client.Post(url, "", nil)
+	if err != nil {
+		return 0, nil
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, b
+}
+
+func sessionFrom(body []byte) string {
+	var ack struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return ""
+	}
+	return ack.Session
+}
+
+// freePort reserves an ephemeral TCP port and releases it for the
+// child to bind. The classic tiny race is acceptable for a harness.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}

@@ -1,0 +1,355 @@
+package main
+
+// The closed-loop workload: every worker issues its next request only
+// after the previous one completes, so offered load adapts to the
+// server instead of queueing unboundedly — achieved throughput and
+// latency are then honest joint measurements. Latencies are recorded
+// into internal/obs sharded histograms (lock-free Observe, merged
+// snapshot at the end), the same primitive the server uses for its own
+// request latency families.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sidq/internal/obs"
+	"sidq/internal/simulate"
+)
+
+// Route keys: the client-side label set of the SLO document.
+const (
+	routeOpen    = "stream/open"
+	routeIngest  = "stream/ingest"
+	routeResults = "stream/results"
+	routeClose   = "stream/close"
+	routeClean   = "clean"
+	routeHistory = "history/range"
+)
+
+var allRoutes = []string{routeOpen, routeIngest, routeResults, routeClose, routeClean, routeHistory}
+
+// recorder accumulates one route's client-side observations.
+type recorder struct {
+	hist     obs.Histogram
+	requests atomic.Uint64
+	errors   atomic.Uint64 // transport failures + non-2xx other than 429
+	shed     atomic.Uint64 // 429 responses
+}
+
+// collector is the fixed route→recorder table; immutable after
+// newCollector, so workers index it without locks.
+type collector struct {
+	rec map[string]*recorder
+}
+
+func newCollector() *collector {
+	c := &collector{rec: map[string]*recorder{}}
+	for _, r := range allRoutes {
+		c.rec[r] = &recorder{}
+	}
+	return c
+}
+
+// loadClient issues and records requests for one harness run.
+type loadClient struct {
+	base string
+	http *http.Client
+	col  *collector
+}
+
+// call issues one request and records its latency and outcome. The
+// response body is returned fully read (and the connection released).
+// A transport error counts as an error with status 0.
+func (lc *loadClient) call(route, method, url string, body []byte) (int, []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		panic(fmt.Sprintf("sidqload: build %s %s: %v", method, url, err))
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "text/csv")
+	}
+	rec := lc.col.rec[route]
+	start := time.Now()
+	resp, err := lc.http.Do(req)
+	rec.hist.Observe(time.Since(start).Nanoseconds())
+	rec.requests.Add(1)
+	if err != nil {
+		rec.errors.Add(1)
+		return 0, nil
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		rec.shed.Add(1)
+	case resp.StatusCode >= 400:
+		rec.errors.Add(1)
+	}
+	return resp.StatusCode, b
+}
+
+// sessionWorker runs one streaming session's closed loop: open,
+// ingest chunks with persist-before-ack ?seq= retries (a shed or
+// failed chunk is retried under the same seq, exercising the server's
+// retry dedup), periodic result drains, then a final flush and close.
+func (lc *loadClient) sessionWorker(ctx context.Context, cfg config, feed *simulate.Replay, stream int) {
+	sessionID := ""
+	for ctx.Err() == nil {
+		status, body := lc.call(routeOpen, http.MethodPost, lc.base+"/v1/stream/open?maxspeed=30", nil)
+		if status == http.StatusCreated {
+			var ack struct {
+				Session string `json:"session"`
+			}
+			if json.Unmarshal(body, &ack) == nil && ack.Session != "" {
+				sessionID = ack.Session
+			}
+			break
+		}
+		sleepCtx(ctx, 20*time.Millisecond)
+	}
+	if sessionID == "" {
+		return
+	}
+	var buf []byte
+	seq := uint64(0)
+	for chunk := 0; ctx.Err() == nil; chunk++ {
+		buf = feed.AppendChunk(buf[:0], stream, chunk, cfg.chunk)
+		seq++
+		for ctx.Err() == nil {
+			status, _ := lc.call(routeIngest, http.MethodPost,
+				fmt.Sprintf("%s/v1/stream/ingest?session=%s&seq=%d", lc.base, sessionID, seq), buf)
+			if status >= 200 && status < 300 {
+				break
+			}
+			if status == http.StatusNotFound {
+				return // session evicted out from under us; nothing to tear down
+			}
+			sleepCtx(ctx, 5*time.Millisecond)
+		}
+		if (chunk+1)%cfg.drainEvery == 0 {
+			lc.call(routeResults, http.MethodGet, lc.base+"/v1/stream/"+sessionID+"/results", nil)
+		}
+	}
+	// Teardown runs after the measured window closes; it is recorded
+	// like any other traffic (the tail is part of the workload).
+	lc.call(routeResults, http.MethodGet, lc.base+"/v1/stream/"+sessionID+"/results?flush=1", nil)
+	lc.call(routeClose, http.MethodDelete, lc.base+"/v1/stream/"+sessionID, nil)
+}
+
+// cleanWorker posts the same corrupted batch body in a closed loop.
+func (lc *loadClient) cleanWorker(ctx context.Context, body []byte) {
+	for ctx.Err() == nil {
+		lc.call(routeClean, http.MethodPost, lc.base+"/v1/clean?maxspeed=30", body)
+	}
+}
+
+// historyWorker sweeps seeded random spatio-temporal windows over the
+// feed's extent through /v1/history/range.
+func (lc *loadClient) historyWorker(ctx context.Context, cfg config, feed *simulate.Replay, worker int) {
+	rng := rand.New(rand.NewSource(cfg.seed + 1000 + int64(worker)))
+	ext := feed.Extent()
+	span := feed.Span()
+	for ctx.Err() == nil {
+		w, h := ext.Width()/4, ext.Height()/4
+		x0 := ext.Min.X + rng.Float64()*(ext.Width()-w)
+		y0 := ext.Min.Y + rng.Float64()*(ext.Height()-h)
+		t0 := rng.Float64() * span * 4
+		q := url.Values{}
+		q.Set("minx", fmt.Sprintf("%.1f", x0))
+		q.Set("maxx", fmt.Sprintf("%.1f", x0+w))
+		q.Set("miny", fmt.Sprintf("%.1f", y0))
+		q.Set("maxy", fmt.Sprintf("%.1f", y0+h))
+		q.Set("mint", fmt.Sprintf("%.1f", t0))
+		q.Set("maxt", fmt.Sprintf("%.1f", t0+span))
+		lc.call(routeHistory, http.MethodGet, lc.base+"/v1/history/range?"+q.Encode(), nil)
+	}
+}
+
+// runWorkload drives the full mix for cfg.duration and returns the
+// collector plus the elapsed wall time (measured through worker join,
+// so teardown requests are inside the throughput denominator).
+func runWorkload(cfg config, base string, feed *simulate.Replay) (*collector, time.Duration) {
+	col := newCollector()
+	lc := &loadClient{
+		base: base,
+		col:  col,
+		http: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.sessions + cfg.cleanWorkers + cfg.historyWorkers + 8,
+				MaxIdleConnsPerHost: cfg.sessions + cfg.cleanWorkers + cfg.historyWorkers + 8,
+			},
+		},
+	}
+	cleanBody := feed.BatchCSV(cfg.cleanTraj)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.sessions; i++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			lc.sessionWorker(ctx, cfg, feed, stream)
+		}(i)
+	}
+	for i := 0; i < cfg.cleanWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lc.cleanWorker(ctx, cleanBody)
+		}()
+	}
+	for i := 0; i < cfg.historyWorkers; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			lc.historyWorker(ctx, cfg, feed, worker)
+		}(i)
+	}
+	if cfg.pprofDir != "" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			capturePprof(ctx, base, cfg.pprofDir, cfg.duration*3/5)
+		}()
+	}
+	wg.Wait()
+	return col, time.Since(start)
+}
+
+// capturePprof snapshots the server's goroutine and heap profiles at
+// peak load (after the given delay into the run). Failures are logged,
+// not fatal: an external -addr target may not expose /debug/pprof/.
+func capturePprof(ctx context.Context, base, dir string, after time.Duration) {
+	select {
+	case <-time.After(after):
+	case <-ctx.Done():
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "sidqload: pprof dir: %v\n", err)
+		return
+	}
+	client := &http.Client{Timeout: 20 * time.Second}
+	for path, name := range map[string]string{
+		"/debug/pprof/goroutine?debug=1": "goroutine.txt",
+		"/debug/pprof/heap":              "heap.pb.gz",
+	} {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sidqload: pprof %s: %v\n", path, err)
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "sidqload: pprof %s: status %d\n", path, resp.StatusCode)
+			continue
+		}
+		if err := os.WriteFile(dir+"/"+name, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sidqload: pprof write %s: %v\n", name, err)
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// RouteSLO is one route's measured service levels. Mirrored by
+// cmd/slocompare the way cmd/benchcompare mirrors benchjson's Result.
+type RouteSLO struct {
+	Route         string  `json:"route"`
+	Requests      uint64  `json:"requests"`
+	Errors        uint64  `json:"errors"`
+	Shed          uint64  `json:"shed"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	P999Ms        float64 `json:"p999_ms"`
+	ErrorRate     float64 `json:"error_rate"`
+	ShedRate      float64 `json:"shed_rate"`
+}
+
+// Document is one load-harness run: the SLO_<date>.json schema.
+type Document struct {
+	Date      string     `json:"date"`
+	Profile   string     `json:"profile,omitempty"`
+	Seed      int64      `json:"seed"`
+	DurationS float64    `json:"duration_s"`
+	Sessions  int        `json:"sessions"`
+	Clean     int        `json:"clean_workers"`
+	History   int        `json:"history_workers"`
+	DrainOK   *bool      `json:"drain_ok,omitempty"`
+	Routes    []RouteSLO `json:"routes"`
+}
+
+func buildDoc(cfg config, col *collector, elapsed time.Duration, drainOK *bool) Document {
+	doc := Document{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Profile:   cfg.profile,
+		Seed:      cfg.seed,
+		DurationS: elapsed.Seconds(),
+		Sessions:  cfg.sessions,
+		Clean:     cfg.cleanWorkers,
+		History:   cfg.historyWorkers,
+		DrainOK:   drainOK,
+	}
+	for _, route := range allRoutes {
+		rec := col.rec[route]
+		n := rec.requests.Load()
+		snap := rec.hist.Snapshot()
+		r := RouteSLO{
+			Route:         route,
+			Requests:      n,
+			Errors:        rec.errors.Load(),
+			Shed:          rec.shed.Load(),
+			ThroughputRPS: float64(n) / elapsed.Seconds(),
+			P50Ms:         snap.QuantileEst(0.50) / 1e6,
+			P99Ms:         snap.QuantileEst(0.99) / 1e6,
+			P999Ms:        snap.QuantileEst(0.999) / 1e6,
+		}
+		if n > 0 {
+			r.ErrorRate = float64(r.Errors) / float64(n)
+			r.ShedRate = float64(r.Shed) / float64(n)
+		}
+		doc.Routes = append(doc.Routes, r)
+	}
+	return doc
+}
+
+func writeDoc(path string, doc Document) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -6,10 +6,14 @@
 //	sidqsim -n 5 | curl -s --data-binary @- localhost:8080/v1/assess
 //
 // Resilience flags: -max-body caps request bodies, -max-inflight
-// bounds concurrent requests (excess load is shed with 503),
-// -request-timeout bounds per-request handling, and -grace is how
-// long a SIGINT/SIGTERM shutdown waits for in-flight requests after
-// flipping /v1/readyz to 503.
+// bounds concurrent requests (excess load is shed with 503), and
+// -request-timeout bounds per-request handling. A SIGINT/SIGTERM
+// shutdown drains in order: /v1/readyz flips to 503 and new work is
+// rejected with 503 "draining" while in-flight requests (ingest acks
+// included) run to completion, the 503 window is held open for
+// -drain-linger so late clients see an orderly rejection instead of a
+// connection reset, and only then does the listener close; the whole
+// sequence shares the -grace budget.
 //
 // Observability: GET /v1/metrics serves the Prometheus text
 // exposition (always on; it bypasses the limiter and timeout), and
@@ -55,7 +59,9 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 64, "max concurrent requests before shedding with 503")
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown drain period")
+		drainLinger = flag.Duration("drain-linger", 500*time.Millisecond, "after in-flight requests drain, keep answering new requests with 503 for this long before closing the listener")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
+		quiet       = flag.Bool("quiet", false, "discard the per-request access log (load-harness runs)")
 
 		networkPath    = flag.String("network", "", "road network CSV; enables online map matching for streamed points")
 		maxSessions    = flag.Int("stream-max-sessions", 32, "open streaming sessions before shedding with 429")
@@ -94,6 +100,9 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		Stream:         streamCfg,
 	}
+	if *quiet {
+		cfg.Logger = server.DiscardLogger()
+	}
 	if *dataDir != "" {
 		mode, err := store.ParseFsyncMode(*fsyncFlag)
 		if err != nil {
@@ -115,12 +124,28 @@ func main() {
 			*dataDir, *fsyncFlag, *snapEvery)
 	}
 	handler := http.Handler(svc)
+	// SIDQ_TEST_DELAY injects a fixed per-request latency so the SLO
+	// gate (make load-check) can prove it catches a regression. It is a
+	// test hook, never a production knob — hence an env var, not a flag,
+	// and a loud warning.
+	if d := os.Getenv("SIDQ_TEST_DELAY"); d != "" {
+		delay, err := time.ParseDuration(d)
+		if err != nil {
+			log.Fatalf("sidqserve: SIDQ_TEST_DELAY: %v", err)
+		}
+		log.Printf("sidqserve: WARNING: SIDQ_TEST_DELAY=%s injects artificial latency into every request (SLO-gate testing only)", delay)
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(delay)
+			inner.ServeHTTP(w, r)
+		})
+	}
 	if *pprofOn {
 		// Profiling endpoints mount outside the service's middleware
 		// stack so the limiter and timeout cannot starve a profile of a
 		// wedged process — the moment profiling is for.
 		mux := http.NewServeMux()
-		mux.Handle("/", svc)
+		mux.Handle("/", handler)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -148,11 +173,31 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Drain: fail readiness first so load balancers stop sending
-	// traffic, then give in-flight requests the grace period.
+	// Drain, in order: (1) StartDrain fails readiness and rejects new
+	// work with 503 while the listener stays open — late clients see an
+	// orderly rejection, not a connection reset; (2) AwaitIdle lets
+	// every in-flight request (ingest acks included) run to completion;
+	// (3) a short linger keeps the 503 window open so load balancers
+	// and retrying clients observe the drain; (4) only then does
+	// Shutdown close the listener. Everything shares the -grace budget.
 	log.Printf("sidqserve: shutdown signal received, draining for up to %s", *grace)
-	svc.SetReady(false)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	deadline := time.Now().Add(*grace)
+	svc.StartDrain()
+	idleCtx, cancelIdle := context.WithDeadline(context.Background(), deadline)
+	idle := svc.AwaitIdle(idleCtx)
+	cancelIdle()
+	if !idle {
+		log.Printf("sidqserve: drain grace expired with requests still in flight")
+	}
+	if lg := *drainLinger; lg > 0 {
+		if until := time.Until(deadline); until < lg {
+			lg = until
+		}
+		if lg > 0 {
+			time.Sleep(lg)
+		}
+	}
+	shutdownCtx, cancel := context.WithDeadline(context.Background(), deadline.Add(time.Second))
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("sidqserve: forced shutdown: %v", err)

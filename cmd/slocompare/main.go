@@ -1,0 +1,278 @@
+// Command slocompare diffs a fresh load-harness run (a cmd/sidqload
+// SLO document) against the committed SLO_<date>.json baseline and
+// fails when a route's service levels regressed beyond the tolerance
+// bands — the latency/error/shed analogue of cmd/benchcompare.
+//
+// Usage:
+//
+//	sidqload -spawn bin/sidqserve -profile ci -out slo-fresh.json
+//	slocompare -fresh slo-fresh.json
+//
+// With no -baseline flag the lexicographically-latest SLO_*.json in
+// the working directory is used, so dated baselines supersede each
+// other naturally (regenerate with `make load-json`).
+//
+// The bands are deliberately asymmetric by metric:
+//
+//   - p99/p999 latency blocks only on a large regression (more than
+//     double AND more than 25ms absolute) so power-of-two histogram
+//     bucketing and scheduler noise cannot flap the gate; smaller
+//     drifts (>35% and >2ms) are advisory. -strict-latency promotes
+//     advisories to failures once a baseline has settled on quiet
+//     hardware. Routes with fewer samples than -min-samples in either
+//     document skip latency checks entirely.
+//   - p50 is advisory-only at the same bands: median drift is a tuning
+//     signal, tail latency is the contract.
+//   - error rate and 429 shed rate always block beyond a small
+//     absolute slack (+0.01 and +0.05): correctness of the mix, not a
+//     performance statistic.
+//   - a route present in the baseline but missing (or empty) in the
+//     fresh run blocks: silence is the worst regression.
+//   - a fresh document with drain_ok=false blocks: the graceful-drain
+//     contract is part of the SLO.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// RouteSLO and Document mirror cmd/sidqload's output schema.
+type RouteSLO struct {
+	Route         string  `json:"route"`
+	Requests      uint64  `json:"requests"`
+	Errors        uint64  `json:"errors"`
+	Shed          uint64  `json:"shed"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	P999Ms        float64 `json:"p999_ms"`
+	ErrorRate     float64 `json:"error_rate"`
+	ShedRate      float64 `json:"shed_rate"`
+}
+
+type Document struct {
+	Date      string     `json:"date"`
+	Profile   string     `json:"profile,omitempty"`
+	Seed      int64      `json:"seed"`
+	DurationS float64    `json:"duration_s"`
+	Sessions  int        `json:"sessions"`
+	Clean     int        `json:"clean_workers"`
+	History   int        `json:"history_workers"`
+	DrainOK   *bool      `json:"drain_ok,omitempty"`
+	Routes    []RouteSLO `json:"routes"`
+}
+
+// Options are the tolerance bands; see the package comment for why
+// each band is shaped the way it is.
+type Options struct {
+	MinSamples    uint64  // skip latency checks below this request count
+	FailRel       float64 // blocking latency band: rel AND abs must both trip
+	FailAbsMs     float64
+	WarnRel       float64 // advisory latency band
+	WarnAbsMs     float64
+	ErrorSlack    float64 // absolute error-rate slack, always blocking
+	ShedSlack     float64 // absolute shed-rate slack, always blocking
+	StrictLatency bool    // promote latency advisories to failures
+}
+
+func defaultOptions() Options {
+	return Options{
+		MinSamples: 50,
+		FailRel:    1.00, FailAbsMs: 25,
+		WarnRel: 0.35, WarnAbsMs: 2,
+		ErrorSlack: 0.01,
+		ShedSlack:  0.05,
+	}
+}
+
+// Report is the outcome of one comparison: per-route detail lines,
+// non-failing advisories, and blocking failures.
+type Report struct {
+	Lines      []string
+	Advisories []string
+	Failures   []string
+}
+
+// latencyBand classifies one quantile's drift against the bands.
+// Returns "fail", "warn", or "".
+func latencyBand(opts Options, baseMs, freshMs float64) string {
+	if baseMs <= 0 {
+		return ""
+	}
+	abs := freshMs - baseMs
+	rel := abs / baseMs
+	switch {
+	case rel > opts.FailRel && abs > opts.FailAbsMs:
+		return "fail"
+	case rel > opts.WarnRel && abs > opts.WarnAbsMs:
+		return "warn"
+	}
+	return ""
+}
+
+// compare diffs fresh against base under the given bands. Pure so the
+// gate's behaviour is unit-testable against fixture documents.
+func compare(base, fresh Document, opts Options) Report {
+	var rep Report
+	freshBy := make(map[string]RouteSLO, len(fresh.Routes))
+	for _, r := range fresh.Routes {
+		freshBy[r.Route] = r
+	}
+	baseSeen := make(map[string]bool, len(base.Routes))
+
+	if fresh.DrainOK != nil && !*fresh.DrainOK {
+		rep.Failures = append(rep.Failures, "drain_ok=false: graceful SIGTERM drain check failed in the fresh run")
+	}
+
+	for _, b := range base.Routes {
+		baseSeen[b.Route] = true
+		f, ok := freshBy[b.Route]
+		if !ok || f.Requests == 0 {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"%s: route missing or empty in fresh run (baseline had %d requests)", b.Route, b.Requests))
+			continue
+		}
+		marker := " "
+		// Latency bands: p99/p999 can block, p50 is advisory-only.
+		// Skip entirely when either side is too thin to estimate a tail.
+		if b.Requests >= opts.MinSamples && f.Requests >= opts.MinSamples {
+			for _, q := range []struct {
+				name          string
+				baseMs, newMs float64
+				blockEligible bool
+			}{
+				{"p50", b.P50Ms, f.P50Ms, false},
+				{"p99", b.P99Ms, f.P99Ms, true},
+				{"p999", b.P999Ms, f.P999Ms, true},
+			} {
+				band := latencyBand(opts, q.baseMs, q.newMs)
+				if band == "" {
+					continue
+				}
+				msg := fmt.Sprintf("%s %s %.2fms -> %.2fms (%+.0f%%)",
+					b.Route, q.name, q.baseMs, q.newMs, (q.newMs-q.baseMs)/q.baseMs*100)
+				blocking := band == "fail" && q.blockEligible
+				if band == "warn" && q.blockEligible && opts.StrictLatency {
+					blocking = true
+				}
+				if blocking {
+					marker = "!"
+					rep.Failures = append(rep.Failures, msg)
+				} else {
+					if marker == " " {
+						marker = "~"
+					}
+					rep.Advisories = append(rep.Advisories, msg)
+				}
+			}
+		}
+		if f.ErrorRate > b.ErrorRate+opts.ErrorSlack {
+			marker = "!"
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"%s error_rate %.3f -> %.3f (slack %.3f)", b.Route, b.ErrorRate, f.ErrorRate, opts.ErrorSlack))
+		}
+		if f.ShedRate > b.ShedRate+opts.ShedSlack {
+			marker = "!"
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"%s shed_rate %.3f -> %.3f (slack %.3f)", b.Route, b.ShedRate, f.ShedRate, opts.ShedSlack))
+		}
+		rep.Lines = append(rep.Lines, fmt.Sprintf(
+			"%s %-16s req %6d -> %6d   p50 %8.2f -> %8.2fms   p99 %8.2f -> %8.2fms   p999 %8.2f -> %8.2fms   err %.3f -> %.3f   shed %.3f -> %.3f",
+			marker, b.Route, b.Requests, f.Requests, b.P50Ms, f.P50Ms, b.P99Ms, f.P99Ms, b.P999Ms, f.P999Ms,
+			b.ErrorRate, f.ErrorRate, b.ShedRate, f.ShedRate))
+	}
+	for _, f := range fresh.Routes {
+		if !baseSeen[f.Route] {
+			rep.Lines = append(rep.Lines, fmt.Sprintf("  %-16s new route (no baseline row, %d requests)", f.Route, f.Requests))
+		}
+	}
+	return rep
+}
+
+func latestBaseline() (string, error) {
+	matches, err := filepath.Glob("SLO_*.json")
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		wd, _ := os.Getwd()
+		return "", fmt.Errorf("no SLO_*.json baseline in %s", wd)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+func loadDoc(path string) (Document, error) {
+	var d Document
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	return d, json.Unmarshal(b, &d)
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline SLO_*.json (default: lexicographically latest in cwd)")
+	freshPath := flag.String("fresh", "-", "fresh sidqload document ('-' = stdin)")
+	minSamples := flag.Uint64("min-samples", 50, "skip latency checks for routes below this request count")
+	strict := flag.Bool("strict-latency", false, "promote p99/p999 advisory drifts to failures")
+	flag.Parse()
+
+	path := *baseline
+	var err error
+	if path == "" {
+		path, err = latestBaseline()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slocompare: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	base, err := loadDoc(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slocompare: baseline %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	var fresh Document
+	if *freshPath == "-" {
+		err = json.NewDecoder(os.Stdin).Decode(&fresh)
+	} else {
+		fresh, err = loadDoc(*freshPath)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slocompare: fresh document: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base.Routes) == 0 {
+		fmt.Fprintf(os.Stderr, "slocompare: baseline %s has no routes\n", path)
+		os.Exit(2)
+	}
+
+	opts := defaultOptions()
+	opts.MinSamples = *minSamples
+	opts.StrictLatency = *strict
+	rep := compare(base, fresh, opts)
+
+	fmt.Printf("baseline: %s (%s, profile %q, seed %d)\n", path, base.Date, base.Profile, base.Seed)
+	for _, l := range rep.Lines {
+		fmt.Println(l)
+	}
+	if len(rep.Advisories) > 0 {
+		fmt.Printf("\nslocompare: %d advisory latency drift(s) (not failing; -strict-latency promotes):\n", len(rep.Advisories))
+		for _, a := range rep.Advisories {
+			fmt.Printf("  ~ %s\n", a)
+		}
+	}
+	if len(rep.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nslocompare: %d blocking SLO regression(s):\n", len(rep.Failures))
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "  ! %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("slocompare: %d routes compared, no blocking regressions\n", len(rep.Lines))
+}

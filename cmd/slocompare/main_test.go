@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadFixture(t *testing.T, name string) Document {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	var d Document
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	return d
+}
+
+func hasMatch(lines []string, sub string) bool {
+	for _, l := range lines {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	base := loadFixture(t, "baseline.json")
+	rep := compare(base, loadFixture(t, "fresh_pass.json"), defaultOptions())
+	if len(rep.Failures) != 0 {
+		t.Fatalf("clean run produced failures: %v", rep.Failures)
+	}
+	if len(rep.Advisories) != 0 {
+		t.Fatalf("clean run produced advisories: %v", rep.Advisories)
+	}
+	if len(rep.Lines) != len(base.Routes) {
+		t.Fatalf("reported %d route lines, want %d", len(rep.Lines), len(base.Routes))
+	}
+}
+
+func TestCompareBucketJitterDoesNotFlap(t *testing.T) {
+	// fresh_pass has every latency up to ~30% over baseline — the drift
+	// one power-of-two histogram bucket of noise can produce. The gate
+	// must stay silent, or two consecutive clean runs would flap.
+	rep := compare(loadFixture(t, "baseline.json"), loadFixture(t, "fresh_pass.json"), defaultOptions())
+	if len(rep.Failures)+len(rep.Advisories) != 0 {
+		t.Fatalf("bucket-sized jitter tripped the gate: failures=%v advisories=%v",
+			rep.Failures, rep.Advisories)
+	}
+}
+
+func TestCompareAdvisoryDrift(t *testing.T) {
+	rep := compare(loadFixture(t, "baseline.json"), loadFixture(t, "fresh_advisory.json"), defaultOptions())
+	if len(rep.Failures) != 0 {
+		t.Fatalf("advisory drift must not block: %v", rep.Failures)
+	}
+	if !hasMatch(rep.Advisories, "clean p99") {
+		t.Fatalf("want a clean p99 advisory, got %v", rep.Advisories)
+	}
+	// The drifted route's line is marked "~" in the report.
+	if !hasMatch(rep.Lines, "~ clean") {
+		t.Fatalf("advisory route not marked in lines: %v", rep.Lines)
+	}
+}
+
+func TestCompareStrictLatencyPromotes(t *testing.T) {
+	opts := defaultOptions()
+	opts.StrictLatency = true
+	rep := compare(loadFixture(t, "baseline.json"), loadFixture(t, "fresh_advisory.json"), opts)
+	if !hasMatch(rep.Failures, "clean p99") {
+		t.Fatalf("-strict-latency must promote the p99 drift: %v", rep.Failures)
+	}
+}
+
+func TestCompareBlockingLatencyRegression(t *testing.T) {
+	rep := compare(loadFixture(t, "baseline.json"), loadFixture(t, "fresh_blocking.json"), defaultOptions())
+	if !hasMatch(rep.Failures, "stream/ingest p99") {
+		t.Fatalf("2x+25ms p99 regression must block: failures=%v", rep.Failures)
+	}
+	// p50 regressed just as hard but is advisory-only by design.
+	if hasMatch(rep.Failures, "p50") {
+		t.Fatalf("p50 must never block: %v", rep.Failures)
+	}
+	if !hasMatch(rep.Advisories, "stream/ingest p50") {
+		t.Fatalf("p50 regression should still be advisory: %v", rep.Advisories)
+	}
+}
+
+func TestCompareErrorAndShedRatesBlock(t *testing.T) {
+	rep := compare(loadFixture(t, "baseline.json"), loadFixture(t, "fresh_blocking.json"), defaultOptions())
+	if !hasMatch(rep.Failures, "clean error_rate") {
+		t.Fatalf("error-rate jump beyond slack must block: %v", rep.Failures)
+	}
+	if !hasMatch(rep.Failures, "stream/ingest shed_rate") {
+		t.Fatalf("shed-rate jump beyond slack must block: %v", rep.Failures)
+	}
+}
+
+func TestCompareMissingRouteBlocks(t *testing.T) {
+	rep := compare(loadFixture(t, "baseline.json"), loadFixture(t, "fresh_missing.json"), defaultOptions())
+	if !hasMatch(rep.Failures, "history/range: route missing or empty") {
+		t.Fatalf("missing route must block: %v", rep.Failures)
+	}
+	// clean is present but has zero requests — also a missing-row failure.
+	if !hasMatch(rep.Failures, "clean: route missing or empty") {
+		t.Fatalf("empty route must block: %v", rep.Failures)
+	}
+}
+
+func TestCompareDrainFailureBlocks(t *testing.T) {
+	base := loadFixture(t, "baseline.json")
+	fresh := loadFixture(t, "fresh_pass.json")
+	no := false
+	fresh.DrainOK = &no
+	rep := compare(base, fresh, defaultOptions())
+	if !hasMatch(rep.Failures, "drain_ok=false") {
+		t.Fatalf("drain_ok=false must block: %v", rep.Failures)
+	}
+}
+
+func TestCompareMinSamplesSkipsThinRoutes(t *testing.T) {
+	base := loadFixture(t, "baseline.json")
+	fresh := loadFixture(t, "fresh_blocking.json")
+	// stream/open in the fixtures has 16 requests (< 50) and a huge
+	// latency swing: it must never trip latency bands.
+	for _, f := range append(compare(base, fresh, defaultOptions()).Failures,
+		compare(base, fresh, defaultOptions()).Advisories...) {
+		if strings.Contains(f, "stream/open p") {
+			t.Fatalf("thin route tripped a latency band: %s", f)
+		}
+	}
+}

@@ -111,6 +111,51 @@ func (s HistogramSnapshot) Count() uint64 {
 	return n
 }
 
+// QuantileEst returns a linearly interpolated estimate of the
+// q-quantile (q in [0, 1]). Where Quantile reports the landing
+// bucket's upper bound — a guaranteed bound that can only move in
+// power-of-two steps — QuantileEst interpolates within the landing
+// bucket by cumulative position, assuming a uniform spread across the
+// bucket. The estimate varies smoothly as the underlying distribution
+// shifts, which is what a latency regression gate needs: a p99 sitting
+// near a bucket boundary must not flap between 2^i and 2^(i+1) from
+// run to run. Returns 0 for an empty snapshot and the overflow
+// bucket's lower bound when the quantile lands there.
+func (s HistogramSnapshot) QuantileEst(q float64) float64 {
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Same rank convention as Quantile, so both land in the same bucket.
+	need := float64(uint64(q * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	var cum float64
+	for b := 0; b <= maxFinite; b++ {
+		c := float64(s.Counts[b])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= need {
+			if b == 0 {
+				return 0
+			}
+			lo := float64(int64(1) << uint(b-1))
+			frac := (need - cum) / c
+			return lo + frac*lo // bucket b spans [lo, 2*lo)
+		}
+		cum += c
+	}
+	return float64(int64(1) << maxFinite)
+}
+
 // Quantile returns an upper bound for the q-quantile (q in [0, 1]):
 // the bound of the first bucket at which the cumulative count reaches
 // q of the total. Returns 0 for an empty snapshot and the top finite

@@ -129,3 +129,62 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Fatalf("Quantile(0.05) = %d, want 127", got)
 	}
 }
+
+func TestQuantileEstInterpolates(t *testing.T) {
+	// Fill one bucket uniformly: 1024..2047 (bucket 11). The estimated
+	// median should land near the bucket's middle, not at its bound.
+	var h Histogram
+	for v := int64(1024); v < 2048; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.QuantileEst(0.5); math.Abs(got-1536) > 8 {
+		t.Errorf("QuantileEst(0.5) = %v, want ~1536", got)
+	}
+	if got := s.QuantileEst(0); got < 1024 || got > 1028 {
+		t.Errorf("QuantileEst(0) = %v, want bucket floor ~1024", got)
+	}
+	if got := s.QuantileEst(1); math.Abs(got-2048) > 1e-9 {
+		t.Errorf("QuantileEst(1) = %v, want 2048", got)
+	}
+}
+
+func TestQuantileEstMonotoneAndBounded(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 3, 3, 7, 100, 5000, 5000, 5000, 1 << 20} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		got := s.QuantileEst(q)
+		if got < prev {
+			t.Fatalf("QuantileEst not monotone: q=%v gave %v after %v", q, got, prev)
+		}
+		prev = got
+	}
+	// The estimate must stay within the bucketed upper bound.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if est, ub := s.QuantileEst(q), s.Quantile(q); est > float64(ub)+1 {
+			t.Errorf("QuantileEst(%v) = %v above bucket bound %d", q, est, ub)
+		}
+	}
+}
+
+func TestQuantileEstEdges(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.QuantileEst(0.99); got != 0 {
+		t.Errorf("empty QuantileEst = %v, want 0", got)
+	}
+	var h Histogram
+	h.Observe(-5)
+	h.Observe(0)
+	if got := h.Snapshot().QuantileEst(0.9); got != 0 {
+		t.Errorf("non-positive-only QuantileEst = %v, want 0", got)
+	}
+	var ho Histogram
+	ho.Observe(1 << 50) // overflow bucket
+	if got := ho.Snapshot().QuantileEst(0.5); got != float64(int64(1)<<maxFinite) {
+		t.Errorf("overflow QuantileEst = %v, want %v", got, float64(int64(1)<<maxFinite))
+	}
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDrainRejectsNewWorkKeepsProbes: a draining service answers new
+// work with an orderly 503 (connection accepted, response written)
+// while probes and the metrics scrape keep working — the contract the
+// sidqserve shutdown sequence and the load harness's drain check rely
+// on.
+func TestDrainRejectsNewWorkKeepsProbes(t *testing.T) {
+	svc := NewService(Config{Logger: DiscardLogger()})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/assess", "text/csv", strings.NewReader("id,t,x,y\na,0,0,0\na,1,1,1\n"))
+	if err != nil {
+		t.Fatalf("pre-drain assess: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain assess status %d", resp.StatusCode)
+	}
+
+	if svc.Draining() {
+		t.Fatal("service draining before StartDrain")
+	}
+	svc.StartDrain()
+	if !svc.Draining() {
+		t.Fatal("Draining() false after StartDrain")
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/assess", "text/csv", strings.NewReader("id,t,x,y\na,0,0,0\n"))
+	if err != nil {
+		t.Fatalf("draining assess should answer, not reset: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("draining assess: status %d body %q, want 503 draining", resp.StatusCode, body)
+	}
+	if got := svc.Metrics().Counter(mDrainRejected).Value(); got != 1 {
+		t.Fatalf("drain-rejected counter = %d, want 1", got)
+	}
+
+	for path, want := range map[string]int{
+		"/v1/healthz": http.StatusOK,
+		"/v1/metrics": http.StatusOK,
+		"/v1/readyz":  http.StatusServiceUnavailable,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s while draining: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s while draining: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestAwaitIdleWaitsForInFlight: AwaitIdle must not report idle while
+// an accepted request is still being handled, and must report idle
+// once it completes — the ordering that lets in-flight ingest acks
+// finish before the listener closes.
+func TestAwaitIdleWaitsForInFlight(t *testing.T) {
+	svc := NewService(Config{Logger: DiscardLogger()})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	// Hold a request in flight by feeding its body through a pipe the
+	// handler has to wait on.
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/assess", pr)
+		req.Header.Set("Content-Type", "text/csv")
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	if _, err := io.WriteString(pw, "id,t,x,y\na,0,0,0\n"); err != nil {
+		t.Fatalf("write body: %v", err)
+	}
+	// Wait until the request holds its in-flight slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for svc.Metrics().Gauge(mInFlight).Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	shortCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	if svc.AwaitIdle(shortCtx) {
+		cancel()
+		t.Fatal("AwaitIdle reported idle with a request in flight")
+	}
+	cancel()
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		io.WriteString(pw, "a,1,1,1\n")
+		pw.Close()
+	}()
+	longCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if !svc.AwaitIdle(longCtx) {
+		t.Fatal("AwaitIdle never went idle after the request completed")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request failed: %v", err)
+	}
+}

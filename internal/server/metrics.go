@@ -20,12 +20,13 @@ import (
 )
 
 const (
-	mRequests  = "sidq_server_requests_total"
-	mLatency   = "sidq_server_request_latency_ns"
-	mInFlight  = "sidq_server_in_flight"
-	mShed      = "sidq_server_shed_total"
-	mSrvPanics = "sidq_server_panics_total"
-	mWriteErrs = "sidq_http_write_errors_total"
+	mRequests      = "sidq_server_requests_total"
+	mLatency       = "sidq_server_request_latency_ns"
+	mInFlight      = "sidq_server_in_flight"
+	mShed          = "sidq_server_shed_total"
+	mDrainRejected = "sidq_server_drain_rejected_total"
+	mSrvPanics     = "sidq_server_panics_total"
+	mWriteErrs     = "sidq_http_write_errors_total"
 
 	// Streaming-session families (see sessions.go).
 	mStreamOpen     = "sidq_stream_sessions_open"
@@ -86,6 +87,7 @@ func (s *Service) initMetrics() {
 	reg.Help(mLatency, "HTTP request handling latency in nanoseconds, by route.")
 	reg.Help(mInFlight, "Requests currently being handled.")
 	reg.Help(mShed, "Requests shed with 503 by the concurrency limiter.")
+	reg.Help(mDrainRejected, "New work requests rejected with 503 while draining for shutdown.")
 	reg.Help(mSrvPanics, "Handler panics recovered by the middleware.")
 	reg.Help(mWriteErrs, "Mid-stream response body write failures (client gone, connection reset).")
 	reg.Help("sidq_stream_sessions_open", "Streaming ingestion sessions currently open.")
@@ -100,6 +102,7 @@ func (s *Service) initMetrics() {
 	reg.Help(mStreamDup, "Ingest chunks acknowledged as duplicates (?seq= retry dedup).")
 	reg.Gauge(mInFlight)
 	reg.Counter(mShed)
+	reg.Counter(mDrainRejected)
 	reg.Counter(mSrvPanics)
 	reg.Counter(mWriteErrs)
 	reg.Gauge(mStreamOpen)

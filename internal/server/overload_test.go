@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestOverloadSheddingMatchesMetrics drives the bounded session
+// registry past MaxSessions and past a lane's reorder budget, and
+// asserts the 429 rate the sidq_stream_session_rejected_total family
+// reports matches what the clients observed — the accounting the load
+// harness's shed-rate gate trusts.
+func TestOverloadSheddingMatchesMetrics(t *testing.T) {
+	const maxSessions = 4
+	svc := NewService(Config{
+		Logger:      DiscardLogger(),
+		MaxInFlight: 128,
+		Stream:      StreamConfig{MaxSessions: maxSessions, MaxLanePending: 8},
+	})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	// Overload the session budget with concurrent opens.
+	const opens = 32
+	var opened, shed429 atomic.Uint64
+	var mu sync.Mutex
+	var ids []string
+	var wg sync.WaitGroup
+	for i := 0; i < opens; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/stream/open", "", nil)
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusCreated:
+				opened.Add(1)
+				var ack struct {
+					Session string `json:"session"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&ack); err == nil {
+					mu.Lock()
+					ids = append(ids, ack.Session)
+					mu.Unlock()
+				}
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				shed429.Add(1)
+			default:
+				t.Errorf("open: unexpected status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := opened.Load(); got != maxSessions {
+		t.Fatalf("opened %d sessions, want exactly %d", got, maxSessions)
+	}
+	if got := shed429.Load(); got != opens-maxSessions {
+		t.Fatalf("client observed %d shed opens, want %d", got, opens-maxSessions)
+	}
+
+	// Free one session slot so the lane-overload session can open.
+	if len(ids) == 0 {
+		t.Fatal("no opened session ids recorded")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/stream/"+ids[0], nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil || delResp.StatusCode != http.StatusOK {
+		t.Fatalf("close session %s: %v status %v", ids[0], err, delResp.Status)
+	}
+	delResp.Body.Close()
+
+	// Overload one session's lane budget: a single source always lands
+	// in one lane, so a chunk larger than MaxLanePending with lateness
+	// high enough to buffer everything must shed atomically.
+	var rows strings.Builder
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&rows, "src,%d,%d,0\n", 1000-i, i)
+	}
+	openResp, err := http.Post(ts.URL+"/v1/stream/open?lateness=1e6&lanes=1", "", nil)
+	if err != nil || openResp.StatusCode != http.StatusCreated {
+		t.Fatalf("open for lane overload: %v status %v", err, openResp.Status)
+	}
+	var ack struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(openResp.Body).Decode(&ack); err != nil {
+		t.Fatalf("decode open ack: %v", err)
+	}
+	openResp.Body.Close()
+	ingestShed := 0
+	resp, err := http.Post(ts.URL+"/v1/stream/ingest?session="+ack.Session, "text/csv", strings.NewReader(rows.String()))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversize chunk status %d, want 429", resp.StatusCode)
+	}
+	ingestShed++
+
+	wantRejected := shed429.Load() + uint64(ingestShed)
+	if got := svc.Metrics().Counter(mStreamRejected).Value(); got != wantRejected {
+		t.Fatalf("registry rejected counter = %d, client observed %d", got, wantRejected)
+	}
+
+	// The same number must round-trip through the Prometheus text
+	// exposition the harness and dashboards scrape.
+	if got := scrapeCounter(t, ts.URL, "sidq_stream_session_rejected_total"); got != wantRejected {
+		t.Fatalf("scraped sidq_stream_session_rejected_total = %d, client observed %d", got, wantRejected)
+	}
+	// One of the original sessions was closed and one lane-overload
+	// session opened, so the gauge must read exactly the budget.
+	openGauge := scrapeCounter(t, ts.URL, "sidq_stream_sessions_open")
+	if openGauge != maxSessions {
+		t.Fatalf("scraped sidq_stream_sessions_open = %d, want %d", openGauge, maxSessions)
+	}
+}
+
+// scrapeCounter fetches /v1/metrics and returns the value of the first
+// sample whose name matches exactly.
+func scrapeCounter(t *testing.T, base, name string) uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("scrape %s: bad value %q", name, fields[1])
+			}
+			return uint64(v)
+		}
+	}
+	t.Fatalf("scrape: no sample named %s", name)
+	return 0
+}

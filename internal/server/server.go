@@ -90,6 +90,7 @@ type Service struct {
 	cfg      Config
 	handler  http.Handler
 	ready    atomic.Bool
+	draining atomic.Bool
 	inflight chan struct{}
 	reqSeq   atomic.Uint64
 	metrics  *obs.Registry
@@ -132,6 +133,18 @@ func NewService(cfg Config) *Service {
 		case "/v1/healthz", "/v1/readyz", "/v1/metrics":
 			probes.ServeHTTP(w, r)
 		default:
+			// A draining service answers new work with 503 while the
+			// listener stays open, so clients see an orderly rejection
+			// (and retry elsewhere) instead of a connection reset. The
+			// check sits outside the limiter: drained requests never take
+			// an in-flight slot, so AwaitIdle only waits for work that was
+			// accepted before the drain began.
+			if s.draining.Load() {
+				s.metrics.Counter(mDrainRejected).Inc()
+				w.Header().Set("Connection", "close")
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
 			limited.ServeHTTP(w, r)
 		}
 	})
@@ -147,6 +160,39 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // SetReady flips the readiness probe; SetReady(false) makes /v1/readyz
 // return 503 so load balancers drain the instance ahead of shutdown.
 func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
+
+// StartDrain puts the service into drain mode ahead of shutdown:
+// /v1/readyz flips to 503 and every new work request is rejected with
+// 503 "draining" while requests already in flight run to completion.
+// Probes and the metrics scrape keep answering. Use AwaitIdle to wait
+// for the in-flight work, then shut the http.Server down — in that
+// order, in-flight acks complete and late clients see an orderly 503
+// instead of a connection reset.
+func (s *Service) StartDrain() {
+	s.ready.Store(false)
+	s.draining.Store(true)
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// AwaitIdle blocks until no requests hold an in-flight slot or ctx is
+// done, reporting whether the service went idle. Callers drain with
+// StartDrain first so new work cannot keep the count forever non-zero.
+func (s *Service) AwaitIdle(ctx context.Context) bool {
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if len(s.inflight) == 0 {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return len(s.inflight) == 0
+		case <-t.C:
+		}
+	}
+}
 
 // Close releases the service's background resources: the streaming
 // session janitor stops, and with durability enabled every live
