@@ -1,0 +1,152 @@
+package main
+
+// Disk-bound verification for retention-configured spawns: while the
+// workload runs, a sampler scrapes the server's /v1/metrics for
+// sidq_store_disk_bytes and sidq_store_segments_removed_total. A
+// server with -retain set must actually truncate (segments removed)
+// and its disk footprint must plateau — the second half of the run may
+// not peak meaningfully above the first half, where "meaningfully"
+// allows the closed loop's throughput wobble plus a couple of segments
+// of truncation granularity. The verdict lands in the SLO document's
+// disk_bounded field and fails the run like a failed drain check.
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type diskSample struct {
+	at      time.Time
+	bytes   float64
+	removed float64
+}
+
+type diskSampler struct {
+	base    string
+	slack   float64 // absolute headroom in bytes (truncation granularity)
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	mu      sync.Mutex
+	samples []diskSample
+	errs    int
+}
+
+// startDiskSampler begins scraping base/v1/metrics every 250ms.
+func startDiskSampler(base string, segmentBytes int64) *diskSampler {
+	if segmentBytes <= 0 {
+		segmentBytes = 64 << 20
+	}
+	ds := &diskSampler{
+		base:   base,
+		slack:  float64(2 * segmentBytes),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	go ds.run()
+	return ds
+}
+
+func (ds *diskSampler) run() {
+	defer close(ds.doneCh)
+	client := &http.Client{Timeout: 2 * time.Second}
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ds.stopCh:
+			return
+		case <-t.C:
+			bytes, removed, err := scrapeStoreGauges(client, ds.base)
+			ds.mu.Lock()
+			if err != nil {
+				ds.errs++
+			} else {
+				ds.samples = append(ds.samples, diskSample{at: time.Now(), bytes: bytes, removed: removed})
+			}
+			ds.mu.Unlock()
+		}
+	}
+}
+
+func (ds *diskSampler) stop() {
+	close(ds.stopCh)
+	<-ds.doneCh
+}
+
+// verdict decides whether the disk footprint stayed bounded. Returns
+// (bounded, peakBytes, segmentsRemoved, detail); ok=false with an
+// explanatory detail when too few samples arrived to judge.
+func (ds *diskSampler) verdict() (bounded bool, peak, removed float64, detail string) {
+	ds.mu.Lock()
+	samples := ds.samples
+	errs := ds.errs
+	ds.mu.Unlock()
+	if len(samples) < 8 {
+		return false, 0, 0, fmt.Sprintf("only %d metric samples (%d scrape errors): cannot judge", len(samples), errs)
+	}
+	half := len(samples) / 2
+	var firstPeak, secondPeak float64
+	for i, s := range samples {
+		if s.bytes > peak {
+			peak = s.bytes
+		}
+		if i < half {
+			if s.bytes > firstPeak {
+				firstPeak = s.bytes
+			}
+		} else if s.bytes > secondPeak {
+			secondPeak = s.bytes
+		}
+	}
+	removed = samples[len(samples)-1].removed
+	if removed <= 0 {
+		return false, peak, removed, "retention never removed a segment"
+	}
+	limit := firstPeak*1.5 + ds.slack
+	if secondPeak > limit {
+		return false, peak, removed,
+			fmt.Sprintf("disk grew: first-half peak %.0f B, second-half peak %.0f B exceeds limit %.0f B", firstPeak, secondPeak, limit)
+	}
+	return true, peak, removed,
+		fmt.Sprintf("plateaued: peak %.0f B, %.0f segments removed", peak, removed)
+}
+
+// scrapeStoreGauges pulls the two unlabeled store series the disk
+// check needs from one Prometheus text scrape.
+func scrapeStoreGauges(client *http.Client, base string) (diskBytes, removed float64, err error) {
+	resp, err := client.Get(base + "/v1/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		var target *float64
+		switch {
+		case strings.HasPrefix(line, "sidq_store_disk_bytes "):
+			target = &diskBytes
+		case strings.HasPrefix(line, "sidq_store_segments_removed_total "):
+			target = &removed
+		default:
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, perr := strconv.ParseFloat(fields[1], 64); perr == nil {
+			*target = v
+		}
+	}
+	return diskBytes, removed, sc.Err()
+}

@@ -65,6 +65,8 @@ type config struct {
 	out            string
 	pprofDir       string
 	drainCheck     bool
+	retain         time.Duration
+	segmentBytes   int64
 }
 
 func main() {
@@ -86,6 +88,8 @@ func main() {
 	flag.StringVar(&cfg.out, "out", "-", "SLO JSON output path ('-' = stdout)")
 	flag.StringVar(&cfg.pprofDir, "pprof-dir", "", "snapshot server goroutine/heap profiles into this directory at peak load")
 	flag.BoolVar(&cfg.drainCheck, "drain-check", true, "verify graceful SIGTERM drain after the run (spawn mode only)")
+	flag.DurationVar(&cfg.retain, "spawn-retain", 0, "spawn mode: run sidqserve with -retain and assert sidq_store_disk_bytes plateaus (0 disables)")
+	flag.Int64Var(&cfg.segmentBytes, "spawn-segment-bytes", 0, "spawn mode: sidqserve -segment-bytes (0 = server default)")
 	flag.Parse()
 
 	explicit := map[string]bool{}
@@ -100,6 +104,12 @@ func main() {
 			"seed":          func() { cfg.seed = 41 },
 			"clean-workers": func() { cfg.cleanWorkers = 4 },
 			"clean-traj":    func() { cfg.cleanTraj = 6 },
+			// Retention under load is part of the CI contract: the spawn
+			// runs with a short -retain and small segments, and the run
+			// fails unless the disk footprint plateaus while segments are
+			// actually being removed.
+			"spawn-retain":        func() { cfg.retain = 5 * time.Second },
+			"spawn-segment-bytes": func() { cfg.segmentBytes = 1 << 20 },
 		} {
 			if !explicit[name] {
 				apply()
@@ -128,8 +138,22 @@ func main() {
 	log.Printf("profile=%q seed=%d duration=%s sessions=%d clean=%d history=%d chunk=%d",
 		cfg.profile, cfg.seed, cfg.duration, cfg.sessions, cfg.cleanWorkers, cfg.historyWorkers, cfg.chunk)
 	feed := simulate.NewReplay(simulate.ReplayOptions{Seed: cfg.seed, Sources: cfg.sources})
+	var disk *diskSampler
+	if sp != nil && cfg.retain > 0 {
+		disk = startDiskSampler(sp.base, cfg.segmentBytes)
+	}
 	col, elapsed := runWorkload(cfg, base, feed)
 
+	var diskBounded *bool
+	var diskPeak, segsRemoved float64
+	if disk != nil {
+		disk.stop()
+		var ok bool
+		var detail string
+		ok, diskPeak, segsRemoved, detail = disk.verdict()
+		diskBounded = &ok
+		log.Printf("disk check: bounded=%v (%s)", ok, detail)
+	}
 	var drainOK *bool
 	if sp != nil {
 		if cfg.drainCheck {
@@ -141,6 +165,9 @@ func main() {
 	}
 
 	doc := buildDoc(cfg, col, elapsed, drainOK)
+	doc.DiskBounded = diskBounded
+	doc.DiskPeakBytes = diskPeak
+	doc.SegmentsRemoved = segsRemoved
 	for _, r := range doc.Routes {
 		log.Printf("%-16s req=%-7d rps=%8.1f p50=%8.2fms p99=%8.2fms p999=%8.2fms err=%.3f shed=%.3f",
 			r.Route, r.Requests, r.ThroughputRPS, r.P50Ms, r.P99Ms, r.P999Ms, r.ErrorRate, r.ShedRate)
@@ -152,6 +179,9 @@ func main() {
 		log.Printf("wrote %s", cfg.out)
 	}
 	if drainOK != nil && !*drainOK {
+		os.Exit(1)
+	}
+	if diskBounded != nil && !*diskBounded {
 		os.Exit(1)
 	}
 }

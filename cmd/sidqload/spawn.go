@@ -43,16 +43,25 @@ func spawnServe(cfg config) (*spawned, error) {
 		return nil, err
 	}
 	addr := "127.0.0.1:" + strconv.Itoa(port)
-	cmd := exec.Command(cfg.spawn,
+	args := []string{
 		"-addr", addr,
 		"-data", dataDir,
 		"-quiet",
 		"-pprof",
 		"-max-inflight", "256",
-		"-stream-max-sessions", strconv.Itoa(cfg.sessions+8),
+		"-stream-max-sessions", strconv.Itoa(cfg.sessions + 8),
 		"-grace", "10s",
 		"-drain-linger", "750ms",
-	)
+	}
+	if cfg.retain > 0 {
+		// Retention under load: short window, small segments, so the
+		// disk sampler can watch segments being dropped within the run.
+		args = append(args, "-retain", cfg.retain.String())
+	}
+	if cfg.segmentBytes > 0 {
+		args = append(args, "-segment-bytes", strconv.FormatInt(cfg.segmentBytes, 10))
+	}
+	cmd := exec.Command(cfg.spawn, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {

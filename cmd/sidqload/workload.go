@@ -293,16 +293,22 @@ type RouteSLO struct {
 }
 
 // Document is one load-harness run: the SLO_<date>.json schema.
+// DiskBounded mirrors DrainOK: set only when the run verified the
+// retention contract (spawn mode with -spawn-retain); older baselines
+// simply lack the field.
 type Document struct {
-	Date      string     `json:"date"`
-	Profile   string     `json:"profile,omitempty"`
-	Seed      int64      `json:"seed"`
-	DurationS float64    `json:"duration_s"`
-	Sessions  int        `json:"sessions"`
-	Clean     int        `json:"clean_workers"`
-	History   int        `json:"history_workers"`
-	DrainOK   *bool      `json:"drain_ok,omitempty"`
-	Routes    []RouteSLO `json:"routes"`
+	Date            string     `json:"date"`
+	Profile         string     `json:"profile,omitempty"`
+	Seed            int64      `json:"seed"`
+	DurationS       float64    `json:"duration_s"`
+	Sessions        int        `json:"sessions"`
+	Clean           int        `json:"clean_workers"`
+	History         int        `json:"history_workers"`
+	DrainOK         *bool      `json:"drain_ok,omitempty"`
+	DiskBounded     *bool      `json:"disk_bounded,omitempty"`
+	DiskPeakBytes   float64    `json:"disk_peak_bytes,omitempty"`
+	SegmentsRemoved float64    `json:"segments_removed,omitempty"`
+	Routes          []RouteSLO `json:"routes"`
 }
 
 func buildDoc(cfg config, col *collector, elapsed time.Duration, drainOK *bool) Document {

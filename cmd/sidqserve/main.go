@@ -33,6 +33,14 @@
 // picks the durability point: always (fsync before every ack), batch
 // (background fsync, the default), or off (benchmarks only). Verify a
 // data directory offline with "sidqstore verify <dir>".
+//
+// Retention: -retain bounds the WAL on disk. A background loop drops
+// segments whose records are older than the window once no live
+// session still needs them for recovery — lagging sessions are
+// checkpointed (compacted) first so they cannot pin old segments —
+// and trims the history index to match. /v1/history/range reports the
+// retained floor in the X-Sidq-History-Min-Seq header. -segment-bytes
+// tunes the truncation granularity.
 package main
 
 import (
@@ -68,9 +76,12 @@ func main() {
 		streamIdleTTL  = flag.Duration("stream-idle-ttl", 5*time.Minute, "idle streaming sessions are evicted after this")
 		streamLateness = flag.Float64("stream-lateness", 5, "default event-time lateness bound (seconds) for stream reordering")
 
-		dataDir   = flag.String("data", "", "durable data directory; empty runs memory-only")
-		fsyncFlag = flag.String("fsync", "batch", "WAL durability point: always, batch, or off")
-		snapEvery = flag.Int("snapshot-every", 16, "checkpoint session state into the WAL every N chunks")
+		dataDir     = flag.String("data", "", "durable data directory; empty runs memory-only")
+		fsyncFlag   = flag.String("fsync", "batch", "WAL durability point: always, batch, or off")
+		snapEvery   = flag.Int("snapshot-every", 16, "checkpoint session state into the WAL every N chunks")
+		retain      = flag.Duration("retain", 0, "drop WAL data older than this once no live session needs it for recovery (0 keeps everything)")
+		retainEvery = flag.Duration("retain-every", 0, "retention pass period (default retain/4, clamped to 1s..30s)")
+		segBytes    = flag.Int64("segment-bytes", 0, "WAL segment roll size in bytes (default 64 MiB; retention drops whole segments, so smaller segments bound disk tighter)")
 	)
 	flag.Parse()
 
@@ -112,6 +123,9 @@ func main() {
 			Dir:           *dataDir,
 			Fsync:         mode,
 			SnapshotEvery: *snapEvery,
+			SegmentBytes:  *segBytes,
+			Retain:        *retain,
+			RetainEvery:   *retainEvery,
 		}
 	}
 	svc, err := server.OpenService(cfg)
@@ -120,8 +134,8 @@ func main() {
 	}
 	defer svc.Close()
 	if *dataDir != "" {
-		log.Printf("sidqserve: durable data in %s (fsync=%s, snapshot-every=%d)",
-			*dataDir, *fsyncFlag, *snapEvery)
+		log.Printf("sidqserve: durable data in %s (fsync=%s, snapshot-every=%d, retain=%s)",
+			*dataDir, *fsyncFlag, *snapEvery, *retain)
 	}
 	handler := http.Handler(svc)
 	// SIDQ_TEST_DELAY injects a fixed per-request latency so the SLO

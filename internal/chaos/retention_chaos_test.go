@@ -1,0 +1,122 @@
+package chaos
+
+// Retention chaos: the server is killed in the middle of a retention
+// pass — the forced compaction snapshot tears on disk after a few
+// bytes — with earlier passes having already truncated the WAL front
+// (and left their segment removals un-fsynced, so the crash image
+// resurrects the dropped files). The restarted server must sweep the
+// stale files, discard the torn snapshot, resume the session from the
+// last good checkpoint, and drain byte-identically to an uninterrupted
+// run — while history keeps answering over the retained window.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"sidq/internal/faults"
+	"sidq/internal/server"
+	"sidq/internal/store"
+)
+
+// newRetentionChaosServer opens a durable server with retention
+// configured but its background ticker parked at an hour: the test
+// drives every pass deterministically through RunRetentionOnce.
+func newRetentionChaosServer(t *testing.T, fs store.FS) (*server.Service, *httptest.Server) {
+	t.Helper()
+	svc, err := server.OpenService(server.Config{
+		Logger: server.DiscardLogger(),
+		Durability: server.DurabilityConfig{
+			Dir: "wal", Fsync: store.FsyncAlways, FS: fs,
+			// SnapshotEvery 1000: only retention compaction checkpoints.
+			SnapshotEvery: 1000, SegmentBytes: 512,
+			Retain: 3 * time.Second, RetainEvery: time.Hour,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, httptest.NewServer(svc)
+}
+
+func TestChaosStoreRetentionKillMidCompaction(t *testing.T) {
+	chunks := storeChaosChunks(14)
+	const acked = 13
+	ctrlID, want := controlDrain(t, chunks, acked)
+
+	fs := faults.NewCrashFS()
+	svc, srv := newRetentionChaosServer(t, fs)
+	id := chaosOpenStream(t, srv, storeChaosParams)
+	if id != ctrlID {
+		t.Fatalf("durable session %s, control %s", id, ctrlID)
+	}
+	// One chunk per simulated second, a retention pass after each: with
+	// a 3s window the front of the WAL ages out repeatedly, each drop
+	// preceded by a forced compaction of the never-snapshotting session.
+	base := time.Unix(1_000_000, 0)
+	removed, compacted := 0, 0
+	for i := 1; i <= acked; i++ {
+		if code, _ := chaosIngestSeq(t, srv, id, i, chunks[i-1]); code != http.StatusOK {
+			t.Fatalf("chunk %d status %d", i, code)
+		}
+		st := svc.RunRetentionOnce(base.Add(time.Duration(i) * time.Second))
+		removed += st.SegmentsRemoved
+		compacted += st.Compacted
+	}
+	if removed == 0 || compacted == 0 {
+		t.Fatalf("scenario never armed: %d segments removed, %d compactions before the kill", removed, compacted)
+	}
+
+	// The killing pass: the last sample covers every record including
+	// the last compaction snapshot, so once it ages past the window the
+	// session floor lags the age floor again and the pass MUST attempt
+	// a compaction snapshot — whose append tears after 5 bytes.
+	fs.FailWriteAfter(0, 5)
+	svc.RunRetentionOnce(base.Add(17 * time.Second))
+	if !fs.Failed() {
+		t.Fatal("killing pass never reached the compaction write")
+	}
+	srv.Close()
+
+	for seed := int64(0); seed < 4; seed++ {
+		img := fs.Crash(seed, true)
+		svc2, srv2 := newRetentionChaosServer(t, img)
+
+		// History first: the retained window must answer 200 with the
+		// truncation horizon in the min-seq header (the resurrected
+		// pre-truncation files were swept, not re-adopted).
+		resp, err := http.Get(srv2.URL + "/v1/history/range")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: history status %d", seed, resp.StatusCode)
+		}
+		minSeq, perr := strconv.ParseUint(resp.Header.Get("X-Sidq-History-Min-Seq"), 10, 64)
+		if perr != nil || minSeq <= 1 {
+			t.Fatalf("seed %d: min-seq header %q, want > 1 (truncation lost by recovery)",
+				seed, resp.Header.Get("X-Sidq-History-Min-Seq"))
+		}
+
+		// The torn compaction snapshot must be invisible: the session
+		// resumes from the last good checkpoint plus the chunks after
+		// it, draining byte-identically to the uninterrupted run.
+		got := chaosDrainBody(t, srv2, id, "flush=1")
+		if got != want {
+			t.Fatalf("seed %d: recovered drain differs from uninterrupted run\nwant:\n%s\ngot:\n%s", seed, want, got)
+		}
+
+		// And the recovered WAL is live, not poisoned: the next chunk acks.
+		if code, _ := chaosIngestSeq(t, srv2, id, acked+1, chunks[acked]); code != http.StatusOK {
+			t.Fatalf("seed %d: post-recovery ingest status %d", seed, code)
+		}
+		srv2.Close()
+		svc2.Close()
+	}
+	svc.Close()
+}

@@ -44,6 +44,8 @@ const (
 	KindSessionSnapshot = "session-snapshot" // state checkpointed into the WAL (N = events pending)
 	KindSessionRestore  = "session-restore"  // rebuilt from a WAL snapshot (N = chunks folded in)
 	KindWALReplay       = "wal-replay"       // recovery replay finished (Dur = wall time, N = records)
+	KindSessionCompact  = "session-compact"  // retention force-snapshotted a lagging session (N = chunks folded)
+	KindRetention       = "retention"        // a retention pass truncated the WAL (N = segments removed)
 )
 
 // TraceSink receives trace events. Implementations must be safe for

@@ -57,11 +57,28 @@ type DurabilityConfig struct {
 	SnapshotEvery int             // chunks between session snapshots (default 16)
 	SegmentBytes  int64           // segment roll size, for tests (default store's)
 	FS            store.FS        // filesystem, injectable for crash tests (default OS)
+
+	// Retention (retention.go). Retain bounds the WAL on disk: records
+	// older than Retain are dropped once no live session still needs
+	// them for recovery (sessions are compacted — force-snapshotted —
+	// first, so a long-lived session cannot pin old segments forever).
+	// 0 keeps everything (the pre-retention behavior).
+	Retain      time.Duration
+	RetainEvery time.Duration // retention pass period (default Retain/4, clamped to [1s, 30s])
 }
 
 func (c DurabilityConfig) withDefaults() DurabilityConfig {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 16
+	}
+	if c.Retain > 0 && c.RetainEvery <= 0 {
+		c.RetainEvery = c.Retain / 4
+		if c.RetainEvery < time.Second {
+			c.RetainEvery = time.Second
+		}
+		if c.RetainEvery > 30*time.Second {
+			c.RetainEvery = 30 * time.Second
+		}
 	}
 	return c
 }
@@ -224,11 +241,13 @@ func (ss *streamSession) snapshotStateLocked() walSnapshot {
 // slower (and the poisoned log fails the next ingest anyway).
 func (ss *streamSession) snapshotLocked() {
 	reg := ss.reg
-	if _, err := reg.persist(recSnapshot, ss.snapshotStateLocked()); err != nil {
+	seq, err := reg.persist(recSnapshot, ss.snapshotStateLocked())
+	if err != nil {
 		reg.svc.logf("stream session %s: snapshot failed: %v", ss.id, err)
 		return
 	}
 	ss.sinceSnap = 0
+	ss.snapSeq = seq // everything below seq is now superseded for this session
 	reg.m.snapshots.Inc()
 	reg.trace(obs.TraceEvent{Name: ss.id, Kind: obs.KindSessionSnapshot, N: ss.pendingReorderLocked()})
 }
@@ -269,7 +288,7 @@ func (reg *sessionRegistry) recoverFrom(l *store.Log) error {
 			if err := decodeRec(r.Payload, &o); err != nil {
 				return fmt.Errorf("record %d (open): %w", r.Seq, err)
 			}
-			reg.restoreOpen(o, now)
+			reg.restoreOpen(o, now, r.Seq)
 		case recChunk:
 			var c walChunk
 			if err := decodeRec(r.Payload, &c); err != nil {
@@ -308,7 +327,7 @@ func (reg *sessionRegistry) recoverFrom(l *store.Log) error {
 			if err := decodeRec(r.Payload, &snap); err != nil {
 				return fmt.Errorf("record %d (snapshot): %w", r.Seq, err)
 			}
-			reg.restoreSnapshot(snap, now)
+			reg.restoreSnapshot(snap, now, r.Seq)
 		default:
 			return fmt.Errorf("record %d: unknown type %d", r.Seq, r.Type)
 		}
@@ -336,7 +355,7 @@ func (reg *sessionRegistry) recoverFrom(l *store.Log) error {
 
 // restoreOpen rebuilds an empty session during replay. Runs before the
 // service serves traffic, so reg.mu is not needed.
-func (reg *sessionRegistry) restoreOpen(o walOpen, now time.Time) {
+func (reg *sessionRegistry) restoreOpen(o walOpen, now time.Time, seq uint64) {
 	if _, ok := reg.sessions[o.Session]; ok {
 		return
 	}
@@ -347,6 +366,7 @@ func (reg *sessionRegistry) restoreOpen(o walOpen, now time.Time) {
 		maxSpeed:   o.MaxSpeed,
 		srcOrder:   map[string]int{},
 		lastActive: now,
+		openSeq:    seq,
 	}
 	for i := 0; i < o.Lanes; i++ {
 		ss.lanes = append(ss.lanes, &streamLane{sources: map[string]*sourceState{}})
@@ -361,8 +381,8 @@ func (reg *sessionRegistry) restoreOpen(o walOpen, now time.Time) {
 // restoreSnapshot replaces a session's state wholesale with a
 // checkpoint; chunk records at or before ChunkIdx are already folded
 // into it and replayChunk skips them.
-func (reg *sessionRegistry) restoreSnapshot(snap walSnapshot, now time.Time) {
-	_, existed := reg.sessions[snap.Session]
+func (reg *sessionRegistry) restoreSnapshot(snap walSnapshot, now time.Time, seq uint64) {
+	prior, existed := reg.sessions[snap.Session]
 	ss := &streamSession{
 		id:         snap.Session,
 		reg:        reg,
@@ -377,6 +397,10 @@ func (reg *sessionRegistry) restoreSnapshot(snap walSnapshot, now time.Time) {
 		outliers:   snap.Outliers,
 		chunkIdx:   snap.ChunkIdx,
 		clientSeq:  snap.ClientSeq,
+		snapSeq:    seq,
+	}
+	if existed {
+		ss.openSeq = prior.openSeq
 	}
 	for i := 0; i < snap.Lanes; i++ {
 		ss.lanes = append(ss.lanes, &streamLane{sources: map[string]*sourceState{}})

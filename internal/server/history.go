@@ -66,6 +66,41 @@ func (h *historyIndex) add(seq uint64, evs []walEvent) {
 	h.rt.Insert(index.RectEntry{ID: id, Rect: rect})
 }
 
+// removeBelow drops every entry whose WAL seq is below minSeq —
+// called by the retention loop after TruncateFront so the index never
+// answers with seqs the disk no longer holds (and so a long-running
+// server's index stops growing without bound). The R-tree has no
+// delete, so the surviving entries are bulk-loaded into a fresh tree;
+// retention passes are rare next to queries, and bulk load is the
+// cheaper structure for the searches anyway. Returns how many entries
+// were removed.
+func (h *historyIndex) removeBelow(minSeq uint64) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.ext) == 0 {
+		return 0
+	}
+	all := geo.Rect{
+		Min: geo.Pt(math.Inf(-1), math.Inf(-1)),
+		Max: geo.Pt(math.Inf(1), math.Inf(1)),
+	}
+	var kept []index.RectEntry
+	removed := 0
+	for _, e := range h.rt.Search(all) {
+		seq, err := strconv.ParseUint(e.ID, 10, 64)
+		if err == nil && seq < minSeq {
+			delete(h.ext, e.ID)
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed > 0 {
+		h.rt = index.BulkLoadRTree(kept)
+	}
+	return removed
+}
+
 // search returns the WAL seqs of chunks whose extent intersects the
 // window, in seq (= ingestion) order.
 func (h *historyIndex) search(rect geo.Rect, minT, maxT float64) []uint64 {
@@ -141,54 +176,98 @@ func (s *Service) handleHistoryRange(w http.ResponseWriter, r *http.Request) {
 	}
 	rect := geo.Rect{Min: geo.Pt(minX, minY), Max: geo.Pt(maxX, maxY)}
 	seqs := reg.hist.search(rect, minT, maxT)
-	var results []streamResult
-	var srcs []string
-	srcSeen := map[string]bool{}
-	if len(seqs) > 0 {
-		want := map[uint64]bool{}
-		for _, seq := range seqs {
-			want[seq] = true
-		}
-		err := reg.wal.ReadRange(seqs[0], seqs[len(seqs)-1], func(rec store.Record) error {
-			if rec.Type != recChunk || !want[rec.Seq] {
-				return nil
-			}
-			var c walChunk
-			if err := decodeRec(rec.Payload, &c); err != nil {
-				return err
-			}
-			for _, e := range c.Events {
-				if e.X < minX || e.X > maxX || e.Y < minY || e.Y > maxY || e.T < minT || e.T > maxT {
-					continue
-				}
-				results = append(results, streamResult{Source: e.Src, T: e.T, X: e.X, Y: e.Y})
-				if !srcSeen[e.Src] {
-					srcSeen[e.Src] = true
-					srcs = append(srcs, e.Src)
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			http.Error(w, "history read: "+err.Error(), http.StatusInternalServerError)
-			return
-		}
-	}
+	// X-Sidq-History-Min-Seq is the retained floor: the oldest WAL seq
+	// still on disk. A client paging through time can tell "no data"
+	// from "data aged out" by comparing it with the chunk seqs it saw.
 	w.Header().Set("X-Sidq-Chunks", strconv.Itoa(len(seqs)))
-	w.Header().Set("X-Sidq-Points", strconv.Itoa(len(results)))
+	w.Header().Set("X-Sidq-History-Min-Seq", strconv.FormatUint(reg.wal.FirstSeq(), 10))
+	inWindow := func(e walEvent) bool {
+		return e.X >= minX && e.X <= maxX && e.Y >= minY && e.Y <= maxY && e.T >= minT && e.T <= maxT
+	}
+	want := map[uint64]bool{}
+	for _, seq := range seqs {
+		want[seq] = true
+	}
+
 	if format == "csv" {
+		// CSV stays buffered: WriteCSV needs the rows grouped into
+		// per-source trajectories, so the full result set (and the
+		// source first-appearance order) must exist before the first
+		// output byte. Use ndjson for wide windows.
+		var results []streamResult
+		var srcs []string
+		srcSeen := map[string]bool{}
+		if len(seqs) > 0 {
+			err := reg.wal.ReadRange(seqs[0], seqs[len(seqs)-1], func(rec store.Record) error {
+				if rec.Type != recChunk || !want[rec.Seq] {
+					return nil
+				}
+				var c walChunk
+				if err := decodeRec(rec.Payload, &c); err != nil {
+					return err
+				}
+				for _, e := range c.Events {
+					if !inWindow(e) {
+						continue
+					}
+					results = append(results, streamResult{Source: e.Src, T: e.T, X: e.X, Y: e.Y})
+					if !srcSeen[e.Src] {
+						srcSeen[e.Src] = true
+						srcs = append(srcs, e.Src)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				http.Error(w, "history read: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		w.Header().Set("X-Sidq-Points", strconv.Itoa(len(results)))
 		w.Header().Set("Content-Type", "text/csv")
 		if err := trajectory.WriteCSV(w, resultTrajectories(results, srcs)); err != nil {
 			s.writeError(r, err)
 		}
 		return
 	}
+
+	// ndjson streams: each chunk's matching rows are encoded as
+	// ReadRange emits the record, so a wide window holds one decoded
+	// chunk in memory, never the whole result set. (That is also why
+	// ndjson carries no X-Sidq-Points header — the count is unknown
+	// when the headers are sent.)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
-	for _, res := range results {
-		if err := enc.Encode(res); err != nil {
-			s.writeError(r, err)
+	wrote := false
+	if len(seqs) == 0 {
+		return
+	}
+	err := reg.wal.ReadRange(seqs[0], seqs[len(seqs)-1], func(rec store.Record) error {
+		if rec.Type != recChunk || !want[rec.Seq] {
+			return nil
+		}
+		var c walChunk
+		if err := decodeRec(rec.Payload, &c); err != nil {
+			return err
+		}
+		for _, e := range c.Events {
+			if !inWindow(e) {
+				continue
+			}
+			if err := enc.Encode(streamResult{Source: e.Src, T: e.T, X: e.X, Y: e.Y}); err != nil {
+				return err
+			}
+			wrote = true
+		}
+		return nil
+	})
+	if err != nil {
+		if !wrote {
+			http.Error(w, "history read: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
+		// Mid-stream failure: the status line is long gone, so report
+		// it the way every other streaming handler does.
+		s.writeError(r, err)
 	}
 }

@@ -45,6 +45,13 @@ const (
 	mStreamRestored  = "sidq_stream_snapshot_restores_total"
 	mStreamReplayed  = "sidq_stream_replayed_records_total"
 	mStreamDup       = "sidq_stream_dup_chunks_total"
+
+	// Retention families (see retention.go). sidq_store_compactions_total
+	// lives in the store namespace because it counts WAL rewrites, but it
+	// is driven (and registered) by the server's retention loop — the
+	// store itself only truncates.
+	mStoreCompactions = "sidq_store_compactions_total"
+	mHistoryTrimmed   = "sidq_server_history_trimmed_total"
 )
 
 // knownRoutes is the closed label set for the route label; anything
@@ -100,6 +107,8 @@ func (s *Service) initMetrics() {
 	reg.Help(mStreamRestored, "Sessions rebuilt from WAL snapshots during recovery.")
 	reg.Help(mStreamReplayed, "WAL records replayed during recovery.")
 	reg.Help(mStreamDup, "Ingest chunks acknowledged as duplicates (?seq= retry dedup).")
+	reg.Help(mStoreCompactions, "Live sessions force-snapshotted by retention so their old WAL tail becomes droppable.")
+	reg.Help(mHistoryTrimmed, "History-index entries removed because retention truncated their WAL records.")
 	reg.Gauge(mInFlight)
 	reg.Counter(mShed)
 	reg.Counter(mDrainRejected)
@@ -110,6 +119,7 @@ func (s *Service) initMetrics() {
 		mStreamOpened, mStreamClosed, mStreamEvicted, mStreamRejected,
 		mStreamIngested, mStreamEmitted, mStreamLate, mStreamOutlier,
 		mStreamSnapshots, mStreamRestored, mStreamReplayed, mStreamDup,
+		mStoreCompactions, mHistoryTrimmed,
 	} {
 		reg.Counter(name)
 	}

@@ -1,0 +1,234 @@
+package server
+
+// Retention subsystem tests: the churn scenario behind ISSUE 10's
+// acceptance criteria (disk bounded under -retain while history over
+// the retained window stays byte-identical to an un-truncated run),
+// plus the background loop's lifecycle under live traffic.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sidq/internal/faults"
+	"sidq/internal/store"
+)
+
+// retentionConfig is a durable config with small segments so a short
+// test churns through many of them.
+func retentionConfig(fs store.FS, retain, every time.Duration, snapEvery int) Config {
+	return Config{
+		Logger: DiscardLogger(),
+		Durability: DurabilityConfig{
+			Dir: "wal", Fsync: store.FsyncAlways, SnapshotEvery: snapEvery,
+			SegmentBytes: 512, FS: fs, Retain: retain, RetainEvery: every,
+		},
+	}
+}
+
+func historyGet(t *testing.T, srv *httptest.Server, params string) (string, http.Header, int) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/v1/history/range?" + params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return string(body), resp.Header, resp.StatusCode
+}
+
+// TestDurableRetentionBoundsDiskAndPreservesWindow is the churn
+// scenario: one long-lived session ingests steadily while deterministic
+// retention passes (driven through RunRetentionOnce with an explicit
+// clock; the background ticker is parked at an hour) age out the old
+// segments. A control service ingests the identical feed with no
+// retention. The retained run must hold a fraction of the control's
+// disk, have compacted the lagging session and trimmed the history
+// index, and still answer a query over the retained window
+// byte-identically to the control — in both ndjson and CSV.
+func TestDurableRetentionBoundsDiskAndPreservesWindow(t *testing.T) {
+	const chunks = 60
+	row := func(i int) string { return chunkRow("probe", float64(i), float64(i*10), 0) }
+
+	ctrl, err := OpenService(retentionConfig(faults.NewCrashFS(), 0, 0, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ctrlSrv := httptest.NewServer(ctrl)
+	defer ctrlSrv.Close()
+	ctrlID := openStream(t, ctrlSrv, "lateness=0&lanes=1")
+
+	// SnapshotEvery 1000: the session never checkpoints on its own, so
+	// every floor advance must come from retention forcing a compaction.
+	fs := faults.NewCrashFS()
+	svc, err := OpenService(retentionConfig(fs, 10*time.Second, time.Hour, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	id := openStream(t, srv, "lateness=0&lanes=1")
+
+	base := time.Unix(1_000_000, 0)
+	var total RetentionStats
+	for i := 1; i <= chunks; i++ {
+		for _, target := range []struct {
+			srv *httptest.Server
+			id  string
+		}{{ctrlSrv, ctrlID}, {srv, id}} {
+			if _, resp := ingestChunkSeq(t, target.srv, target.id, uint64(i), row(i)); resp.StatusCode != http.StatusOK {
+				t.Fatalf("chunk %d status %d", i, resp.StatusCode)
+			}
+		}
+		if i%5 == 0 { // one ingest per simulated second, a pass every 5
+			st := svc.RunRetentionOnce(base.Add(time.Duration(i) * time.Second))
+			total.Compacted += st.Compacted
+			total.SegmentsRemoved += st.SegmentsRemoved
+			total.HistoryTrimmed += st.HistoryTrimmed
+			total.RetainedSeq = st.RetainedSeq
+		}
+	}
+	if total.SegmentsRemoved == 0 {
+		t.Fatal("retention never removed a segment")
+	}
+	if total.Compacted == 0 {
+		t.Fatal("the lagging session was never compacted: its open record pinned every segment")
+	}
+	if total.HistoryTrimmed == 0 {
+		t.Fatal("history index never trimmed below the retained floor")
+	}
+	if total.RetainedSeq <= 1 {
+		t.Fatalf("retained seq %d: the WAL still starts at the beginning", total.RetainedSeq)
+	}
+	if v := svc.Metrics().Counter(mStoreCompactions).Value(); v < 1 {
+		t.Fatalf("compactions counter %v, want >= 1", v)
+	}
+	if v := svc.Metrics().Counter(mHistoryTrimmed).Value(); v < 1 {
+		t.Fatalf("history-trimmed counter %v, want >= 1", v)
+	}
+
+	diskBytes := func(s *Service) (b int64) {
+		for _, seg := range s.streams.wal.Segments() {
+			b += seg.Bytes
+		}
+		return b
+	}
+	if got, full := diskBytes(svc), diskBytes(ctrl); got*2 >= full {
+		t.Fatalf("disk not bounded: retained run holds %d bytes, control %d", got, full)
+	}
+
+	// Retain is 10 simulated seconds and the clock ended at +60s, so
+	// everything from t=50.5 on is comfortably inside the retained
+	// window (truncation is segment-granular: the cut only ever keeps
+	// MORE than the window). The retained run must answer it exactly
+	// like the never-truncated control.
+	for _, format := range []string{"ndjson", "csv"} {
+		params := "mint=50.5&format=" + format
+		want, ctrlHdr, code := historyGet(t, ctrlSrv, params)
+		if code != http.StatusOK {
+			t.Fatalf("%s: control status %d", format, code)
+		}
+		got, hdr, code := historyGet(t, srv, params)
+		if code != http.StatusOK {
+			t.Fatalf("%s: retained status %d", format, code)
+		}
+		if got != want {
+			t.Fatalf("%s: retained window differs from un-truncated run:\nwant:\n%s\ngot:\n%s", format, want, got)
+		}
+		if !strings.Contains(got, "600") { // x of the t=60 point
+			t.Fatalf("%s: latest point missing:\n%s", format, got)
+		}
+		if hdr.Get("X-Sidq-Chunks") != ctrlHdr.Get("X-Sidq-Chunks") {
+			t.Fatalf("%s: chunk counts diverge: %s vs %s", format, hdr.Get("X-Sidq-Chunks"), ctrlHdr.Get("X-Sidq-Chunks"))
+		}
+		minSeq, err := strconv.ParseUint(hdr.Get("X-Sidq-History-Min-Seq"), 10, 64)
+		if err != nil || minSeq <= 1 {
+			t.Fatalf("%s: retained min-seq header %q, want > 1", format, hdr.Get("X-Sidq-History-Min-Seq"))
+		}
+		if ctrlHdr.Get("X-Sidq-History-Min-Seq") != "1" {
+			t.Fatalf("%s: control min-seq header %q, want 1", format, ctrlHdr.Get("X-Sidq-History-Min-Seq"))
+		}
+	}
+
+	// A full-window query on the retained run still answers 200 — aged
+	// data is absent, not an error — and the min-seq header is how a
+	// client tells the difference.
+	if _, _, code := historyGet(t, srv, ""); code != http.StatusOK {
+		t.Fatalf("full-window query on retained run: status %d", code)
+	}
+}
+
+// TestDurableRetentionBackgroundLoop runs retention the way sidqserve
+// does — on its own ticker against the real clock — under concurrent
+// history readers. The WAL floor must advance on its own, no reader
+// may ever see a 5xx while segments vanish underneath it, and Close
+// must tear the loop down without tripping the race detector.
+func TestDurableRetentionBackgroundLoop(t *testing.T) {
+	fs := faults.NewCrashFS()
+	svc, err := OpenService(retentionConfig(fs, 50*time.Millisecond, 10*time.Millisecond, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc)
+	id := openStream(t, srv, "lateness=0&lanes=1")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var readerErr string
+	wg.Add(2)
+	for r := 0; r < 2; r++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + "/v1/history/range")
+				if err != nil {
+					return // listener closing at test end
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					mu.Lock()
+					readerErr = "history reader saw " + resp.Status + " during retention"
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 1; ; i++ {
+		if _, resp := ingestChunkSeq(t, srv, id, uint64(i), chunkRow("probe", float64(i), float64(i*10), 0)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("chunk %d status %d", i, resp.StatusCode)
+		}
+		if svc.streams.wal.FirstSeq() > 1 {
+			break // the background loop truncated on its own
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background retention never advanced the WAL floor")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if readerErr != "" {
+		t.Fatal(readerErr)
+	}
+	srv.Close()
+	svc.Close() // must stop the loop; -race catches a use-after-close
+}

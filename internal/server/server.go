@@ -232,6 +232,7 @@ func OpenService(cfg Config) (*Service, error) {
 		l.Close()
 		return nil, err
 	}
+	s.streams.startRetention()
 	return s, nil
 }
 

@@ -109,19 +109,21 @@ var (
 
 // streamMetrics caches the registry pointers the hot ingest path bumps.
 type streamMetrics struct {
-	open      *obs.Gauge
-	opened    *obs.Counter
-	closed    *obs.Counter
-	evicted   *obs.Counter
-	rejected  *obs.Counter
-	ingested  *obs.Counter
-	emitted   *obs.Counter
-	late      *obs.Counter
-	outlier   *obs.Counter
-	snapshots *obs.Counter
-	restored  *obs.Counter
-	replayed  *obs.Counter
-	dup       *obs.Counter
+	open        *obs.Gauge
+	opened      *obs.Counter
+	closed      *obs.Counter
+	evicted     *obs.Counter
+	rejected    *obs.Counter
+	ingested    *obs.Counter
+	emitted     *obs.Counter
+	late        *obs.Counter
+	outlier     *obs.Counter
+	snapshots   *obs.Counter
+	restored    *obs.Counter
+	replayed    *obs.Counter
+	dup         *obs.Counter
+	compactions *obs.Counter
+	histTrimmed *obs.Counter
 }
 
 // sessionRegistry owns every live streaming session plus the shared
@@ -139,6 +141,8 @@ type sessionRegistry struct {
 	wal       *store.Log
 	hist      *historyIndex
 	snapEvery int
+	retainMu  sync.Mutex     // serializes retention passes (ticker vs RunRetentionOnce)
+	ret       retentionState // retention sample ring, guarded by retainMu (retention.go)
 
 	mu       sync.Mutex
 	sessions map[string]*streamSession
@@ -160,19 +164,21 @@ func newSessionRegistry(s *Service) *sessionRegistry {
 		hist:      newHistoryIndex(),
 		snapEvery: s.cfg.Durability.SnapshotEvery,
 		m: streamMetrics{
-			open:      s.metrics.Gauge(mStreamOpen),
-			opened:    s.metrics.Counter(mStreamOpened),
-			closed:    s.metrics.Counter(mStreamClosed),
-			evicted:   s.metrics.Counter(mStreamEvicted),
-			rejected:  s.metrics.Counter(mStreamRejected),
-			ingested:  s.metrics.Counter(mStreamIngested),
-			emitted:   s.metrics.Counter(mStreamEmitted),
-			late:      s.metrics.Counter(mStreamLate),
-			outlier:   s.metrics.Counter(mStreamOutlier),
-			snapshots: s.metrics.Counter(mStreamSnapshots),
-			restored:  s.metrics.Counter(mStreamRestored),
-			replayed:  s.metrics.Counter(mStreamReplayed),
-			dup:       s.metrics.Counter(mStreamDup),
+			open:        s.metrics.Gauge(mStreamOpen),
+			opened:      s.metrics.Counter(mStreamOpened),
+			closed:      s.metrics.Counter(mStreamClosed),
+			evicted:     s.metrics.Counter(mStreamEvicted),
+			rejected:    s.metrics.Counter(mStreamRejected),
+			ingested:    s.metrics.Counter(mStreamIngested),
+			emitted:     s.metrics.Counter(mStreamEmitted),
+			late:        s.metrics.Counter(mStreamLate),
+			outlier:     s.metrics.Counter(mStreamOutlier),
+			snapshots:   s.metrics.Counter(mStreamSnapshots),
+			restored:    s.metrics.Counter(mStreamRestored),
+			replayed:    s.metrics.Counter(mStreamReplayed),
+			dup:         s.metrics.Counter(mStreamDup),
+			compactions: s.metrics.Counter(mStoreCompactions),
+			histTrimmed: s.metrics.Counter(mHistoryTrimmed),
 		},
 	}
 	if cfg.Network != nil {
@@ -272,14 +278,18 @@ func (reg *sessionRegistry) open(lateness, maxSpeed float64, lanes int) (*stream
 	// Persist-before-ack: the open record must be durable before the
 	// client learns the id (its chunk records will reference it).
 	if reg.wal != nil {
-		if _, err := reg.persist(recSessionOpen, walOpen{
+		seq, err := reg.persist(recSessionOpen, walOpen{
 			Session: ss.id, Lateness: lateness, MaxSpeed: maxSpeed, Lanes: lanes,
-		}); err != nil {
+		})
+		if err != nil {
 			reg.mu.Lock()
 			delete(reg.sessions, ss.id)
 			reg.mu.Unlock()
 			return nil, err
 		}
+		ss.mu.Lock()
+		ss.openSeq = seq
+		ss.mu.Unlock()
 	}
 	reg.startJanitor()
 	reg.m.open.Inc()
@@ -381,6 +391,13 @@ type streamSession struct {
 	chunkIdx  uint64 // chunks applied; replay skips records at or below it
 	clientSeq uint64 // highest client-supplied ?seq=, for retry dedup
 	sinceSnap int    // chunks since the last snapshot record
+
+	// Retention floors (retention.go): the lowest WAL seq this session
+	// still needs for recovery is snapSeq (a snapshot supersedes all of
+	// its earlier records), falling back to openSeq before the first
+	// snapshot. 0 means unknown — the session pins the whole log.
+	openSeq uint64 // seq of this session's recSessionOpen record
+	snapSeq uint64 // seq of the latest recSnapshot record
 }
 
 // laneOut is one lane's contribution to a chunk or flush.

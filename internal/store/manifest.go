@@ -33,6 +33,14 @@ type SegmentInfo struct {
 
 type manifest struct {
 	Sealed []SegmentInfo `json:"sealed"`
+	// TruncatedTo is the retention horizon: no seq below it is part of
+	// the log, even if a crash resurrects a removed segment file
+	// (TruncateFront's removes are not followed by a directory fsync).
+	// Without it, truncating away *every* sealed segment would leave an
+	// empty manifest that says "the log starts at seq 1", and recovery
+	// would re-adopt a resurrected pre-truncation segment as the log —
+	// then discard the real active tail as a gap. 0 = never truncated.
+	TruncatedTo uint64 `json:"truncated_to,omitempty"`
 }
 
 // loadManifest reads dir's manifest; an absent manifest is an empty

@@ -71,6 +71,20 @@ func sumLiveSegments() (bytes, segments float64) {
 	return bytes, segments
 }
 
+// minLiveFirstSeq is the lowest retained seq across open logs — the
+// oldest record still answerable from disk. 0 when no log is open.
+func minLiveFirstSeq() float64 {
+	liveLogs.mu.Lock()
+	defer liveLogs.mu.Unlock()
+	var min uint64
+	for l := range liveLogs.logs {
+		if first := l.FirstSeq(); min == 0 || first < min {
+			min = first
+		}
+	}
+	return float64(min)
+}
+
 func obsAppend(payloadBytes int) {
 	if pkgObs.enabled.Load() {
 		pkgObs.appends.Add(1)
@@ -141,6 +155,7 @@ func InstrumentTo(reg *obs.Registry) {
 	reg.Help("sidq_store_replays_total", "Full Replay passes started.")
 	reg.Help("sidq_store_disk_bytes", "Bytes held by open durable logs (sealed segments plus active, including buffered writes).")
 	reg.Help("sidq_store_segments", "Segment count across open durable logs (sealed plus active).")
+	reg.Help("sidq_store_retained_seq", "Lowest WAL seq still on disk across open durable logs (the retention floor).")
 	counter := func(name string, v *atomic.Uint64) {
 		reg.Func(name, obs.FuncCounter, func() float64 { return float64(v.Load()) })
 	}
@@ -162,5 +177,6 @@ func InstrumentTo(reg *obs.Registry) {
 		_, segs := sumLiveSegments()
 		return segs
 	})
+	reg.Func("sidq_store_retained_seq", obs.FuncGauge, minLiveFirstSeq)
 	fsyncHist.Store(reg.Histogram("sidq_store_fsync_ns"))
 }

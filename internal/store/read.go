@@ -19,6 +19,13 @@ func (l *Log) Replay(fn func(Record) error) error {
 // read at all — the manifest's seq ranges are the coarse index. The
 // active segment is snapshotted under the log lock (flush + copy) so
 // reads never observe a partially written record.
+//
+// A TruncateFront running concurrently may remove segments after the
+// sealed list is copied; those segments are silently skipped, so the
+// emitted seqs are still strictly ascending but may start above (or
+// have an initial gap below) the log's retained floor at return time.
+// Records at or above FirstSeq observed after ReadRange returns are
+// always complete.
 func (l *Log) ReadRange(from, to uint64, fn func(Record) error) error {
 	l.mu.Lock()
 	sealed := append([]SegmentInfo(nil), l.sealed...)
@@ -59,13 +66,21 @@ func (l *Log) ReadRange(from, to uint64, fn func(Record) error) error {
 
 // emitSealed reads one sealed segment, verifies it against its
 // manifest entry, and emits its records in [from, to]. Segments
-// outside the range are not read at all.
+// outside the range are not read at all. A segment that a concurrent
+// TruncateFront dropped from the manifest between the caller's
+// sealed-list copy and the read here is skipped, not an error — its
+// open may fail, or its bytes may scan short/torn on filesystems
+// where removal invalidates readers; either way the manifest, not the
+// file, says whether it is still part of the log.
 func (l *Log) emitSealed(s SegmentInfo, from, to uint64, fn func(Record) error) error {
 	if s.LastSeq < from || s.FirstSeq > to {
 		return nil
 	}
 	f, err := l.fs.Open(path.Join(l.dir, s.Name))
 	if err != nil {
+		if !l.sealedListed(s.Name) {
+			return nil // truncated out from under us
+		}
 		return fmt.Errorf("store: open sealed %s: %w", s.Name, err)
 	}
 	data, err := readAll(f)
@@ -73,14 +88,32 @@ func (l *Log) emitSealed(s SegmentInfo, from, to uint64, fn func(Record) error) 
 		err = cerr
 	}
 	if err != nil {
+		if !l.sealedListed(s.Name) {
+			return nil
+		}
 		return fmt.Errorf("store: read sealed %s: %w", s.Name, err)
 	}
 	res := scanSegment(data)
 	if res.torn || uint64(len(res.records)) != s.LastSeq-s.FirstSeq+1 {
+		if !l.sealedListed(s.Name) {
+			return nil
+		}
 		return fmt.Errorf("store: sealed segment %s corrupt (%d records, want %d, torn=%v)",
 			s.Name, len(res.records), s.LastSeq-s.FirstSeq+1, res.torn)
 	}
 	return emitRange(res.records, s.FirstSeq, from, to, fn)
+}
+
+// sealedListed reports whether name is (still) in the sealed manifest.
+func (l *Log) sealedListed(name string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, s := range l.sealed {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // snapshotActive flushes and scans the active segment under the log
@@ -124,10 +157,13 @@ func emitRange(recs []Record, firstSeq, from, to uint64, fn func(Record) error) 
 
 // TruncateFront drops sealed segments whose every record is below
 // keepSeq — retention, not compaction: the cut is segment-granular and
-// never touches the active segment. The manifest is rewritten before
-// the files are removed, so a crash between the two leaves stale
-// files that the next Open sweeps. Returns the number of segments
-// removed.
+// never touches the active segment. The manifest (which also records
+// the new truncation horizon) is rewritten before the files are
+// removed, so a crash between the two — or a failed Remove — leaves
+// stale files that the next Open sweeps. The manifest commit is the
+// truncation: the returned count and the removed-segments metric
+// reflect the manifest, even when a subsequent Remove fails (that
+// error is still returned, alongside the true count).
 func (l *Log) TruncateFront(keepSeq uint64) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -143,18 +179,21 @@ func (l *Log) TruncateFront(keepSeq uint64) (int, error) {
 	}
 	dropped := append([]SegmentInfo(nil), l.sealed[:cut]...)
 	kept := append([]SegmentInfo(nil), l.sealed[cut:]...)
-	if err := writeManifest(l.fs, l.dir, manifest{Sealed: kept}); err != nil {
+	horizon := dropped[len(dropped)-1].LastSeq + 1
+	if err := writeManifest(l.fs, l.dir, manifest{Sealed: kept, TruncatedTo: horizon}); err != nil {
 		l.failLocked(err)
 		return 0, err
 	}
 	l.sealed = kept
+	l.truncatedTo = horizon
+	obsRemoveSegments(len(dropped))
+	var firstErr error
 	for _, s := range dropped {
-		if err := l.fs.Remove(path.Join(l.dir, s.Name)); err != nil {
-			return 0, fmt.Errorf("store: remove %s: %w", s.Name, err)
+		if err := l.fs.Remove(path.Join(l.dir, s.Name)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("store: remove %s: %w", s.Name, err)
 		}
 	}
-	obsRemoveSegments(len(dropped))
-	return len(dropped), nil
+	return len(dropped), firstErr
 }
 
 // SegmentReport is one segment's health in a VerifyReport.
@@ -219,6 +258,9 @@ func Verify(dir string, fs FS) (VerifyReport, error) {
 		return data, err
 	}
 	expected := uint64(1)
+	if m.TruncatedTo > expected {
+		expected = m.TruncatedTo // segments below the horizon are stale, not gaps
+	}
 	for _, s := range m.Sealed {
 		listed[s.Name] = true
 		sr := SegmentReport{Name: s.Name, Sealed: true, FirstSeq: s.FirstSeq}

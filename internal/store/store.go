@@ -126,7 +126,8 @@ type Log struct {
 	activeBorn  time.Time
 	nextSeq     uint64
 	sealed      []SegmentInfo
-	err         error // sticky failure; all appends fail after it
+	truncatedTo uint64 // retention horizon persisted in the manifest (0 = never truncated)
+	err         error  // sticky failure; all appends fail after it
 	scratch     []byte
 
 	fsyncMu sync.Mutex    // serializes fsync against segment-roll close
@@ -189,6 +190,11 @@ func (l *Log) recover() (RecoveryInfo, error) {
 		listed[s.Name] = true
 	}
 	expected := uint64(1)
+	if m.TruncatedTo > expected {
+		// Nothing below the truncation horizon is part of the log, even
+		// if a crash resurrected removed segment files below it.
+		expected = m.TruncatedTo
+	}
 	if n := len(m.Sealed); n > 0 {
 		expected = m.Sealed[n-1].LastSeq + 1
 	}
@@ -220,6 +226,7 @@ func (l *Log) recover() (RecoveryInfo, error) {
 	}
 	sortUint64(tail)
 	l.sealed = m.Sealed
+	l.truncatedTo = m.TruncatedTo
 	l.nextSeq = expected
 
 	// Walk the unlisted tail in seq order. Complete segments followed
@@ -278,7 +285,7 @@ func (l *Log) recover() (RecoveryInfo, error) {
 		adopted = true
 	}
 	if adopted {
-		if err := writeManifest(fs, l.dir, manifest{Sealed: l.sealed}); err != nil {
+		if err := writeManifest(fs, l.dir, manifest{Sealed: l.sealed, TruncatedTo: l.truncatedTo}); err != nil {
 			return info, fmt.Errorf("store: %w", err)
 		}
 	}
@@ -531,7 +538,7 @@ func (l *Log) rollLocked() error {
 		Bytes:    l.activeSize,
 	}
 	l.sealed = append(l.sealed, info)
-	if err := writeManifest(l.fs, l.dir, manifest{Sealed: l.sealed}); err != nil {
+	if err := writeManifest(l.fs, l.dir, manifest{Sealed: l.sealed, TruncatedTo: l.truncatedTo}); err != nil {
 		l.failLocked(err)
 		return err
 	}
@@ -622,6 +629,18 @@ func (l *Log) LastSeq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.nextSeq - 1
+}
+
+// FirstSeq returns the lowest seq still present in the log — the
+// retained floor after truncation. A never-truncated log reports 1;
+// an empty log reports the seq the next Append will be assigned.
+func (l *Log) FirstSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.sealed) > 0 {
+		return l.sealed[0].FirstSeq
+	}
+	return l.activeFirst
 }
 
 // DurableSeq returns the highest seq known covered by an fsync.
